@@ -1,0 +1,105 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation through the experiment harness, one benchmark per
+// artifact. Benchmarks default to Fast scale so `go test -bench=.` stays
+// minutes-cheap; set OCTOSTORE_BENCH_FULL=1 to run at the paper's testbed
+// scale (11 workers, 6-hour traces).
+package repro_test
+
+import (
+	"os"
+	"testing"
+
+	"octostore/internal/eval"
+	"octostore/internal/experiments"
+)
+
+func benchOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Fast = os.Getenv("OCTOSTORE_BENCH_FULL") == ""
+	return o
+}
+
+// runExperiment executes one registered experiment b.N times and reports
+// rows-produced as a sanity metric.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOptions()
+	var tables []*eval.Table
+	for i := 0; i < b.N; i++ {
+		tables, err = runner(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rows := 0
+	for _, t := range tables {
+		rows += len(t.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkFig2DFSIO regenerates Figure 2 (DFSIO write/read throughput for
+// the four systems).
+func BenchmarkFig2DFSIO(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkTable3JobBins regenerates Table 3 (job size distributions).
+func BenchmarkTable3JobBins(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig5CDFs regenerates Figure 5 (workload CDFs).
+func BenchmarkFig5CDFs(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6CompletionTime regenerates Figure 6 (end-to-end completion
+// time reduction per bin, FB and CMU).
+func BenchmarkFig6CompletionTime(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7Efficiency regenerates Figure 7 (cluster efficiency
+// improvement per bin).
+func BenchmarkFig7Efficiency(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8TierAccess regenerates Figure 8 (storage tier access
+// distributions).
+func BenchmarkFig8TierAccess(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9HitRatios regenerates Figure 9 (hit ratio / byte hit ratio
+// by accesses and locations).
+func BenchmarkFig9HitRatios(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10Downgrade regenerates Figure 10 (downgrade policies in
+// isolation).
+func BenchmarkFig10Downgrade(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11DowngradeHitRatios regenerates Figure 11 (downgrade-policy
+// hit ratios).
+func BenchmarkFig11DowngradeHitRatios(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12Upgrade regenerates Figure 12 (upgrade policies in
+// isolation).
+func BenchmarkFig12Upgrade(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkTable4UpgradeStats regenerates Table 4 (upgrade byte accuracy /
+// coverage).
+func BenchmarkTable4UpgradeStats(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFig13Scalability regenerates Figure 13 (cluster-size scaling).
+func BenchmarkFig13Scalability(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14ROC regenerates Figure 14 (model ROC/AUC).
+func BenchmarkFig14ROC(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15FeatureAblation regenerates Figure 15 (feature ablation).
+func BenchmarkFig15FeatureAblation(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16LearningModes regenerates Figure 16 (incremental vs
+// retrain vs one-shot accuracy over time).
+func BenchmarkFig16LearningModes(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17WorkloadSwitch regenerates Figure 17 (accuracy across
+// FB/CMU workload alternation).
+func BenchmarkFig17WorkloadSwitch(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkOverheads regenerates the Section 7.7 overhead numbers.
+func BenchmarkOverheads(b *testing.B) { runExperiment(b, "overheads") }

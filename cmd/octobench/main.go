@@ -1,0 +1,67 @@
+// Command octobench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	octobench -exp fig6              # one experiment at paper scale
+//	octobench -exp all -fast         # every experiment, reduced scale
+//	octobench -list                  # show available experiment ids
+//
+// Each experiment prints one or more aligned text tables whose rows mirror
+// the series the paper plots; see EXPERIMENTS.md for the mapping and the
+// paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"octostore/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (or 'all')")
+		list    = flag.Bool("list", false, "list available experiments")
+		fast    = flag.Bool("fast", false, "reduced-scale run (small cluster, short workload)")
+		workers = flag.Int("workers", 11, "cluster worker count")
+		seed    = flag.Int64("seed", 1, "workload/placement seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "octobench: -exp is required (use -list to see options)")
+		os.Exit(2)
+	}
+	opts := experiments.Options{Workers: *workers, Seed: *seed, Fast: *fast}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		runner, err := experiments.Get(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "octobench:", err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables, err := runner(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "octobench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+		fmt.Printf("-- %s completed in %v --\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,121 @@
+// Command tracegen generates and summarises the synthetic FB and CMU
+// workload traces (Section 7.1): job/file counts, the Table 3 bin
+// distribution of job counts, total data volume, popularity statistics,
+// and optionally a CSV dump of the jobs.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"octostore/internal/eval"
+	"octostore/internal/storage"
+	"octostore/internal/workload"
+)
+
+func main() {
+	var (
+		name = flag.String("workload", "fb", "workload profile: fb or cmu")
+		seed = flag.Int64("seed", 1, "generation seed")
+		csvO = flag.String("csv", "", "write the job list as CSV to this file")
+	)
+	flag.Parse()
+
+	var p workload.Profile
+	switch *name {
+	case "fb":
+		p = workload.FB()
+	case "cmu":
+		p = workload.CMU()
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+	tr := workload.Generate(p, *seed)
+
+	fmt.Printf("workload: %s (seed %d)\n", tr.Name, *seed)
+	fmt.Printf("duration: %v\n", tr.Duration)
+	fmt.Printf("jobs:     %d\n", len(tr.Jobs))
+	fmt.Printf("files:    %d input files, %.1f GB total\n",
+		len(tr.Files), float64(tr.TotalInputBytes())/float64(storage.GB))
+
+	counts := tr.AccessCounts()
+	over5, never := 0, 0
+	for _, f := range tr.Files {
+		c := counts[f.Path]
+		if c > 5 {
+			over5++
+		}
+		if c == 0 {
+			never++
+		}
+	}
+	outputs := 0
+	for _, j := range tr.Jobs {
+		if j.OutputPath != "" {
+			outputs++
+		}
+	}
+	fmt.Printf("popularity: %.1f%% of inputs accessed >5 times, %.1f%% never accessed\n",
+		100*float64(over5)/float64(len(tr.Files)), 100*float64(never)/float64(len(tr.Files)))
+	fmt.Printf("outputs:  %d jobs persist output (never re-read)\n", outputs)
+
+	tbl := &eval.Table{
+		ID:     "bins",
+		Title:  "job distribution by input-size bin",
+		Header: []string{"Bin", "Jobs", "% of Jobs", "Input GB"},
+	}
+	var jobs [workload.NumBins]int
+	var bytes [workload.NumBins]int64
+	for _, j := range tr.Jobs {
+		jobs[j.Bin]++
+		bytes[j.Bin] += j.InputBytes
+	}
+	for b := workload.Bin(0); b < workload.NumBins; b++ {
+		tbl.AddRow(b.String(),
+			strconv.Itoa(jobs[b]),
+			eval.Pct(float64(jobs[b])/float64(len(tr.Jobs))),
+			fmt.Sprintf("%.1f", float64(bytes[b])/float64(storage.GB)))
+	}
+	fmt.Println()
+	tbl.Fprint(os.Stdout)
+
+	if *csvO != "" {
+		if err := writeCSV(*csvO, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *csvO)
+	}
+}
+
+func writeCSV(path string, tr *workload.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"job", "arrival_s", "bin", "input_path", "input_bytes", "output_bytes", "cpu_per_task_s"}); err != nil {
+		return err
+	}
+	for _, j := range tr.Jobs {
+		rec := []string{
+			strconv.Itoa(j.ID),
+			fmt.Sprintf("%.1f", j.Arrival.Seconds()),
+			j.Bin.String(),
+			j.InputPath,
+			strconv.FormatInt(j.InputBytes, 10),
+			strconv.FormatInt(j.OutputBytes, 10),
+			fmt.Sprintf("%.1f", j.CPUPerTask.Seconds()),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+// Package cluster assembles storage devices into worker nodes and nodes into
+// a cluster, mirroring the testbed topology of the paper's evaluation
+// (1 master + N workers, three storage tiers per worker).
+package cluster
+
+import (
+	"fmt"
+
+	"octostore/internal/sim"
+	"octostore/internal/storage"
+)
+
+// Node is one worker machine: a set of storage devices grouped by media and
+// a number of task execution slots.
+type Node struct {
+	id      int
+	name    string
+	devices map[storage.Media][]*storage.Device
+	slots   int
+}
+
+// ID returns the node's index within the cluster.
+func (n *Node) ID() int { return n.id }
+
+// Name returns a human-readable node name such as "worker-3".
+func (n *Node) Name() string { return n.name }
+
+// Slots returns the number of simultaneous task slots on the node.
+func (n *Node) Slots() int { return n.slots }
+
+// Devices returns the node's devices of the given media (possibly empty).
+func (n *Node) Devices(media storage.Media) []*storage.Device {
+	return n.devices[media]
+}
+
+// AllDevices returns every device on the node, ordered from the highest tier
+// to the lowest.
+func (n *Node) AllDevices() []*storage.Device {
+	var all []*storage.Device
+	for _, m := range storage.AllMedia {
+		all = append(all, n.devices[m]...)
+	}
+	return all
+}
+
+// PickDevice returns the device of the given media best suited to receive a
+// new replica of the given size: the least-loaded device with room,
+// tie-broken by most free space. It returns nil when no device fits.
+func (n *Node) PickDevice(media storage.Media, bytes int64) *storage.Device {
+	var best *storage.Device
+	for _, d := range n.devices[media] {
+		if d.Free() < bytes {
+			continue
+		}
+		if best == nil || d.Load() < best.Load() ||
+			(d.Load() == best.Load() && d.Free() > best.Free()) {
+			best = d
+		}
+	}
+	return best
+}
+
+// TierUsed returns the bytes reserved across the node's devices of a media.
+func (n *Node) TierUsed(media storage.Media) int64 {
+	var used int64
+	for _, d := range n.devices[media] {
+		used += d.Used()
+	}
+	return used
+}
+
+// TierCapacity returns the total capacity of the node's devices of a media.
+func (n *Node) TierCapacity(media storage.Media) int64 {
+	var c int64
+	for _, d := range n.devices[media] {
+		c += d.Capacity()
+	}
+	return c
+}
+
+// Cluster is the set of worker nodes plus the shared simulation engine.
+// The master is not modelled as a machine: master-side logic (namespace,
+// block manager, replication manager) runs as plain in-process components.
+type Cluster struct {
+	engine *sim.Engine
+	nodes  []*Node
+}
+
+// Config describes a cluster to build.
+type Config struct {
+	Workers      int
+	SlotsPerNode int
+	Spec         storage.NodeSpec
+}
+
+// PaperConfig reproduces the paper's testbed: 11 workers, 8 task slots each
+// (8-core nodes), with the Section 7 per-node storage configuration.
+func PaperConfig() Config {
+	return Config{Workers: 11, SlotsPerNode: 8, Spec: storage.PaperWorkerSpec()}
+}
+
+// New builds a cluster on the given engine.
+func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one worker, got %d", cfg.Workers)
+	}
+	if cfg.SlotsPerNode <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one slot per node, got %d", cfg.SlotsPerNode)
+	}
+	if len(cfg.Spec) == 0 {
+		return nil, fmt.Errorf("cluster: empty storage spec")
+	}
+	c := &Cluster{engine: engine}
+	for i := 0; i < cfg.Workers; i++ {
+		n := &Node{
+			id:      i,
+			name:    fmt.Sprintf("worker-%d", i),
+			devices: make(map[storage.Media][]*storage.Device),
+			slots:   cfg.SlotsPerNode,
+		}
+		for _, spec := range cfg.Spec {
+			for j := 0; j < spec.Count; j++ {
+				id := fmt.Sprintf("%s/%s-%d", n.name, spec.Media, j)
+				d := storage.NewDevice(engine, id, spec.Media, spec.Capacity, spec.ReadBW, spec.WriteBW)
+				n.devices[spec.Media] = append(n.devices[spec.Media], d)
+			}
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; convenient in tests and examples.
+func MustNew(engine *sim.Engine, cfg Config) *Cluster {
+	c, err := New(engine, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Engine returns the simulation engine driving the cluster.
+func (c *Cluster) Engine() *sim.Engine { return c.engine }
+
+// Nodes returns all worker nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Node returns the worker with the given id.
+func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
+
+// Size returns the number of worker nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// TotalSlots returns the aggregate number of task slots.
+func (c *Cluster) TotalSlots() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.slots
+	}
+	return total
+}
+
+// TierUsage aggregates used and capacity bytes for a media across the
+// cluster.
+func (c *Cluster) TierUsage(media storage.Media) (used, capacity int64) {
+	for _, n := range c.nodes {
+		used += n.TierUsed(media)
+		capacity += n.TierCapacity(media)
+	}
+	return used, capacity
+}
+
+// TierUtilization returns used/capacity for the media, or 0 if the cluster
+// has no devices of that media.
+func (c *Cluster) TierUtilization(media storage.Media) float64 {
+	used, capacity := c.TierUsage(media)
+	if capacity == 0 {
+		return 0
+	}
+	return float64(used) / float64(capacity)
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"testing"
+
+	"octostore/internal/sim"
+	"octostore/internal/storage"
+)
+
+func testConfig() Config {
+	return Config{Workers: 3, SlotsPerNode: 2, Spec: storage.SmallWorkerSpec()}
+}
+
+func TestNewValidation(t *testing.T) {
+	e := sim.NewEngine()
+	if _, err := New(e, Config{Workers: 0, SlotsPerNode: 1, Spec: storage.SmallWorkerSpec()}); err == nil {
+		t.Fatal("expected error for zero workers")
+	}
+	if _, err := New(e, Config{Workers: 1, SlotsPerNode: 0, Spec: storage.SmallWorkerSpec()}); err == nil {
+		t.Fatal("expected error for zero slots")
+	}
+	if _, err := New(e, Config{Workers: 1, SlotsPerNode: 1}); err == nil {
+		t.Fatal("expected error for empty spec")
+	}
+}
+
+func TestClusterTopology(t *testing.T) {
+	e := sim.NewEngine()
+	c := MustNew(e, testConfig())
+	if c.Size() != 3 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	if c.TotalSlots() != 6 {
+		t.Fatalf("slots = %d", c.TotalSlots())
+	}
+	n := c.Node(1)
+	if n.Name() != "worker-1" || n.ID() != 1 {
+		t.Fatalf("node identity: %s/%d", n.Name(), n.ID())
+	}
+	if len(n.Devices(storage.Memory)) != 1 {
+		t.Fatalf("memory devices = %d", len(n.Devices(storage.Memory)))
+	}
+	if got := len(n.AllDevices()); got != 3 {
+		t.Fatalf("all devices = %d", got)
+	}
+}
+
+func TestPaperConfigShape(t *testing.T) {
+	e := sim.NewEngine()
+	c := MustNew(e, PaperConfig())
+	if c.Size() != 11 {
+		t.Fatalf("paper cluster size = %d", c.Size())
+	}
+	n := c.Node(0)
+	if len(n.Devices(storage.HDD)) != 3 {
+		t.Fatalf("paper HDDs per node = %d", len(n.Devices(storage.HDD)))
+	}
+	if got := n.TierCapacity(storage.Memory); got != 4*storage.GB {
+		t.Fatalf("memory tier capacity = %d", got)
+	}
+	_, total := c.TierUsage(storage.Memory)
+	if total != 11*4*storage.GB {
+		t.Fatalf("cluster memory capacity = %d", total)
+	}
+}
+
+func TestPickDevicePrefersLeastLoaded(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := Config{Workers: 1, SlotsPerNode: 1, Spec: storage.NodeSpec{
+		{Media: storage.HDD, Capacity: storage.GB, ReadBW: 100e6, WriteBW: 100e6, Count: 2},
+	}}
+	c := MustNew(e, cfg)
+	n := c.Node(0)
+	first := n.PickDevice(storage.HDD, 1)
+	if first == nil {
+		t.Fatal("no device picked")
+	}
+	first.StartWrite(storage.MB, nil) // make it busy
+	second := n.PickDevice(storage.HDD, 1)
+	if second == first {
+		t.Fatal("picked the busy device")
+	}
+}
+
+func TestPickDeviceRespectsCapacity(t *testing.T) {
+	e := sim.NewEngine()
+	c := MustNew(e, testConfig())
+	n := c.Node(0)
+	d := n.PickDevice(storage.Memory, storage.MB)
+	if d == nil {
+		t.Fatal("expected a memory device")
+	}
+	if err := d.Reserve(d.Capacity()); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.PickDevice(storage.Memory, 1); got != nil {
+		t.Fatal("picked a full device")
+	}
+}
+
+func TestTierUsageAndUtilization(t *testing.T) {
+	e := sim.NewEngine()
+	c := MustNew(e, testConfig())
+	d := c.Node(0).Devices(storage.SSD)[0]
+	if err := d.Reserve(128 * storage.MB); err != nil {
+		t.Fatal(err)
+	}
+	used, capacity := c.TierUsage(storage.SSD)
+	if used != 128*storage.MB {
+		t.Fatalf("used = %d", used)
+	}
+	if capacity != 3*256*storage.MB {
+		t.Fatalf("capacity = %d", capacity)
+	}
+	wantUtil := float64(used) / float64(capacity)
+	if got := c.TierUtilization(storage.SSD); got != wantUtil {
+		t.Fatalf("utilization = %v, want %v", got, wantUtil)
+	}
+}
+
+func TestTierUtilizationNoDevices(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := Config{Workers: 1, SlotsPerNode: 1, Spec: storage.NodeSpec{
+		{Media: storage.HDD, Capacity: storage.GB, ReadBW: 1, WriteBW: 1, Count: 1},
+	}}
+	c := MustNew(e, cfg)
+	if got := c.TierUtilization(storage.Memory); got != 0 {
+		t.Fatalf("utilization of absent tier = %v", got)
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"octostore/internal/dfs"
+	"octostore/internal/ml"
+	"octostore/internal/sim"
+	"octostore/internal/storage"
+)
+
+// Context is the view of the system that policies consult: the clock, the
+// file system, the per-file statistics, and tier-usage accounting
+// (Section 3.3: "the policies have access to file and node statistics
+// maintained by the system").
+type Context struct {
+	Clock   sim.Clock
+	FS      *dfs.FileSystem
+	Tracker *ml.Tracker
+	Cfg     Config
+
+	mgr *Manager // set when a Manager adopts the context
+}
+
+// NewContext builds a policy context over a file system.
+func NewContext(fs *dfs.FileSystem, cfg Config) *Context {
+	cfg.applyDefaults()
+	return &Context{
+		Clock:   fs.Engine(),
+		FS:      fs,
+		Tracker: ml.NewTracker(cfg.TrackerK),
+		Cfg:     cfg,
+	}
+}
+
+// Record returns (creating on demand) the statistics record of a file.
+func (c *Context) Record(f *dfs.File) *ml.FileRecord {
+	if rec, ok := c.Tracker.Get(int64(f.ID())); ok {
+		return rec
+	}
+	return c.Tracker.OnCreate(int64(f.ID()), f.Size(), f.Created())
+}
+
+// LastTouch returns the file's most recent access, or its creation time if
+// never accessed.
+func (c *Context) LastTouch(f *dfs.File) time.Time {
+	t, _ := c.Record(f).LastAccess()
+	return t
+}
+
+// AccessCount returns the file's lifetime access count.
+func (c *Context) AccessCount(f *dfs.File) int64 {
+	return c.Record(f).AccessCount()
+}
+
+// IsBusy reports whether the manager has an in-flight operation on the
+// file (no manager means never busy).
+func (c *Context) IsBusy(f *dfs.File) bool {
+	return c.mgr != nil && c.mgr.isBusy(f)
+}
+
+// EligibleFiles returns the files that a downgrade from `tier` may choose
+// from: complete, not deleted, not busy, not in a failure cooldown, and
+// holding a replica of every block on the tier (the all-or-nothing
+// property).
+func (c *Context) EligibleFiles(tier storage.Media) []*dfs.File {
+	var out []*dfs.File
+	for _, f := range c.FS.Files() {
+		if f.Deleted() || !c.FS.Complete(f) || c.IsBusy(f) {
+			continue
+		}
+		if c.mgr != nil && c.mgr.inCooldown(f) {
+			continue
+		}
+		if !f.HasReplicaOn(tier) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// UpgradeCandidates returns files not fully resident in memory, excluding
+// busy/cooldown files, sorted by most-recent touch first and truncated to
+// k (the XGB upgrade policy scores "the k most recently used files",
+// Section 6.1).
+func (c *Context) UpgradeCandidates(k int) []*dfs.File {
+	var out []*dfs.File
+	for _, f := range c.FS.Files() {
+		if f.Deleted() || !c.FS.Complete(f) || c.IsBusy(f) || len(f.Blocks()) == 0 {
+			continue
+		}
+		if c.mgr != nil && c.mgr.inCooldown(f) {
+			continue
+		}
+		if f.HasReplicaOn(storage.Memory) {
+			continue
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := c.LastTouch(out[i]), c.LastTouch(out[j])
+		if !ti.Equal(tj) {
+			return ti.After(tj)
+		}
+		return out[i].ID() < out[j].ID()
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// LRUFiles returns up to k eligible files on the tier ordered by least
+// recent touch first (the XGB downgrade policy scores "the k least
+// recently used files", Section 5.2).
+func (c *Context) LRUFiles(tier storage.Media, k int) []*dfs.File {
+	files := c.EligibleFiles(tier)
+	sort.Slice(files, func(i, j int) bool {
+		ti, tj := c.LastTouch(files[i]), c.LastTouch(files[j])
+		if !ti.Equal(tj) {
+			return ti.Before(tj)
+		}
+		return files[i].ID() < files[j].ID()
+	})
+	if k > 0 && len(files) > k {
+		files = files[:k]
+	}
+	return files
+}
+
+// EffectiveUtilization is the tier's used fraction minus space already
+// being freed by in-flight downgrades, so the downgrade loop does not
+// over-schedule while transfers drain.
+func (c *Context) EffectiveUtilization(tier storage.Media) float64 {
+	used, capacity := c.FS.Cluster().TierUsage(tier)
+	if capacity == 0 {
+		return 0
+	}
+	if c.mgr != nil {
+		used -= c.mgr.pendingRelease[tier]
+	}
+	if used < 0 {
+		used = 0
+	}
+	return float64(used) / float64(capacity)
+}
+
+// AboveHighWatermark implements the shared decision-point-1 rule: the
+// downgrade process starts when a tier's used capacity exceeds the high
+// threshold (Section 5.1).
+func (c *Context) AboveHighWatermark(tier storage.Media) bool {
+	return c.EffectiveUtilization(tier) > c.Cfg.HighWatermark
+}
+
+// BelowLowWatermark implements the shared decision-point-4 rule: the
+// downgrade process stops when the tier's effective used capacity falls
+// below the low threshold (Section 5.4).
+func (c *Context) BelowLowWatermark(tier storage.Media) bool {
+	return c.EffectiveUtilization(tier) < c.Cfg.LowWatermark
+}
+
+// TierFreeBytes returns the cluster-wide free bytes of a tier.
+func (c *Context) TierFreeBytes(tier storage.Media) int64 {
+	used, capacity := c.FS.Cluster().TierUsage(tier)
+	return capacity - used
+}
+
+// DefaultDowngradeTier implements decision point 3 with the OctopusFS
+// placement objectives collapsed to their practical outcome: move to the
+// next tier down that can hold the file, else further down, else delete the
+// replica (Section 5.3).
+func (c *Context) DefaultDowngradeTier(f *dfs.File, from storage.Media) (storage.Media, bool) {
+	bytes := f.BytesOn(from)
+	for tier, ok := from.Below(); ok; tier, ok = tier.Below() {
+		if c.TierFreeBytes(tier) >= bytes {
+			return tier, true
+		}
+	}
+	return 0, false
+}
+
+// DefaultUpgradeTier implements decision point 3 for upgrades: memory when
+// it can hold the file. Upgrades from HDD to SSD are not performed,
+// matching the rationale in Section 6.1 (avoid large disk-to-disk moves
+// and keep HDDs utilised).
+func (c *Context) DefaultUpgradeTier(f *dfs.File, from storage.Media) (storage.Media, bool) {
+	if from == storage.Memory {
+		return 0, false
+	}
+	size := fileBytesOneReplica(f)
+	if c.TierFreeBytes(storage.Memory) >= size {
+		return storage.Memory, true
+	}
+	return 0, false
+}
+
+// fileBytesOneReplica is the bytes of a single full replica of the file.
+func fileBytesOneReplica(f *dfs.File) int64 {
+	var total int64
+	for _, b := range f.Blocks() {
+		total += b.Size()
+	}
+	return total
+}

@@ -1,0 +1,126 @@
+// Package core implements the paper's primary contribution: a general
+// framework for automatically managing storage tiers in a distributed file
+// system (Section 3). It provides
+//
+//   - the Replication Manager, which orchestrates replication downgrades and
+//     upgrades (Definitions 1 and 2) through pluggable policies built around
+//     the four decision points of Section 3.2 (when to start, which file,
+//     how, when to stop), running Algorithms 1 and 2;
+//   - the Replication Monitor, which executes the resulting data-movement
+//     requests asynchronously with bounded concurrency and repairs
+//     under-replicated files; and
+//   - the shared per-file statistics (via ml.Tracker) and tier-usage
+//     accounting that policies consult to make informed decisions.
+//
+// Attaching a Manager to a dfs.FileSystem in ModeOctopus yields the system
+// the paper calls Octopus++.
+package core
+
+import (
+	"time"
+
+	"octostore/internal/storage"
+)
+
+// Config carries the framework parameters (Section 5.1, 5.4, 6.1, 6.4).
+// Zero fields are replaced by paper defaults.
+type Config struct {
+	// HighWatermark starts the downgrade process for a tier when its used
+	// capacity exceeds this fraction (paper: 90%).
+	HighWatermark float64
+	// LowWatermark stops the downgrade process when the tier's effective
+	// used capacity drops below this fraction (paper: 85%).
+	LowWatermark float64
+	// UpgradeBatchLimit caps the total bytes of upgrades scheduled by one
+	// invocation of the XGB upgrade process (paper: 1 GB).
+	UpgradeBatchLimit int64
+	// CandidateK bounds how many files an XGB policy scores per decision
+	// (paper: k=200).
+	CandidateK int
+	// PeriodicInterval is how often the manager wakes up for proactive
+	// upgrade checks and model sampling.
+	PeriodicInterval time.Duration
+	// SampleFraction is the fraction of tracked files sampled for training
+	// on each periodic tick.
+	SampleFraction float64
+	// DowngradeWindow is the class window of the downgrade model ("which
+	// files have become cold"). The paper's example value is 6 hours for
+	// production-length traces; the default here is scaled down so that
+	// sliding the reference time one window into the past still yields
+	// training data within a six-hour replay.
+	DowngradeWindow time.Duration
+	// UpgradeWindow is the class window of the upgrade model ("which files
+	// will be accessed soon"; paper example: 30 minutes).
+	UpgradeWindow time.Duration
+	// UpgradeThreshold is the discrimination threshold of the upgrade
+	// model (paper: 0.5).
+	UpgradeThreshold float64
+	// MonitorConcurrency bounds simultaneous background file movements.
+	MonitorConcurrency int
+	// MoveLatency models the command path of a movement request (manager →
+	// monitor → worker heartbeat): transfers begin this long after being
+	// scheduled, so an upgrade does not serve the very access that
+	// triggered it (Section 6: the move is piggybacked on the subsequent
+	// read or performed asynchronously).
+	MoveLatency time.Duration
+	// TrackerK is the per-file access-history length (paper: 12).
+	TrackerK int
+}
+
+// DefaultConfig returns the paper's parameter values.
+func DefaultConfig() Config {
+	return Config{
+		HighWatermark:      0.90,
+		LowWatermark:       0.85,
+		UpgradeBatchLimit:  1 * storage.GB,
+		CandidateK:         200,
+		PeriodicInterval:   time.Minute,
+		SampleFraction:     0.10,
+		DowngradeWindow:    90 * time.Minute,
+		UpgradeWindow:      30 * time.Minute,
+		UpgradeThreshold:   0.5,
+		MonitorConcurrency: 4,
+		MoveLatency:        5 * time.Second,
+		TrackerK:           12,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	d := DefaultConfig()
+	if c.HighWatermark <= 0 {
+		c.HighWatermark = d.HighWatermark
+	}
+	if c.LowWatermark <= 0 {
+		c.LowWatermark = d.LowWatermark
+	}
+	if c.UpgradeBatchLimit <= 0 {
+		c.UpgradeBatchLimit = d.UpgradeBatchLimit
+	}
+	if c.CandidateK <= 0 {
+		c.CandidateK = d.CandidateK
+	}
+	if c.PeriodicInterval <= 0 {
+		c.PeriodicInterval = d.PeriodicInterval
+	}
+	if c.SampleFraction <= 0 {
+		c.SampleFraction = d.SampleFraction
+	}
+	if c.DowngradeWindow <= 0 {
+		c.DowngradeWindow = d.DowngradeWindow
+	}
+	if c.UpgradeWindow <= 0 {
+		c.UpgradeWindow = d.UpgradeWindow
+	}
+	if c.UpgradeThreshold <= 0 {
+		c.UpgradeThreshold = d.UpgradeThreshold
+	}
+	if c.MonitorConcurrency <= 0 {
+		c.MonitorConcurrency = d.MonitorConcurrency
+	}
+	if c.MoveLatency <= 0 {
+		c.MoveLatency = d.MoveLatency
+	}
+	if c.TrackerK <= 0 {
+		c.TrackerK = d.TrackerK
+	}
+}

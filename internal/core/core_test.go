@@ -1,0 +1,428 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"octostore/internal/cluster"
+	"octostore/internal/dfs"
+	"octostore/internal/sim"
+	"octostore/internal/storage"
+)
+
+// env bundles a small Octopus++ test system.
+type env struct {
+	engine *sim.Engine
+	fs     *dfs.FileSystem
+	ctx    *Context
+}
+
+func newEnv(t *testing.T, mode dfs.Mode) *env {
+	t.Helper()
+	e := sim.NewEngine()
+	c := cluster.MustNew(e, cluster.Config{
+		Workers: 3, SlotsPerNode: 2, Spec: storage.SmallWorkerSpec(),
+	})
+	fs := dfs.MustNew(c, dfs.Config{Mode: mode, BlockSize: 16 * storage.MB, Seed: 3})
+	cfg := DefaultConfig()
+	cfg.PeriodicInterval = 30 * time.Second
+	return &env{engine: e, fs: fs, ctx: NewContext(fs, cfg)}
+}
+
+func (ev *env) create(t *testing.T, path string, size int64) *dfs.File {
+	t.Helper()
+	var file *dfs.File
+	var ferr error
+	ev.fs.Create(path, size, func(f *dfs.File, err error) { file, ferr = f, err })
+	ev.engine.Run()
+	if ferr != nil {
+		t.Fatalf("create %s: %v", path, ferr)
+	}
+	return file
+}
+
+// lruStub is a minimal downgrade policy for manager tests: watermark
+// thresholds, LRU selection, default target.
+type lruStub struct {
+	NopCallbacks
+	ctx     *Context
+	selects int
+}
+
+func (p *lruStub) Name() string { return "stub-lru" }
+func (p *lruStub) StartDowngrade(tier storage.Media) bool {
+	return p.ctx.AboveHighWatermark(tier)
+}
+func (p *lruStub) StopDowngrade(tier storage.Media) bool {
+	return p.ctx.BelowLowWatermark(tier)
+}
+func (p *lruStub) SelectFile(tier storage.Media) *dfs.File {
+	p.selects++
+	files := p.ctx.LRUFiles(tier, 0)
+	if len(files) == 0 {
+		return nil
+	}
+	return files[0]
+}
+func (p *lruStub) SelectTargetTier(f *dfs.File, from storage.Media) (storage.Media, bool) {
+	to, ok := p.ctx.DefaultDowngradeTier(f, from)
+	if !ok {
+		return 0, true
+	}
+	return to, false
+}
+
+// osaStub upgrades every accessed non-memory file.
+type osaStub struct {
+	NopCallbacks
+	ctx     *Context
+	pending *dfs.File
+}
+
+func (p *osaStub) Name() string { return "stub-osa" }
+func (p *osaStub) StartUpgrade(accessed *dfs.File) bool {
+	if accessed == nil || accessed.HasReplicaOn(storage.Memory) {
+		return false
+	}
+	p.pending = accessed
+	return true
+}
+func (p *osaStub) SelectFile() *dfs.File {
+	f := p.pending
+	p.pending = nil
+	return f
+}
+func (p *osaStub) SelectTargetTier(f *dfs.File, from storage.Media) (storage.Media, bool) {
+	return p.ctx.DefaultUpgradeTier(f, from)
+}
+func (p *osaStub) StopUpgrade() bool { return p.pending == nil }
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.applyDefaults()
+	d := DefaultConfig()
+	if c != d {
+		t.Fatalf("applyDefaults() = %+v, want %+v", c, d)
+	}
+	// Non-zero fields are preserved.
+	c2 := Config{HighWatermark: 0.5}
+	c2.applyDefaults()
+	if c2.HighWatermark != 0.5 {
+		t.Fatal("explicit field overwritten")
+	}
+	if c2.LowWatermark != d.LowWatermark {
+		t.Fatal("zero field not defaulted")
+	}
+}
+
+func TestContextRecordAndTouch(t *testing.T) {
+	ev := newEnv(t, dfs.ModeOctopus)
+	NewManager(ev.ctx, nil, nil)
+	f := ev.create(t, "/f", 16*storage.MB)
+	rec := ev.ctx.Record(f)
+	if rec.Size != f.Size() {
+		t.Fatalf("record size = %d", rec.Size)
+	}
+	if got := ev.ctx.LastTouch(f); !got.Equal(f.Created()) {
+		t.Fatalf("LastTouch before access = %v", got)
+	}
+	ev.engine.RunFor(time.Minute)
+	ev.fs.RecordAccess(f)
+	if got := ev.ctx.LastTouch(f); !got.Equal(ev.engine.Now()) {
+		t.Fatalf("LastTouch after access = %v, now = %v", got, ev.engine.Now())
+	}
+	if ev.ctx.AccessCount(f) != 1 {
+		t.Fatalf("AccessCount = %d", ev.ctx.AccessCount(f))
+	}
+}
+
+func TestEligibleFilesFiltersTierAndBusy(t *testing.T) {
+	ev := newEnv(t, dfs.ModeOctopus)
+	m := NewManager(ev.ctx, nil, nil)
+	f1 := ev.create(t, "/f1", 16*storage.MB)
+	f2 := ev.create(t, "/f2", 16*storage.MB)
+	elig := ev.ctx.EligibleFiles(storage.Memory)
+	if len(elig) != 2 {
+		t.Fatalf("eligible = %d, want 2", len(elig))
+	}
+	m.busy[f1.ID()] = true
+	elig = ev.ctx.EligibleFiles(storage.Memory)
+	if len(elig) != 1 || elig[0] != f2 {
+		t.Fatalf("eligible after busy = %v", elig)
+	}
+}
+
+func TestLRUFilesOrdering(t *testing.T) {
+	ev := newEnv(t, dfs.ModeOctopus)
+	NewManager(ev.ctx, nil, nil)
+	f1 := ev.create(t, "/f1", 16*storage.MB)
+	f2 := ev.create(t, "/f2", 16*storage.MB)
+	ev.engine.RunFor(time.Minute)
+	ev.fs.RecordAccess(f1) // f1 now most recently used
+	files := ev.ctx.LRUFiles(storage.Memory, 0)
+	if len(files) != 2 || files[0] != f2 || files[1] != f1 {
+		t.Fatalf("LRU order wrong")
+	}
+	if got := ev.ctx.LRUFiles(storage.Memory, 1); len(got) != 1 || got[0] != f2 {
+		t.Fatal("k truncation wrong")
+	}
+}
+
+func TestUpgradeCandidatesExcludeMemoryResident(t *testing.T) {
+	ev := newEnv(t, dfs.ModeOctopus)
+	NewManager(ev.ctx, nil, nil)
+	f := ev.create(t, "/f", 16*storage.MB)
+	if got := ev.ctx.UpgradeCandidates(10); len(got) != 0 {
+		t.Fatalf("memory-resident file offered for upgrade: %v", got)
+	}
+	if err := ev.fs.DeleteFileReplicas(f, storage.Memory); err != nil {
+		t.Fatal(err)
+	}
+	got := ev.ctx.UpgradeCandidates(10)
+	if len(got) != 1 || got[0] != f {
+		t.Fatalf("UpgradeCandidates = %v", got)
+	}
+}
+
+func TestManagerDowngradesWhenTierFills(t *testing.T) {
+	ev := newEnv(t, dfs.ModeOctopus)
+	down := &lruStub{ctx: ev.ctx}
+	m := NewManager(ev.ctx, down, nil)
+	// Memory: 3 nodes x 64 MB = 192 MB. Each 16 MB file puts 16 MB in
+	// memory. Write 12 files => 192 MB => 100% without downgrades.
+	for i := 0; i < 12; i++ {
+		ev.create(t, pathN(i), 16*storage.MB)
+		ev.engine.Run()
+	}
+	if got := ev.fs.TierUtilization(storage.Memory); got > 0.90 {
+		t.Fatalf("memory still at %.2f; manager failed to downgrade", got)
+	}
+	if m.Metrics().DowngradesScheduled == 0 {
+		t.Fatal("no downgrades recorded")
+	}
+	if ev.fs.Stats().BytesDowngradedTo[storage.SSD] == 0 {
+		t.Fatal("no bytes downgraded to SSD")
+	}
+}
+
+func pathN(i int) string {
+	return "/files/f" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+func TestManagerUpgradeOnAccess(t *testing.T) {
+	ev := newEnv(t, dfs.ModePinnedHDD)
+	up := &osaStub{ctx: ev.ctx}
+	m := NewManager(ev.ctx, nil, up)
+	f := ev.create(t, "/f", 16*storage.MB)
+	ev.fs.RecordAccess(f)
+	ev.engine.Run()
+	if !f.HasReplicaOn(storage.Memory) {
+		t.Fatal("accessed file not upgraded to memory")
+	}
+	if m.Metrics().UpgradesScheduled != 1 {
+		t.Fatalf("upgrades = %d", m.Metrics().UpgradesScheduled)
+	}
+	// A second access must not double-upgrade.
+	ev.fs.RecordAccess(f)
+	ev.engine.Run()
+	if m.Metrics().UpgradesScheduled != 1 {
+		t.Fatal("upgraded a memory-resident file")
+	}
+}
+
+func TestManagerPeriodicTick(t *testing.T) {
+	ev := newEnv(t, dfs.ModeOctopus)
+	down := &lruStub{ctx: ev.ctx}
+	m := NewManager(ev.ctx, down, nil)
+	m.Start()
+	ev.engine.RunFor(5 * time.Minute)
+	if m.Metrics().Ticks < 9 {
+		t.Fatalf("ticks = %d, want ~10", m.Metrics().Ticks)
+	}
+	m.Stop()
+	before := m.Metrics().Ticks
+	ev.engine.RunFor(5 * time.Minute)
+	if m.Metrics().Ticks != before {
+		t.Fatal("ticks continued after Stop")
+	}
+	m.Start()
+	ev.engine.RunFor(time.Minute)
+	if m.Metrics().Ticks == before {
+		t.Fatal("restart did not resume ticks")
+	}
+}
+
+func TestManagerTracksDeletes(t *testing.T) {
+	ev := newEnv(t, dfs.ModeOctopus)
+	NewManager(ev.ctx, nil, nil)
+	f := ev.create(t, "/f", 16*storage.MB)
+	if ev.ctx.Tracker.Len() != 1 {
+		t.Fatalf("tracker len = %d", ev.ctx.Tracker.Len())
+	}
+	if err := ev.fs.Delete(f.Path()); err != nil {
+		t.Fatal(err)
+	}
+	if ev.ctx.Tracker.Len() != 0 {
+		t.Fatal("tracker retains deleted file")
+	}
+}
+
+func TestMonitorConcurrencyLimit(t *testing.T) {
+	ev := newEnv(t, dfs.ModeOctopus)
+	NewManager(ev.ctx, nil, nil) // busy bookkeeping not needed here
+	mo := NewMonitor(ev.fs, 1, 0)
+	f1 := ev.create(t, "/f1", 16*storage.MB)
+	f2 := ev.create(t, "/f2", 16*storage.MB)
+	var done int
+	mo.Enqueue(MoveRequest{File: f1, From: storage.Memory, To: storage.SSD, Done: func(err error) {
+		if err != nil {
+			t.Errorf("move f1: %v", err)
+		}
+		done++
+	}})
+	mo.Enqueue(MoveRequest{File: f2, From: storage.Memory, To: storage.SSD, Done: func(err error) {
+		if err != nil {
+			t.Errorf("move f2: %v", err)
+		}
+		done++
+	}})
+	if mo.Active() != 1 || mo.QueueLen() != 1 {
+		t.Fatalf("active=%d queue=%d, want 1/1", mo.Active(), mo.QueueLen())
+	}
+	ev.engine.Run()
+	if done != 2 || mo.MovesDone() != 2 {
+		t.Fatalf("done=%d movesDone=%d", done, mo.MovesDone())
+	}
+}
+
+func TestMonitorFailedMoveReported(t *testing.T) {
+	ev := newEnv(t, dfs.ModeOctopus)
+	mo := NewMonitor(ev.fs, 2, 0)
+	f := ev.create(t, "/f", 16*storage.MB)
+	var gotErr error
+	// Moving from a tier with no replica fails synchronously.
+	if err := ev.fs.DeleteFileReplicas(f, storage.SSD); err != nil {
+		t.Fatal(err)
+	}
+	mo.Enqueue(MoveRequest{File: f, From: storage.SSD, To: storage.HDD, Done: func(err error) { gotErr = err }})
+	ev.engine.Run() // the move begins after the (zero) command latency
+	if gotErr == nil {
+		t.Fatal("failed move not reported")
+	}
+	if mo.MovesFailed() != 1 {
+		t.Fatalf("movesFailed = %d", mo.MovesFailed())
+	}
+}
+
+func TestMonitorRepairsUnderReplication(t *testing.T) {
+	ev := newEnv(t, dfs.ModeOctopus)
+	mo := NewMonitor(ev.fs, 2, 0)
+	f := ev.create(t, "/f", 16*storage.MB)
+	if err := ev.fs.DeleteFileReplicas(f, storage.HDD); err != nil {
+		t.Fatal(err)
+	}
+	if n := mo.CheckReplication(); n != 1 {
+		t.Fatalf("repairs initiated = %d", n)
+	}
+	ev.engine.Run()
+	if !f.HasReplicaOn(storage.HDD) {
+		t.Fatal("repair did not restore the HDD replica")
+	}
+	if got := f.Blocks()[0].ReadableReplicas(); got != 3 {
+		t.Fatalf("replicas after repair = %d", got)
+	}
+}
+
+func TestEffectiveUtilizationAccountsPendingReleases(t *testing.T) {
+	ev := newEnv(t, dfs.ModeOctopus)
+	down := &lruStub{ctx: ev.ctx}
+	m := NewManager(ev.ctx, down, nil)
+	for i := 0; i < 11; i++ {
+		ev.create(t, pathN(i), 16*storage.MB)
+	}
+	// Trigger a downgrade cycle manually while moves are in flight.
+	m.runDowngrade(storage.Memory)
+	raw := ev.fs.TierUtilization(storage.Memory)
+	eff := ev.ctx.EffectiveUtilization(storage.Memory)
+	if eff > raw {
+		t.Fatalf("effective %v > raw %v", eff, raw)
+	}
+	ev.engine.Run()
+	if got := ev.ctx.EffectiveUtilization(storage.Memory); got != ev.fs.TierUtilization(storage.Memory) {
+		t.Fatalf("after drain: eff %v != raw %v", got, ev.fs.TierUtilization(storage.Memory))
+	}
+}
+
+func TestDefaultDowngradeTierPrefersNextLower(t *testing.T) {
+	ev := newEnv(t, dfs.ModeOctopus)
+	NewManager(ev.ctx, nil, nil)
+	f := ev.create(t, "/f", 16*storage.MB)
+	to, ok := ev.ctx.DefaultDowngradeTier(f, storage.Memory)
+	if !ok || to != storage.SSD {
+		t.Fatalf("DefaultDowngradeTier = %v, %v", to, ok)
+	}
+	// Fill SSD: next choice is HDD.
+	for _, n := range ev.fs.Cluster().Nodes() {
+		for _, d := range n.Devices(storage.SSD) {
+			if err := d.Reserve(d.Free()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	to, ok = ev.ctx.DefaultDowngradeTier(f, storage.Memory)
+	if !ok || to != storage.HDD {
+		t.Fatalf("with full SSD: %v, %v", to, ok)
+	}
+}
+
+func TestDefaultUpgradeTierMemoryOnly(t *testing.T) {
+	ev := newEnv(t, dfs.ModePinnedHDD)
+	NewManager(ev.ctx, nil, nil)
+	f := ev.create(t, "/f", 16*storage.MB)
+	to, ok := ev.ctx.DefaultUpgradeTier(f, storage.HDD)
+	if !ok || to != storage.Memory {
+		t.Fatalf("DefaultUpgradeTier = %v, %v", to, ok)
+	}
+	for _, n := range ev.fs.Cluster().Nodes() {
+		for _, d := range n.Devices(storage.Memory) {
+			if err := d.Reserve(d.Free()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, ok := ev.ctx.DefaultUpgradeTier(f, storage.HDD); ok {
+		t.Fatal("upgrade offered into a full memory tier")
+	}
+}
+
+func TestCooldownAfterFailedMove(t *testing.T) {
+	ev := newEnv(t, dfs.ModeOctopus)
+	down := &lruStub{ctx: ev.ctx}
+	m := NewManager(ev.ctx, down, nil)
+	f := ev.create(t, "/f", 16*storage.MB)
+	// Fill SSD and HDD so every downgrade target fails.
+	for _, n := range ev.fs.Cluster().Nodes() {
+		for _, media := range []storage.Media{storage.SSD, storage.HDD} {
+			for _, d := range n.Devices(media) {
+				if err := d.Reserve(d.Free()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	m.scheduleDowngrade(f, storage.Memory, storage.SSD)
+	ev.engine.Run()
+	if m.Metrics().DowngradeErrors != 1 {
+		t.Fatalf("downgrade errors = %d", m.Metrics().DowngradeErrors)
+	}
+	if !m.inCooldown(f) {
+		t.Fatal("failed file not in cooldown")
+	}
+	if got := ev.ctx.EligibleFiles(storage.Memory); len(got) != 0 {
+		t.Fatal("cooldown file still eligible")
+	}
+	ev.engine.RunFor(2 * failureCooldown)
+	if m.inCooldown(f) {
+		t.Fatal("cooldown never expires")
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"time"
+
+	"octostore/internal/dfs"
+	"octostore/internal/sim"
+	"octostore/internal/storage"
+)
+
+// maxProcessIterations bounds one invocation of the downgrade or upgrade
+// loop, protecting the simulation from a policy that never says stop.
+const maxProcessIterations = 10000
+
+// failureCooldown is how long a file is skipped after a failed move, so
+// selection loops do not spin on files that cannot currently be placed.
+const failureCooldown = time.Minute
+
+// Metrics counts the manager's activity.
+type Metrics struct {
+	DowngradesScheduled int64
+	UpgradesScheduled   int64
+	ReplicaDeletes      int64
+	DowngradeErrors     int64
+	UpgradeErrors       int64
+	Ticks               int64
+}
+
+// Manager is the Replication Manager (Section 3.3): it listens to file
+// system notifications, maintains per-file statistics, and orchestrates the
+// downgrade (Algorithm 1) and upgrade (Algorithm 2) processes through the
+// configured policies. Movement requests execute asynchronously on the
+// Replication Monitor.
+type Manager struct {
+	ctx     *Context
+	down    DowngradePolicy
+	up      UpgradePolicy
+	monitor *Monitor
+	engine  *sim.Engine
+
+	busy           map[dfs.FileID]bool
+	cooldown       map[dfs.FileID]time.Time
+	pendingRelease [3]int64
+
+	ticker  *sim.Ticker
+	metrics Metrics
+}
+
+// NewManager wires a manager with the given policies into the context's
+// file system. Either policy may be nil to disable that direction
+// (Sections 7.3 and 7.4 evaluate each side in isolation).
+func NewManager(ctx *Context, down DowngradePolicy, up UpgradePolicy) *Manager {
+	m := &Manager{
+		ctx:      ctx,
+		down:     down,
+		up:       up,
+		monitor:  NewMonitor(ctx.FS, ctx.Cfg.MonitorConcurrency, ctx.Cfg.MoveLatency),
+		engine:   ctx.FS.Engine(),
+		busy:     make(map[dfs.FileID]bool),
+		cooldown: make(map[dfs.FileID]time.Time),
+	}
+	ctx.mgr = m
+	ctx.FS.AddListener(m)
+	return m
+}
+
+// Context returns the policy context.
+func (m *Manager) Context() *Context { return m.ctx }
+
+// Monitor returns the replication monitor.
+func (m *Manager) Monitor() *Monitor { return m.monitor }
+
+// Metrics returns a snapshot of the manager's counters.
+func (m *Manager) Metrics() Metrics { return m.metrics }
+
+// Start begins the periodic loop: policy ticks (model sampling), proactive
+// upgrades, threshold re-checks, and replication repair.
+func (m *Manager) Start() {
+	if m.ticker != nil {
+		return
+	}
+	m.ticker = m.engine.Every(m.ctx.Cfg.PeriodicInterval, m.tick)
+}
+
+// Stop halts the periodic loop; in-flight moves complete.
+func (m *Manager) Stop() {
+	if m.ticker != nil {
+		m.ticker.Stop()
+		m.ticker = nil
+	}
+}
+
+func (m *Manager) tick() {
+	m.metrics.Ticks++
+	if t, ok := m.down.(Ticker); ok {
+		t.Tick()
+	}
+	if t, ok := m.up.(Ticker); ok {
+		t.Tick()
+	}
+	// Proactive decisions do not wait for external events (Section 3.2):
+	// re-check tier pressure and let the upgrade policy act without an
+	// accessed file.
+	for _, tier := range storage.AllMedia {
+		m.runDowngrade(tier)
+	}
+	m.runUpgrade(nil)
+	m.monitor.CheckReplication()
+}
+
+func (m *Manager) isBusy(f *dfs.File) bool { return m.busy[f.ID()] }
+
+func (m *Manager) inCooldown(f *dfs.File) bool {
+	until, ok := m.cooldown[f.ID()]
+	if !ok {
+		return false
+	}
+	if m.ctx.Clock.Now().After(until) {
+		delete(m.cooldown, f.ID())
+		return false
+	}
+	return true
+}
+
+func (m *Manager) setCooldown(f *dfs.File) {
+	m.cooldown[f.ID()] = m.ctx.Clock.Now().Add(failureCooldown)
+}
+
+// --- dfs.Listener ---
+
+// FileCreated implements dfs.Listener.
+func (m *Manager) FileCreated(f *dfs.File) {
+	m.ctx.Tracker.OnCreate(int64(f.ID()), f.Size(), f.Created())
+	if m.down != nil {
+		m.down.OnFileCreated(f)
+	}
+	if m.up != nil {
+		m.up.OnFileCreated(f)
+	}
+}
+
+// FileAccessed implements dfs.Listener; it fires before the data is read
+// and triggers the upgrade process (Algorithm 2 "invoked every time a file
+// is accessed, before it is actually read").
+func (m *Manager) FileAccessed(f *dfs.File) {
+	m.ctx.Tracker.OnAccess(int64(f.ID()), m.ctx.Clock.Now())
+	if m.down != nil {
+		m.down.OnFileAccessed(f)
+	}
+	if m.up != nil {
+		m.up.OnFileAccessed(f)
+	}
+	m.runUpgrade(f)
+}
+
+// FileDeleted implements dfs.Listener.
+func (m *Manager) FileDeleted(f *dfs.File) {
+	m.ctx.Tracker.OnDelete(int64(f.ID()))
+	delete(m.busy, f.ID())
+	delete(m.cooldown, f.ID())
+	if m.down != nil {
+		m.down.OnFileDeleted(f)
+	}
+	if m.up != nil {
+		m.up.OnFileDeleted(f)
+	}
+}
+
+// TierDataAdded implements dfs.Listener; data arriving on a tier is the
+// trigger for the downgrade process (Algorithm 1 "invoked every time some
+// data is added to a storage tier").
+func (m *Manager) TierDataAdded(tier storage.Media) {
+	m.runDowngrade(tier)
+}
+
+// --- Algorithm 1: downgrade process ---
+
+func (m *Manager) runDowngrade(tier storage.Media) {
+	if m.down == nil {
+		return
+	}
+	if !m.down.StartDowngrade(tier) {
+		return
+	}
+	for i := 0; i < maxProcessIterations; i++ {
+		f := m.down.SelectFile(tier)
+		if f == nil {
+			return
+		}
+		to, del := m.down.SelectTargetTier(f, tier)
+		if del {
+			m.deleteReplicas(f, tier)
+		} else {
+			m.scheduleDowngrade(f, tier, to)
+		}
+		if m.down.StopDowngrade(tier) {
+			return
+		}
+	}
+}
+
+func (m *Manager) deleteReplicas(f *dfs.File, tier storage.Media) {
+	if err := m.ctx.FS.DeleteFileReplicas(f, tier); err != nil {
+		m.metrics.DowngradeErrors++
+		m.setCooldown(f)
+		return
+	}
+	m.metrics.ReplicaDeletes++
+}
+
+func (m *Manager) scheduleDowngrade(f *dfs.File, from, to storage.Media) {
+	released := f.BytesOn(from)
+	m.busy[f.ID()] = true
+	m.pendingRelease[from] += released
+	m.monitor.Enqueue(MoveRequest{
+		File: f,
+		From: from,
+		To:   to,
+		Done: func(err error) {
+			delete(m.busy, f.ID())
+			m.pendingRelease[from] -= released
+			if err != nil {
+				m.metrics.DowngradeErrors++
+				m.setCooldown(f)
+				return
+			}
+			m.metrics.DowngradesScheduled++
+		},
+	})
+}
+
+// --- Algorithm 2: upgrade process ---
+
+func (m *Manager) runUpgrade(accessed *dfs.File) {
+	if m.up == nil {
+		return
+	}
+	if accessed != nil && (m.busy[accessed.ID()] || accessed.Deleted()) {
+		return
+	}
+	if !m.up.StartUpgrade(accessed) {
+		return
+	}
+	for i := 0; i < maxProcessIterations; i++ {
+		f := m.up.SelectFile()
+		if f == nil {
+			return
+		}
+		m.tryUpgrade(f)
+		if m.up.StopUpgrade() {
+			return
+		}
+	}
+}
+
+func (m *Manager) tryUpgrade(f *dfs.File) {
+	if f.Deleted() || m.busy[f.ID()] || m.inCooldown(f) || !m.ctx.FS.Complete(f) {
+		return
+	}
+	from, ok := f.HighestTier()
+	if !ok {
+		return
+	}
+	to, ok := m.up.SelectTargetTier(f, from)
+	if !ok || !to.Higher(from) {
+		return
+	}
+	m.busy[f.ID()] = true
+	m.monitor.Enqueue(MoveRequest{
+		File: f,
+		From: from,
+		To:   to,
+		Done: func(err error) {
+			delete(m.busy, f.ID())
+			if err != nil {
+				m.metrics.UpgradeErrors++
+				m.setCooldown(f)
+				return
+			}
+			m.metrics.UpgradesScheduled++
+		},
+	})
+}

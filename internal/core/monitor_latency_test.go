@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"octostore/internal/dfs"
+	"octostore/internal/storage"
+)
+
+// TestMonitorMoveLatencyDelaysTransfer checks the command-path model: a
+// move enqueued at t0 must not commit before t0+latency, and the source
+// tier keeps serving reads in the meantime.
+func TestMonitorMoveLatencyDelaysTransfer(t *testing.T) {
+	ev := newEnv(t, dfs.ModeOctopus)
+	const latency = 10 * time.Second
+	mo := NewMonitor(ev.fs, 2, latency)
+	f := ev.create(t, "/f", 16*storage.MB)
+	start := ev.engine.Now()
+	var doneAt time.Time
+	mo.Enqueue(MoveRequest{File: f, From: storage.Memory, To: storage.SSD, Done: func(err error) {
+		if err != nil {
+			t.Errorf("move: %v", err)
+		}
+		doneAt = ev.engine.Now()
+	}})
+	// Before the latency elapses the file must still be readable from
+	// memory (the move has not even started).
+	ev.engine.RunFor(latency / 2)
+	if !f.HasReplicaOn(storage.Memory) {
+		t.Fatal("replica left memory before the command latency elapsed")
+	}
+	ev.engine.Run()
+	if doneAt.Sub(start) < latency {
+		t.Fatalf("move committed after %v, want >= %v", doneAt.Sub(start), latency)
+	}
+	if f.HasReplicaOn(storage.Memory) {
+		t.Fatal("move never committed")
+	}
+}
+
+// TestUpgradeDoesNotServeTriggeringAccess reproduces the paper's semantics
+// end to end: with a realistic command latency, the read that triggers an
+// OSA upgrade is served from the original tier; a later read hits memory.
+func TestUpgradeDoesNotServeTriggeringAccess(t *testing.T) {
+	ev := newEnv(t, dfs.ModePinnedHDD)
+	ev.ctx.Cfg.MoveLatency = 5 * time.Second
+	up := &osaStub{ctx: ev.ctx}
+	NewManager(ev.ctx, nil, up)
+	f := ev.create(t, "/f", 16*storage.MB)
+
+	ev.fs.RecordAccess(f) // triggers the upgrade, which starts after 5 s
+	var first dfs.ReadResult
+	ev.fs.ReadBlock(f.Blocks()[0], nil, func(res dfs.ReadResult, err error) {
+		if err != nil {
+			t.Errorf("first read: %v", err)
+		}
+		first = res
+	})
+	ev.engine.RunFor(time.Second) // read completes well within the latency
+	if first.Media != storage.HDD {
+		t.Fatalf("triggering read served from %v, want HDD", first.Media)
+	}
+
+	ev.engine.RunFor(time.Minute) // upgrade commits
+	if !f.HasReplicaOn(storage.Memory) {
+		t.Fatal("upgrade never landed")
+	}
+	var second dfs.ReadResult
+	ev.fs.ReadBlock(f.Blocks()[0], nil, func(res dfs.ReadResult, err error) { second = res })
+	ev.engine.Run()
+	if second.Media != storage.Memory {
+		t.Fatalf("subsequent read served from %v, want Memory", second.Media)
+	}
+}

@@ -1,0 +1,205 @@
+// Package dfs implements the tiered distributed file system that the
+// paper's framework manages: a hierarchical namespace, files split into
+// large blocks, replicas placed across cluster nodes and storage tiers, and
+// the read/write/move mechanics executed against the simulated devices.
+//
+// The package reproduces the architecture of HDFS/OctopusFS (Section 3.3 of
+// the paper): the Master-side state (FS Directory, Block Manager) lives in
+// FileSystem; Workers correspond to cluster.Node devices; the Client API is
+// the exported method set. Four modes mirror the four systems compared in
+// Figure 2: plain HDFS, HDFS with memory cache, OctopusFS tiered placement,
+// and Octopus++ (OctopusFS plus the core replication manager attached via
+// the Listener interface).
+package dfs
+
+import (
+	"fmt"
+	"time"
+
+	"octostore/internal/cluster"
+	"octostore/internal/storage"
+)
+
+// FileID uniquely identifies a file for the lifetime of a FileSystem.
+type FileID int64
+
+// ReplicaState tracks the lifecycle of a block replica.
+type ReplicaState int
+
+const (
+	// ReplicaCreating means the initial write transfer is still running.
+	ReplicaCreating ReplicaState = iota
+	// ReplicaValid means the replica is readable.
+	ReplicaValid
+	// ReplicaMoving means the replica is being migrated to another tier;
+	// it remains readable at the source until the move commits.
+	ReplicaMoving
+	// ReplicaDeleting means the replica is being torn down.
+	ReplicaDeleting
+)
+
+// String implements fmt.Stringer.
+func (s ReplicaState) String() string {
+	switch s {
+	case ReplicaCreating:
+		return "creating"
+	case ReplicaValid:
+		return "valid"
+	case ReplicaMoving:
+		return "moving"
+	case ReplicaDeleting:
+		return "deleting"
+	default:
+		return fmt.Sprintf("ReplicaState(%d)", int(s))
+	}
+}
+
+// Replica is one stored copy of a block on a specific device.
+type Replica struct {
+	block   *Block
+	node    *cluster.Node
+	device  *storage.Device
+	state   ReplicaState
+	isCache bool // true for HDFS-cache style extra memory replicas
+}
+
+// Node returns the worker holding the replica.
+func (r *Replica) Node() *cluster.Node { return r.node }
+
+// Device returns the device holding the replica.
+func (r *Replica) Device() *storage.Device { return r.device }
+
+// Media returns the storage tier of the replica.
+func (r *Replica) Media() storage.Media { return r.device.Media() }
+
+// State returns the replica lifecycle state.
+func (r *Replica) State() ReplicaState { return r.state }
+
+// IsCache reports whether this is a cache replica (HDFS-cache mode).
+func (r *Replica) IsCache() bool { return r.isCache }
+
+// Readable reports whether the replica can currently serve reads.
+func (r *Replica) Readable() bool {
+	return r.state == ReplicaValid || r.state == ReplicaMoving
+}
+
+// Block is one fixed-size chunk of a file (the last block may be short).
+type Block struct {
+	id       int64
+	file     *File
+	size     int64
+	replicas []*Replica
+}
+
+// ID returns the block id (unique within the FileSystem).
+func (b *Block) ID() int64 { return b.id }
+
+// File returns the owning file.
+func (b *Block) File() *File { return b.file }
+
+// Size returns the block length in bytes.
+func (b *Block) Size() int64 { return b.size }
+
+// Replicas returns the current replica list (do not mutate).
+func (b *Block) Replicas() []*Replica { return b.replicas }
+
+// ReplicaOn returns the first readable replica on the given media, or nil.
+func (b *Block) ReplicaOn(media storage.Media) *Replica {
+	for _, r := range b.replicas {
+		if r.Media() == media && r.Readable() {
+			return r
+		}
+	}
+	return nil
+}
+
+// ReadableReplicas returns the number of readable replicas.
+func (b *Block) ReadableReplicas() int {
+	n := 0
+	for _, r := range b.replicas {
+		if r.Readable() {
+			n++
+		}
+	}
+	return n
+}
+
+func (b *Block) removeReplica(r *Replica) {
+	for i, other := range b.replicas {
+		if other == r {
+			b.replicas = append(b.replicas[:i], b.replicas[i+1:]...)
+			return
+		}
+	}
+}
+
+// File is a stored file: an ordered list of blocks plus metadata.
+type File struct {
+	id          FileID
+	path        string
+	size        int64
+	created     time.Time
+	replication int
+	blocks      []*Block
+	deleted     bool
+}
+
+// ID returns the file id.
+func (f *File) ID() FileID { return f.id }
+
+// Path returns the absolute path of the file.
+func (f *File) Path() string { return f.path }
+
+// Size returns the logical file length in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// Created returns the virtual creation time.
+func (f *File) Created() time.Time { return f.created }
+
+// Replication returns the target replica count per block.
+func (f *File) Replication() int { return f.replication }
+
+// Blocks returns the file's blocks in order (do not mutate).
+func (f *File) Blocks() []*Block { return f.blocks }
+
+// Deleted reports whether the file has been removed from the namespace.
+func (f *File) Deleted() bool { return f.deleted }
+
+// HasReplicaOn reports whether every block of the file has a readable
+// replica on the given media — the "all-or-nothing" property the paper's
+// policies care about (Section 3.2).
+func (f *File) HasReplicaOn(media storage.Media) bool {
+	if len(f.blocks) == 0 {
+		return false
+	}
+	for _, b := range f.blocks {
+		if b.ReplicaOn(media) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// BytesOn returns the total replica bytes the file occupies on a media.
+func (f *File) BytesOn(media storage.Media) int64 {
+	var total int64
+	for _, b := range f.blocks {
+		for _, r := range b.replicas {
+			if r.Media() == media && r.state != ReplicaDeleting {
+				total += b.size
+			}
+		}
+	}
+	return total
+}
+
+// HighestTier returns the highest media holding a readable replica of every
+// block, and false when the file has no complete tier.
+func (f *File) HighestTier() (storage.Media, bool) {
+	for _, m := range storage.AllMedia {
+		if f.HasReplicaOn(m) {
+			return m, true
+		}
+	}
+	return 0, false
+}

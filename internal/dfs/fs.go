@@ -1,0 +1,527 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"octostore/internal/cluster"
+	"octostore/internal/sim"
+	"octostore/internal/storage"
+)
+
+// Mode selects which of the paper's four systems the file system behaves
+// like (Figure 2).
+type Mode int
+
+const (
+	// ModeHDFS stores every replica on HDDs (stock HDFS).
+	ModeHDFS Mode = iota
+	// ModeHDFSCache is HDFS plus a best-effort extra memory replica per
+	// block created asynchronously after the write (HDFS centralized cache;
+	// no automatic uncaching).
+	ModeHDFSCache
+	// ModeOctopus uses the OctopusFS multi-objective tiered placement.
+	// Attaching a core.Manager to this mode yields Octopus++.
+	ModeOctopus
+	// ModePinnedHDD places all replicas on HDD but allows tier movement;
+	// used to isolate upgrade policies (Section 7.4).
+	ModePinnedHDD
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeHDFS:
+		return "hdfs"
+	case ModeHDFSCache:
+		return "hdfs+cache"
+	case ModeOctopus:
+		return "octopus"
+	case ModePinnedHDD:
+		return "pinned-hdd"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Transition errors.
+var (
+	ErrBusy      = errors.New("dfs: file has replicas in transition")
+	ErrNoReplica = errors.New("dfs: no replica on requested tier")
+	ErrLastCopy  = errors.New("dfs: refusing to delete the last readable replica")
+)
+
+// Config configures a FileSystem.
+type Config struct {
+	Mode        Mode
+	BlockSize   int64   // default 128 MB
+	Replication int     // default 3
+	Seed        int64   // placement randomisation seed
+	ClientRate  float64 // per-stream client throughput cap in bytes/s; 0 disables
+	// Weights overrides the OctopusFS placement weights when non-nil.
+	Weights *PlacementWeights
+}
+
+func (c *Config) applyDefaults() {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 128 * storage.MB
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+}
+
+// Listener receives file-system notifications; the core replication manager
+// registers one to drive its policies (Section 3.3 "callback methods").
+type Listener interface {
+	// FileCreated fires when a file's initial write completes.
+	FileCreated(f *File)
+	// FileAccessed fires when a file access is recorded, before the data is
+	// read, so upgrade policies can act first.
+	FileAccessed(f *File)
+	// FileDeleted fires when a file is removed.
+	FileDeleted(f *File)
+	// TierDataAdded fires after data lands on a tier (block creation or an
+	// upgrade/downgrade arrival), the trigger for the downgrade process.
+	TierDataAdded(media storage.Media)
+}
+
+// Stats accumulates cluster-wide I/O counters used by the experiments.
+type Stats struct {
+	BlockReads        [3]int64 // by media served
+	BytesRead         [3]int64 // by media served
+	BytesWritten      [3]int64 // initial placement, by media
+	BytesUpgradedTo   [3]int64 // arrivals via upgrade moves/copies
+	BytesDowngradedTo [3]int64 // arrivals via downgrade moves
+	RemoteReads       int64
+	FileAccesses      int64
+	FilesCreated      int64
+	FilesDeleted      int64
+	ReplicasDeleted   int64
+}
+
+// TotalBytesRead sums reads across media.
+func (s *Stats) TotalBytesRead() int64 {
+	return s.BytesRead[0] + s.BytesRead[1] + s.BytesRead[2]
+}
+
+// FileSystem is the Master-side state of the tiered DFS plus the client
+// API. It is single-threaded on top of the simulation engine.
+type FileSystem struct {
+	engine    *sim.Engine
+	cluster   *cluster.Cluster
+	ns        *Namespace
+	cfg       Config
+	placement PlacementPolicy
+	rng       *rand.Rand
+	listeners []Listener
+
+	nextFileID  FileID
+	nextBlockID int64
+	creating    map[FileID]bool
+	stats       Stats
+}
+
+// New builds a file system over the cluster.
+func New(c *cluster.Cluster, cfg Config) (*FileSystem, error) {
+	cfg.applyDefaults()
+	fs := &FileSystem{
+		engine:   c.Engine(),
+		cluster:  c,
+		ns:       NewNamespace(),
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		creating: make(map[FileID]bool),
+	}
+	switch cfg.Mode {
+	case ModeHDFS, ModeHDFSCache:
+		fs.placement = &hddPlacement{cluster: c, rng: fs.rng}
+	case ModeOctopus:
+		w := DefaultPlacementWeights()
+		if cfg.Weights != nil {
+			w = *cfg.Weights
+		}
+		fs.placement = &octopusPlacement{cluster: c, rng: fs.rng, weights: w}
+	case ModePinnedHDD:
+		fs.placement = &pinnedPlacement{cluster: c, rng: fs.rng, media: storage.HDD}
+	default:
+		return nil, fmt.Errorf("dfs: unknown mode %v", cfg.Mode)
+	}
+	return fs, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(c *cluster.Cluster, cfg Config) *FileSystem {
+	fs, err := New(c, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+// Engine returns the simulation engine.
+func (fs *FileSystem) Engine() *sim.Engine { return fs.engine }
+
+// Cluster returns the underlying cluster.
+func (fs *FileSystem) Cluster() *cluster.Cluster { return fs.cluster }
+
+// Namespace exposes the FS directory.
+func (fs *FileSystem) Namespace() *Namespace { return fs.ns }
+
+// Mode returns the configured mode.
+func (fs *FileSystem) Mode() Mode { return fs.cfg.Mode }
+
+// BlockSize returns the configured block size.
+func (fs *FileSystem) BlockSize() int64 { return fs.cfg.BlockSize }
+
+// Stats returns the live counter set.
+func (fs *FileSystem) Stats() *Stats { return &fs.stats }
+
+// AddListener registers a notification listener.
+func (fs *FileSystem) AddListener(l Listener) {
+	fs.listeners = append(fs.listeners, l)
+}
+
+// TierUtilization returns used/capacity of a storage tier cluster-wide.
+func (fs *FileSystem) TierUtilization(media storage.Media) float64 {
+	return fs.cluster.TierUtilization(media)
+}
+
+// Files returns every live file in sorted path order.
+func (fs *FileSystem) Files() []*File {
+	var files []*File
+	fs.ns.Walk(func(f *File) { files = append(files, f) })
+	return files
+}
+
+// Complete reports whether the file's initial write has finished.
+func (fs *FileSystem) Complete(f *File) bool { return !fs.creating[f.id] }
+
+// Open resolves a path to its file.
+func (fs *FileSystem) Open(path string) (*File, error) {
+	f, err := fs.ns.GetFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if fs.creating[f.id] {
+		return nil, fmt.Errorf("%w: %q", ErrFileIncomplete, path)
+	}
+	return f, nil
+}
+
+// clientFloor returns the earliest completion time a stream of `bytes` may
+// have under the per-stream client rate cap.
+func (fs *FileSystem) clientFloor(bytes int64) time.Time {
+	if fs.cfg.ClientRate <= 0 {
+		return fs.engine.Now()
+	}
+	d := time.Duration(float64(bytes) / fs.cfg.ClientRate * float64(time.Second))
+	return fs.engine.Now().Add(d)
+}
+
+// finishAfter invokes done once fire has been called n times and the floor
+// time has passed.
+func (fs *FileSystem) finishAfter(n int, floor time.Time, done func()) func() {
+	if n <= 0 {
+		n = 1
+	}
+	remaining := n
+	return func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		if now := fs.engine.Now(); now.Before(floor) {
+			fs.engine.ScheduleAt(floor, done)
+			return
+		}
+		done()
+	}
+}
+
+// Create writes a new file of the given size. The write is asynchronous:
+// done (optional) fires with the file when all block pipelines complete.
+// The file becomes visible in the namespace immediately but cannot be
+// opened until the write completes, mirroring HDFS lease semantics.
+func (fs *FileSystem) Create(path string, size int64, done func(*File, error)) {
+	fail := func(err error) {
+		if done != nil {
+			done(nil, err)
+		}
+	}
+	clean, err := CleanPath(path)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if size < 0 {
+		fail(fmt.Errorf("dfs: negative file size %d", size))
+		return
+	}
+	f := &File{
+		id:          fs.nextFileID,
+		path:        clean,
+		size:        size,
+		created:     fs.engine.Now(),
+		replication: fs.cfg.Replication,
+	}
+	fs.nextFileID++
+	if err := fs.ns.insertFile(clean, f); err != nil {
+		fail(err)
+		return
+	}
+	// Cut the file into blocks.
+	for remaining := size; remaining > 0; remaining -= fs.cfg.BlockSize {
+		bs := remaining
+		if bs > fs.cfg.BlockSize {
+			bs = fs.cfg.BlockSize
+		}
+		f.blocks = append(f.blocks, &Block{id: fs.nextBlockID, file: f, size: bs})
+		fs.nextBlockID++
+	}
+	fs.creating[f.id] = true
+	finish := func(err error) {
+		delete(fs.creating, f.id)
+		if err != nil {
+			// Failed writes are unlinked, mirroring an aborted HDFS lease.
+			fs.releaseAllReplicas(f)
+			if _, rmErr := fs.ns.removeFile(f.path); rmErr == nil {
+				f.deleted = true
+			}
+			fail(err)
+			return
+		}
+		fs.stats.FilesCreated++
+		for _, l := range fs.listeners {
+			l.FileCreated(f)
+		}
+		fs.notifyTiers(f)
+		if fs.cfg.Mode == ModeHDFSCache {
+			fs.cacheFile(f)
+		}
+		if done != nil {
+			done(f, nil)
+		}
+	}
+	if len(f.blocks) == 0 {
+		fs.engine.Schedule(0, func() { finish(nil) })
+		return
+	}
+	blockBarrier := fs.finishAfter(len(f.blocks), fs.engine.Now(), func() { finish(nil) })
+	for _, b := range f.blocks {
+		if err := fs.writeBlock(b, blockBarrier); err != nil {
+			// Placement failed outright; abort the file. Blocks already in
+			// flight will complete harmlessly against the unlinked file.
+			finish(err)
+			return
+		}
+	}
+}
+
+// writeBlock places and writes one block; onDone fires when the replication
+// pipeline completes.
+func (fs *FileSystem) writeBlock(b *Block, onDone func()) error {
+	targets, err := fs.placement.PlaceBlock(b.size, b.file.replication)
+	if err != nil {
+		return err
+	}
+	for _, t := range targets {
+		if err := t.Device.Reserve(b.size); err != nil {
+			// PickDevice checked free space, so this indicates a race in
+			// single-threaded code — a genuine bug.
+			panic(fmt.Sprintf("dfs: reservation failed after placement: %v", err))
+		}
+	}
+	replicas := make([]*Replica, 0, len(targets))
+	for _, t := range targets {
+		r := &Replica{block: b, node: t.Node, device: t.Device, state: ReplicaCreating}
+		replicas = append(replicas, r)
+		b.replicas = append(b.replicas, r)
+	}
+	barrier := fs.finishAfter(len(targets), fs.clientFloor(b.size), func() {
+		for _, r := range replicas {
+			if r.state == ReplicaCreating {
+				r.state = ReplicaValid
+			}
+		}
+		onDone()
+	})
+	for _, r := range replicas {
+		media := r.Media()
+		fs.stats.BytesWritten[media] += b.size
+		r.device.StartWrite(b.size, barrier)
+	}
+	return nil
+}
+
+// notifyTiers fires TierDataAdded once per distinct media the file landed
+// on.
+func (fs *FileSystem) notifyTiers(f *File) {
+	var seen [3]bool
+	for _, b := range f.blocks {
+		for _, r := range b.replicas {
+			seen[r.Media()] = true
+		}
+	}
+	for _, m := range storage.AllMedia {
+		if seen[m] {
+			for _, l := range fs.listeners {
+				l.TierDataAdded(m)
+			}
+		}
+	}
+}
+
+// cacheFile asynchronously adds one memory replica per block on a node that
+// already holds an HDD replica (HDFS centralized cache semantics). Blocks
+// that do not fit are silently skipped; cached replicas are never evicted.
+func (fs *FileSystem) cacheFile(f *File) {
+	for _, b := range f.blocks {
+		var target *storage.Device
+		var node *cluster.Node
+		for _, r := range b.replicas {
+			if r.Media() != storage.HDD {
+				continue
+			}
+			if d := r.node.PickDevice(storage.Memory, b.size); d != nil {
+				target, node = d, r.node
+				break
+			}
+		}
+		if target == nil {
+			continue
+		}
+		if err := target.Reserve(b.size); err != nil {
+			continue
+		}
+		b := b
+		r := &Replica{block: b, node: node, device: target, state: ReplicaCreating, isCache: true}
+		b.replicas = append(b.replicas, r)
+		fs.stats.BytesUpgradedTo[storage.Memory] += b.size
+		target.StartWrite(b.size, func() {
+			if r.state == ReplicaCreating {
+				r.state = ReplicaValid
+			}
+		})
+	}
+}
+
+// RecordAccess notes that a client is about to read the file and notifies
+// listeners (the upgrade hook runs before the read, per Algorithm 2).
+func (fs *FileSystem) RecordAccess(f *File) {
+	if f.deleted {
+		return
+	}
+	fs.stats.FileAccesses++
+	for _, l := range fs.listeners {
+		l.FileAccessed(f)
+	}
+}
+
+// ReadResult describes how a block read was served.
+type ReadResult struct {
+	Media  storage.Media
+	Remote bool // served by a device on a different node than the reader
+}
+
+// ReadBlock reads one block from the best available replica: the highest
+// tier on the reading node, falling back to the highest tier anywhere
+// (remote read). done fires when the transfer completes.
+func (fs *FileSystem) ReadBlock(b *Block, at *cluster.Node, done func(ReadResult, error)) {
+	finish := func(res ReadResult, err error) {
+		if done != nil {
+			done(res, err)
+		}
+	}
+	r := fs.pickReadReplica(b, at)
+	if r == nil {
+		fs.engine.Schedule(0, func() {
+			finish(ReadResult{}, fmt.Errorf("%w: block %d has no readable replica", ErrNoReplica, b.id))
+		})
+		return
+	}
+	res := ReadResult{Media: r.Media(), Remote: at != nil && r.node != at}
+	fs.stats.BlockReads[res.Media]++
+	fs.stats.BytesRead[res.Media] += b.size
+	if res.Remote {
+		fs.stats.RemoteReads++
+	}
+	barrier := fs.finishAfter(1, fs.clientFloor(b.size), func() { finish(res, nil) })
+	r.device.StartRead(b.size, barrier)
+}
+
+// pickReadReplica returns the replica that a task running on `at` would
+// read: local replicas first (highest tier), then remote (highest tier,
+// least loaded device).
+func (fs *FileSystem) pickReadReplica(b *Block, at *cluster.Node) *Replica {
+	var bestLocal, bestRemote *Replica
+	for _, r := range b.replicas {
+		if !r.Readable() {
+			continue
+		}
+		if at != nil && r.node == at {
+			if bestLocal == nil || r.Media().Higher(bestLocal.Media()) {
+				bestLocal = r
+			}
+			continue
+		}
+		if bestRemote == nil || r.Media().Higher(bestRemote.Media()) ||
+			(r.Media() == bestRemote.Media() && r.device.Load() < bestRemote.device.Load()) {
+			bestRemote = r
+		}
+	}
+	if bestLocal != nil {
+		return bestLocal
+	}
+	return bestRemote
+}
+
+// Delete removes a file and releases all of its replicas.
+func (fs *FileSystem) Delete(path string) error {
+	f, err := fs.ns.GetFile(path)
+	if err != nil {
+		return err
+	}
+	if fs.creating[f.id] {
+		return fmt.Errorf("%w: %q", ErrFileIncomplete, path)
+	}
+	if fs.inTransition(f) {
+		return fmt.Errorf("%w: %q", ErrBusy, path)
+	}
+	if _, err := fs.ns.removeFile(path); err != nil {
+		return err
+	}
+	fs.releaseAllReplicas(f)
+	f.deleted = true
+	fs.stats.FilesDeleted++
+	for _, l := range fs.listeners {
+		l.FileDeleted(f)
+	}
+	return nil
+}
+
+func (fs *FileSystem) releaseAllReplicas(f *File) {
+	for _, b := range f.blocks {
+		for _, r := range b.replicas {
+			if r.state != ReplicaDeleting {
+				r.state = ReplicaDeleting
+				r.device.Release(b.size)
+				fs.stats.ReplicasDeleted++
+			}
+		}
+		b.replicas = nil
+	}
+}
+
+func (fs *FileSystem) inTransition(f *File) bool {
+	for _, b := range f.blocks {
+		for _, r := range b.replicas {
+			if r.state == ReplicaCreating || r.state == ReplicaMoving {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,396 @@
+package dfs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"octostore/internal/cluster"
+	"octostore/internal/sim"
+	"octostore/internal/storage"
+)
+
+// testFS builds a 3-worker cluster with small devices and the given mode.
+func testFS(t *testing.T, mode Mode) (*sim.Engine, *FileSystem) {
+	t.Helper()
+	e := sim.NewEngine()
+	c := cluster.MustNew(e, cluster.Config{
+		Workers: 3, SlotsPerNode: 2, Spec: storage.SmallWorkerSpec(),
+	})
+	fs := MustNew(c, Config{Mode: mode, BlockSize: 16 * storage.MB, Seed: 7})
+	return e, fs
+}
+
+// createFile synchronously creates a file by running the engine.
+func createFile(t *testing.T, e *sim.Engine, fs *FileSystem, path string, size int64) *File {
+	t.Helper()
+	var file *File
+	var ferr error
+	doneCalled := false
+	fs.Create(path, size, func(f *File, err error) {
+		file, ferr = f, err
+		doneCalled = true
+	})
+	e.Run()
+	if !doneCalled {
+		t.Fatalf("create of %s never completed", path)
+	}
+	if ferr != nil {
+		t.Fatalf("create %s: %v", path, ferr)
+	}
+	return file
+}
+
+func TestCreateSplitsIntoBlocks(t *testing.T) {
+	e, fs := testFS(t, ModeHDFS)
+	f := createFile(t, e, fs, "/data/f1", 40*storage.MB)
+	if got := len(f.Blocks()); got != 3 {
+		t.Fatalf("blocks = %d, want 3 (16+16+8)", got)
+	}
+	sizes := []int64{16 * storage.MB, 16 * storage.MB, 8 * storage.MB}
+	for i, b := range f.Blocks() {
+		if b.Size() != sizes[i] {
+			t.Fatalf("block %d size = %d, want %d", i, b.Size(), sizes[i])
+		}
+		if b.File() != f {
+			t.Fatal("block does not point at owning file")
+		}
+	}
+}
+
+func TestHDFSModePlacesAllReplicasOnHDD(t *testing.T) {
+	e, fs := testFS(t, ModeHDFS)
+	f := createFile(t, e, fs, "/f", 16*storage.MB)
+	b := f.Blocks()[0]
+	if got := len(b.Replicas()); got != 3 {
+		t.Fatalf("replicas = %d, want 3", got)
+	}
+	nodes := map[int]bool{}
+	for _, r := range b.Replicas() {
+		if r.Media() != storage.HDD {
+			t.Fatalf("replica on %s, want HDD", r.Media())
+		}
+		if r.State() != ReplicaValid {
+			t.Fatalf("replica state = %v", r.State())
+		}
+		nodes[r.Node().ID()] = true
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("replicas on %d distinct nodes, want 3", len(nodes))
+	}
+}
+
+func TestOctopusModeSpreadsAcrossTiers(t *testing.T) {
+	e, fs := testFS(t, ModeOctopus)
+	f := createFile(t, e, fs, "/f", 16*storage.MB)
+	b := f.Blocks()[0]
+	media := map[storage.Media]int{}
+	for _, r := range b.Replicas() {
+		media[r.Media()]++
+	}
+	if media[storage.Memory] != 1 || media[storage.SSD] != 1 || media[storage.HDD] != 1 {
+		t.Fatalf("tier distribution = %v, want one replica per tier", media)
+	}
+	if !f.HasReplicaOn(storage.Memory) {
+		t.Fatal("HasReplicaOn(Memory) = false")
+	}
+	if top, ok := f.HighestTier(); !ok || top != storage.Memory {
+		t.Fatalf("HighestTier = %v, %v", top, ok)
+	}
+}
+
+func TestOctopusFallsBackWhenMemoryFull(t *testing.T) {
+	e, fs := testFS(t, ModeOctopus)
+	// Memory per node is 64 MB; 3 nodes = 192 MB total. Write files until
+	// well past that and confirm later files land without memory replicas
+	// but writes still succeed.
+	var files []*File
+	for i := 0; i < 30; i++ {
+		files = append(files, createFile(t, e, fs, pathN("/f", i), 16*storage.MB))
+	}
+	last := files[len(files)-1]
+	if last.HasReplicaOn(storage.Memory) {
+		t.Fatal("late file still has a memory replica despite full tier")
+	}
+	if util := fs.TierUtilization(storage.Memory); util < 0.9 {
+		t.Fatalf("memory utilization = %v, want near full", util)
+	}
+}
+
+func pathN(prefix string, i int) string {
+	return prefix + "/" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+func TestHDFSCacheModeAddsMemoryReplica(t *testing.T) {
+	e, fs := testFS(t, ModeHDFSCache)
+	f := createFile(t, e, fs, "/f", 16*storage.MB)
+	e.Run() // let the async cache write finish
+	b := f.Blocks()[0]
+	var cache *Replica
+	for _, r := range b.Replicas() {
+		if r.IsCache() {
+			cache = r
+		}
+	}
+	if cache == nil {
+		t.Fatal("no cache replica created")
+	}
+	if cache.Media() != storage.Memory {
+		t.Fatalf("cache replica on %s", cache.Media())
+	}
+	if got := len(b.Replicas()); got != 4 {
+		t.Fatalf("replicas = %d, want 3 + 1 cache", got)
+	}
+}
+
+func TestCreateZeroSizeFile(t *testing.T) {
+	e, fs := testFS(t, ModeHDFS)
+	f := createFile(t, e, fs, "/empty", 0)
+	if len(f.Blocks()) != 0 {
+		t.Fatalf("blocks = %d", len(f.Blocks()))
+	}
+	if f.HasReplicaOn(storage.HDD) {
+		t.Fatal("empty file claims replicas")
+	}
+}
+
+func TestCreateDuplicatePathFails(t *testing.T) {
+	e, fs := testFS(t, ModeHDFS)
+	createFile(t, e, fs, "/f", storage.MB)
+	var gotErr error
+	fs.Create("/f", storage.MB, func(_ *File, err error) { gotErr = err })
+	e.Run()
+	if !errors.Is(gotErr, ErrExists) {
+		t.Fatalf("duplicate create error = %v", gotErr)
+	}
+}
+
+func TestOpenDuringCreateFails(t *testing.T) {
+	e, fs := testFS(t, ModeHDFS)
+	fs.Create("/f", 16*storage.MB, nil)
+	// Do not run the engine: the write is still in flight.
+	if _, err := fs.Open("/f"); !errors.Is(err, ErrFileIncomplete) {
+		t.Fatalf("open during create error = %v", err)
+	}
+	e.Run()
+	if _, err := fs.Open("/f"); err != nil {
+		t.Fatalf("open after create: %v", err)
+	}
+}
+
+func TestWriteTakesSimulatedTime(t *testing.T) {
+	e, fs := testFS(t, ModeHDFS)
+	createFile(t, e, fs, "/f", 16*storage.MB)
+	// HDD write bandwidth is 140e6 B/s; 16 MB should take ~0.12 s.
+	if e.Now().Equal(sim.Epoch) {
+		t.Fatal("write completed without advancing time")
+	}
+	if e.Since(sim.Epoch) > time.Second {
+		t.Fatalf("write took unreasonably long: %v", e.Since(sim.Epoch))
+	}
+}
+
+func TestClientRateFloorsWriteLatency(t *testing.T) {
+	e := sim.NewEngine()
+	c := cluster.MustNew(e, cluster.Config{Workers: 3, SlotsPerNode: 2, Spec: storage.SmallWorkerSpec()})
+	fs := MustNew(c, Config{Mode: ModeHDFS, BlockSize: 16 * storage.MB, Seed: 7, ClientRate: 1e6})
+	createFileRaw(t, e, fs, "/f", 16*storage.MB)
+	// 16 MB at 1 MB/s client rate = at least ~16.7 s.
+	if got := e.Since(sim.Epoch); got < 16*time.Second {
+		t.Fatalf("write finished in %v despite 1 MB/s client cap", got)
+	}
+}
+
+func createFileRaw(t *testing.T, e *sim.Engine, fs *FileSystem, path string, size int64) *File {
+	t.Helper()
+	var file *File
+	var ferr error
+	fs.Create(path, size, func(f *File, err error) { file, ferr = f, err })
+	e.Run()
+	if ferr != nil {
+		t.Fatalf("create: %v", ferr)
+	}
+	return file
+}
+
+func TestReadBlockPrefersLocalHighestTier(t *testing.T) {
+	e, fs := testFS(t, ModeOctopus)
+	f := createFile(t, e, fs, "/f", 16*storage.MB)
+	b := f.Blocks()[0]
+	memReplica := b.ReplicaOn(storage.Memory)
+	if memReplica == nil {
+		t.Fatal("no memory replica")
+	}
+	var res ReadResult
+	fs.ReadBlock(b, memReplica.Node(), func(r ReadResult, err error) {
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		res = r
+	})
+	e.Run()
+	if res.Media != storage.Memory || res.Remote {
+		t.Fatalf("read served from %v remote=%v, want local memory", res.Media, res.Remote)
+	}
+}
+
+func TestReadBlockFallsBackToRemote(t *testing.T) {
+	e, fs := testFS(t, ModeHDFS)
+	f := createFile(t, e, fs, "/f", 16*storage.MB)
+	b := f.Blocks()[0]
+	// Find a node with no replica of this block.
+	holders := map[int]bool{}
+	for _, r := range b.Replicas() {
+		holders[r.Node().ID()] = true
+	}
+	if len(holders) == 3 {
+		// All nodes hold one; read from the first node but verify stats say
+		// local. Then nothing to test remotely — skip.
+		t.Skip("3 nodes, 3 replicas: no remote node available")
+	}
+	var reader *cluster.Node
+	for _, n := range fs.Cluster().Nodes() {
+		if !holders[n.ID()] {
+			reader = n
+			break
+		}
+	}
+	var res ReadResult
+	fs.ReadBlock(b, reader, func(r ReadResult, err error) { res = r })
+	e.Run()
+	if !res.Remote {
+		t.Fatal("expected a remote read")
+	}
+}
+
+func TestReadStatsAccumulate(t *testing.T) {
+	e, fs := testFS(t, ModeOctopus)
+	f := createFile(t, e, fs, "/f", 16*storage.MB)
+	b := f.Blocks()[0]
+	node := b.ReplicaOn(storage.Memory).Node()
+	fs.ReadBlock(b, node, nil)
+	e.Run()
+	st := fs.Stats()
+	if st.BlockReads[storage.Memory] != 1 {
+		t.Fatalf("memory reads = %d", st.BlockReads[storage.Memory])
+	}
+	if st.BytesRead[storage.Memory] != 16*storage.MB {
+		t.Fatalf("memory bytes = %d", st.BytesRead[storage.Memory])
+	}
+}
+
+func TestDeleteReleasesSpace(t *testing.T) {
+	e, fs := testFS(t, ModeHDFS)
+	createFile(t, e, fs, "/f", 16*storage.MB)
+	used, _ := fs.Cluster().TierUsage(storage.HDD)
+	if used != 3*16*storage.MB {
+		t.Fatalf("used = %d before delete", used)
+	}
+	if err := fs.Delete("/f"); err != nil {
+		t.Fatal(err)
+	}
+	used, _ = fs.Cluster().TierUsage(storage.HDD)
+	if used != 0 {
+		t.Fatalf("used = %d after delete", used)
+	}
+	if _, err := fs.Open("/f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("open deleted = %v", err)
+	}
+}
+
+func TestDeleteNotifiesListeners(t *testing.T) {
+	e, fs := testFS(t, ModeHDFS)
+	rec := &recordingListener{}
+	fs.AddListener(rec)
+	f := createFile(t, e, fs, "/f", 16*storage.MB)
+	fs.RecordAccess(f)
+	if err := fs.Delete("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.created != 1 || rec.accessed != 1 || rec.deleted != 1 {
+		t.Fatalf("listener counts: %+v", rec)
+	}
+	if rec.tierAdds == 0 {
+		t.Fatal("no TierDataAdded notifications")
+	}
+}
+
+type recordingListener struct {
+	created, accessed, deleted, tierAdds int
+}
+
+func (r *recordingListener) FileCreated(*File)           { r.created++ }
+func (r *recordingListener) FileAccessed(*File)          { r.accessed++ }
+func (r *recordingListener) FileDeleted(*File)           { r.deleted++ }
+func (r *recordingListener) TierDataAdded(storage.Media) { r.tierAdds++ }
+
+func TestReadDeletedBlockErrors(t *testing.T) {
+	e, fs := testFS(t, ModeHDFS)
+	f := createFile(t, e, fs, "/f", 16*storage.MB)
+	b := f.Blocks()[0]
+	if err := fs.Delete("/f"); err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	fs.ReadBlock(b, nil, func(_ ReadResult, err error) { gotErr = err })
+	e.Run()
+	if !errors.Is(gotErr, ErrNoReplica) {
+		t.Fatalf("read after delete = %v", gotErr)
+	}
+}
+
+func TestCreateFailsWhenClusterFull(t *testing.T) {
+	e := sim.NewEngine()
+	c := cluster.MustNew(e, cluster.Config{Workers: 2, SlotsPerNode: 1, Spec: storage.NodeSpec{
+		{Media: storage.HDD, Capacity: 8 * storage.MB, ReadBW: 100e6, WriteBW: 100e6, Count: 1},
+	}})
+	fs := MustNew(c, Config{Mode: ModeHDFS, BlockSize: 4 * storage.MB, Replication: 2, Seed: 1})
+	var lastErr error
+	for i := 0; i < 10; i++ {
+		fs.Create(pathN("/f", i), 4*storage.MB, func(_ *File, err error) {
+			if err != nil {
+				lastErr = err
+			}
+		})
+		e.Run()
+	}
+	if !errors.Is(lastErr, ErrNoCapacity) {
+		t.Fatalf("expected ErrNoCapacity, got %v", lastErr)
+	}
+	// The namespace must not retain failed files.
+	for _, f := range fs.Files() {
+		if len(f.Blocks()) > 0 && !f.HasReplicaOn(storage.HDD) {
+			t.Fatalf("file %s retained without replicas", f.Path())
+		}
+	}
+}
+
+func TestFilesSortedSnapshot(t *testing.T) {
+	e, fs := testFS(t, ModeHDFS)
+	createFile(t, e, fs, "/b", storage.MB)
+	createFile(t, e, fs, "/a", storage.MB)
+	files := fs.Files()
+	if len(files) != 2 || files[0].Path() != "/a" || files[1].Path() != "/b" {
+		t.Fatalf("Files() = %v", []string{files[0].Path(), files[1].Path()})
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ModeHDFS: "hdfs", ModeHDFSCache: "hdfs+cache", ModeOctopus: "octopus", ModePinnedHDD: "pinned-hdd",
+	} {
+		if m.String() != want {
+			t.Fatalf("Mode(%d).String() = %q", int(m), m.String())
+		}
+	}
+}
+
+func TestPinnedHDDMode(t *testing.T) {
+	e, fs := testFS(t, ModePinnedHDD)
+	f := createFile(t, e, fs, "/f", 16*storage.MB)
+	for _, r := range f.Blocks()[0].Replicas() {
+		if r.Media() != storage.HDD {
+			t.Fatalf("pinned mode placed replica on %s", r.Media())
+		}
+	}
+}

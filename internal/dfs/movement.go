@@ -1,0 +1,263 @@
+package dfs
+
+import (
+	"fmt"
+
+	"octostore/internal/cluster"
+	"octostore/internal/storage"
+)
+
+// This file implements the replica movement mechanics executed by the
+// Replication Monitor: moving a file's replicas between tiers (downgrade /
+// upgrade), copying replicas to a tier, and deleting a tier's replicas.
+// Decisions are file-granular (the paper's "all-or-nothing" property); the
+// mechanics operate block by block.
+
+// blockMove is one planned replica relocation.
+type blockMove struct {
+	block  *Block
+	src    *Replica
+	dstDev *storage.Device
+	dstNod *cluster.Node
+}
+
+// MoveFileReplicas relocates, for every block of f, the replica on tier
+// `from` to tier `to`. The operation is planned synchronously (space is
+// reserved up front; an error leaves the system unchanged) and executed
+// asynchronously; done (optional) fires when the last block commits.
+// Moving up the hierarchy is an upgrade, moving down a downgrade
+// (Definitions 1 and 2).
+func (fs *FileSystem) MoveFileReplicas(f *File, from, to storage.Media, done func(error)) error {
+	if f.deleted {
+		return fmt.Errorf("dfs: move on deleted file %q", f.path)
+	}
+	if from == to {
+		return fmt.Errorf("dfs: move from %s to itself", from)
+	}
+	if fs.creating[f.id] || fs.inTransition(f) {
+		return fmt.Errorf("%w: %q", ErrBusy, f.path)
+	}
+	var moves []*blockMove
+	rollback := func() {
+		for _, m := range moves {
+			m.dstDev.Release(m.block.size)
+		}
+	}
+	for _, b := range f.blocks {
+		src := b.ReplicaOn(from)
+		if src == nil {
+			rollback()
+			return fmt.Errorf("%w: %q block %d on %s", ErrNoReplica, f.path, b.id, from)
+		}
+		node, dev := fs.pickMoveTarget(b, src, to)
+		if dev == nil {
+			rollback()
+			return fmt.Errorf("%w: %q block %d to %s", ErrNoCapacity, f.path, b.id, to)
+		}
+		if err := dev.Reserve(b.size); err != nil {
+			rollback()
+			return fmt.Errorf("dfs: reserving move target: %w", err)
+		}
+		moves = append(moves, &blockMove{block: b, src: src, dstDev: dev, dstNod: node})
+	}
+	upgrade := to.Higher(from)
+	barrier := fs.finishAfter(len(moves), fs.engine.Now(), func() {
+		for _, l := range fs.listeners {
+			l.TierDataAdded(to)
+		}
+		if done != nil {
+			done(nil)
+		}
+	})
+	for _, m := range moves {
+		m.src.state = ReplicaMoving
+		if upgrade {
+			fs.stats.BytesUpgradedTo[to] += m.block.size
+		} else {
+			fs.stats.BytesDowngradedTo[to] += m.block.size
+		}
+		fs.transferBlock(m, barrier)
+	}
+	return nil
+}
+
+// transferBlock streams one block from the source replica's device to the
+// destination and commits the replica record on completion.
+func (fs *FileSystem) transferBlock(m *blockMove, onDone func()) {
+	size := m.block.size
+	// The source read and destination write proceed concurrently; the
+	// stream is complete when the slower of the two finishes.
+	pending := 2
+	step := func() {
+		pending--
+		if pending > 0 {
+			return
+		}
+		// Commit: the replica now lives on the destination device.
+		m.src.device.Release(size)
+		m.src.device = m.dstDev
+		m.src.node = m.dstNod
+		m.src.state = ReplicaValid
+		onDone()
+	}
+	m.src.device.StartRead(size, step)
+	m.dstDev.StartWrite(size, step)
+}
+
+// pickMoveTarget chooses the device to receive a moved replica: the source
+// node first (a tier-local move keeps node-level fault tolerance intact),
+// then nodes not already holding the block, then any node with space.
+func (fs *FileSystem) pickMoveTarget(b *Block, src *Replica, to storage.Media) (*cluster.Node, *storage.Device) {
+	if d := src.node.PickDevice(to, b.size); d != nil {
+		return src.node, d
+	}
+	holders := make(map[int]bool, len(b.replicas))
+	for _, r := range b.replicas {
+		holders[r.node.ID()] = true
+	}
+	var fallbackNode *cluster.Node
+	var fallbackDev *storage.Device
+	for _, n := range fs.cluster.Nodes() {
+		d := n.PickDevice(to, b.size)
+		if d == nil {
+			continue
+		}
+		if !holders[n.ID()] {
+			return n, d
+		}
+		if fallbackDev == nil {
+			fallbackNode, fallbackDev = n, d
+		}
+	}
+	return fallbackNode, fallbackDev
+}
+
+// CopyFileReplicas adds, for every block of f missing one, a new replica on
+// tier `to`, reading from the best existing replica. Blocks already present
+// on `to` are skipped; if every block is present the call is a no-op and
+// done fires on the next event. Copying to a higher tier is the "create a
+// new file replica" form of upgrade (Definition 2).
+func (fs *FileSystem) CopyFileReplicas(f *File, to storage.Media, done func(error)) error {
+	if f.deleted {
+		return fmt.Errorf("dfs: copy on deleted file %q", f.path)
+	}
+	if fs.creating[f.id] || fs.inTransition(f) {
+		return fmt.Errorf("%w: %q", ErrBusy, f.path)
+	}
+	type copyPlan struct {
+		block  *Block
+		src    *Replica
+		dstDev *storage.Device
+		dstNod *cluster.Node
+	}
+	var plans []*copyPlan
+	rollback := func() {
+		for _, p := range plans {
+			p.dstDev.Release(p.block.size)
+		}
+	}
+	for _, b := range f.blocks {
+		if b.ReplicaOn(to) != nil {
+			continue
+		}
+		src := fs.pickReadReplica(b, nil)
+		if src == nil {
+			rollback()
+			return fmt.Errorf("%w: %q block %d has no source", ErrNoReplica, f.path, b.id)
+		}
+		node, dev := fs.pickMoveTarget(b, src, to)
+		if dev == nil {
+			rollback()
+			return fmt.Errorf("%w: %q block %d to %s", ErrNoCapacity, f.path, b.id, to)
+		}
+		if err := dev.Reserve(b.size); err != nil {
+			rollback()
+			return fmt.Errorf("dfs: reserving copy target: %w", err)
+		}
+		plans = append(plans, &copyPlan{block: b, src: src, dstDev: dev, dstNod: node})
+	}
+	if len(plans) == 0 {
+		fs.engine.Schedule(0, func() {
+			if done != nil {
+				done(nil)
+			}
+		})
+		return nil
+	}
+	barrier := fs.finishAfter(len(plans), fs.engine.Now(), func() {
+		for _, l := range fs.listeners {
+			l.TierDataAdded(to)
+		}
+		if done != nil {
+			done(nil)
+		}
+	})
+	for _, p := range plans {
+		p := p
+		size := p.block.size
+		newReplica := &Replica{block: p.block, node: p.dstNod, device: p.dstDev, state: ReplicaCreating}
+		p.block.replicas = append(p.block.replicas, newReplica)
+		fs.stats.BytesUpgradedTo[to] += size
+		pending := 2
+		step := func() {
+			pending--
+			if pending > 0 {
+				return
+			}
+			newReplica.state = ReplicaValid
+			barrier()
+		}
+		p.src.device.StartRead(size, step)
+		p.dstDev.StartWrite(size, step)
+	}
+	return nil
+}
+
+// DeleteFileReplicas drops, for every block of f, the replica on tier
+// `from`. It refuses to remove a block's last readable replica (the
+// "delete a file replica" form of downgrade must not lose data).
+func (fs *FileSystem) DeleteFileReplicas(f *File, from storage.Media) error {
+	if f.deleted {
+		return fmt.Errorf("dfs: delete replicas on deleted file %q", f.path)
+	}
+	if fs.creating[f.id] || fs.inTransition(f) {
+		return fmt.Errorf("%w: %q", ErrBusy, f.path)
+	}
+	victims := make([]*Replica, 0, len(f.blocks))
+	for _, b := range f.blocks {
+		r := b.ReplicaOn(from)
+		if r == nil {
+			return fmt.Errorf("%w: %q block %d on %s", ErrNoReplica, f.path, b.id, from)
+		}
+		if b.ReadableReplicas() <= 1 {
+			return fmt.Errorf("%w: %q block %d", ErrLastCopy, f.path, b.id)
+		}
+		victims = append(victims, r)
+	}
+	for _, r := range victims {
+		r.state = ReplicaDeleting
+		r.device.Release(r.block.size)
+		r.block.removeReplica(r)
+		fs.stats.ReplicasDeleted++
+	}
+	return nil
+}
+
+// UnderReplicatedFiles returns files having at least one block with fewer
+// readable replicas than the file's replication target; the Replication
+// Monitor uses this to re-replicate after failures or deletions.
+func (fs *FileSystem) UnderReplicatedFiles() []*File {
+	var out []*File
+	fs.ns.Walk(func(f *File) {
+		if fs.creating[f.id] {
+			return
+		}
+		for _, b := range f.blocks {
+			if b.ReadableReplicas() < f.replication && b.ReadableReplicas() > 0 {
+				out = append(out, f)
+				return
+			}
+		}
+	})
+	return out
+}

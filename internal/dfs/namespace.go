@@ -1,0 +1,297 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Namespace errors.
+var (
+	ErrNotFound       = errors.New("dfs: no such file or directory")
+	ErrExists         = errors.New("dfs: path already exists")
+	ErrNotDirectory   = errors.New("dfs: not a directory")
+	ErrNotEmpty       = errors.New("dfs: directory not empty")
+	ErrInvalidPath    = errors.New("dfs: invalid path")
+	ErrIsDirectory    = errors.New("dfs: is a directory")
+	ErrFileIncomplete = errors.New("dfs: file write not yet complete")
+)
+
+// entry is one node in the namespace tree: a directory (children != nil) or
+// a file (file != nil).
+type entry struct {
+	name     string
+	parent   *entry
+	children map[string]*entry
+	file     *File
+}
+
+func (e *entry) isDir() bool { return e.children != nil }
+
+// Namespace is the FS Directory component of the Master: a conventional
+// hierarchical file organisation (Section 3.3).
+type Namespace struct {
+	root  *entry
+	files int
+}
+
+// NewNamespace returns an empty namespace containing only "/".
+func NewNamespace() *Namespace {
+	return &Namespace{root: &entry{name: "", children: map[string]*entry{}}}
+}
+
+// FileCount returns the number of files (not directories) in the namespace.
+func (ns *Namespace) FileCount() int { return ns.files }
+
+// splitPath validates and splits an absolute path into components.
+func splitPath(path string) ([]string, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("%w: %q is not absolute", ErrInvalidPath, path)
+	}
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		switch p {
+		case "", ".":
+			continue
+		case "..":
+			return nil, fmt.Errorf("%w: %q contains '..'", ErrInvalidPath, path)
+		default:
+			parts = append(parts, p)
+		}
+	}
+	return parts, nil
+}
+
+// CleanPath normalises a path ("/a//b/./c" -> "/a/b/c"). It fails on
+// relative paths and paths containing "..".
+func CleanPath(path string) (string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return "", err
+	}
+	return "/" + strings.Join(parts, "/"), nil
+}
+
+func (ns *Namespace) lookup(path string) (*entry, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := ns.root
+	for _, p := range parts {
+		if !cur.isDir() {
+			return nil, fmt.Errorf("%w: %q", ErrNotDirectory, path)
+		}
+		next, ok := cur.children[p]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, path)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// MkdirAll creates the directory and any missing parents, like HDFS mkdirs.
+func (ns *Namespace) MkdirAll(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	cur := ns.root
+	for _, p := range parts {
+		next, ok := cur.children[p]
+		if !ok {
+			next = &entry{name: p, parent: cur, children: map[string]*entry{}}
+			cur.children[p] = next
+		} else if !next.isDir() {
+			return fmt.Errorf("%w: %q", ErrNotDirectory, path)
+		}
+		cur = next
+	}
+	return nil
+}
+
+// insertFile registers a file at path, creating parent directories.
+func (ns *Namespace) insertFile(path string, f *File) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot create file at root", ErrInvalidPath)
+	}
+	dir := "/" + strings.Join(parts[:len(parts)-1], "/")
+	if err := ns.MkdirAll(dir); err != nil {
+		return err
+	}
+	parentEntry, err := ns.lookup(dir)
+	if err != nil {
+		return err
+	}
+	name := parts[len(parts)-1]
+	if _, ok := parentEntry.children[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, path)
+	}
+	parentEntry.children[name] = &entry{name: name, parent: parentEntry, file: f}
+	ns.files++
+	return nil
+}
+
+// GetFile resolves a path to a file.
+func (ns *Namespace) GetFile(path string) (*File, error) {
+	e, err := ns.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if e.isDir() {
+		return nil, fmt.Errorf("%w: %q", ErrIsDirectory, path)
+	}
+	return e.file, nil
+}
+
+// Exists reports whether a path resolves to a file or directory.
+func (ns *Namespace) Exists(path string) bool {
+	_, err := ns.lookup(path)
+	return err == nil
+}
+
+// IsDir reports whether path exists and is a directory.
+func (ns *Namespace) IsDir(path string) bool {
+	e, err := ns.lookup(path)
+	return err == nil && e.isDir()
+}
+
+// removeFile unlinks a file entry. The caller is responsible for replica
+// teardown.
+func (ns *Namespace) removeFile(path string) (*File, error) {
+	e, err := ns.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if e.isDir() {
+		return nil, fmt.Errorf("%w: %q", ErrIsDirectory, path)
+	}
+	delete(e.parent.children, e.name)
+	ns.files--
+	return e.file, nil
+}
+
+// Rmdir removes an empty directory.
+func (ns *Namespace) Rmdir(path string) error {
+	e, err := ns.lookup(path)
+	if err != nil {
+		return err
+	}
+	if !e.isDir() {
+		return fmt.Errorf("%w: %q", ErrNotDirectory, path)
+	}
+	if e == ns.root {
+		return fmt.Errorf("%w: cannot remove root", ErrInvalidPath)
+	}
+	if len(e.children) > 0 {
+		return fmt.Errorf("%w: %q", ErrNotEmpty, path)
+	}
+	delete(e.parent.children, e.name)
+	return nil
+}
+
+// List returns the sorted child names of a directory.
+func (ns *Namespace) List(path string) ([]string, error) {
+	e, err := ns.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if !e.isDir() {
+		return nil, fmt.Errorf("%w: %q", ErrNotDirectory, path)
+	}
+	names := make([]string, 0, len(e.children))
+	for name := range e.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename moves a file or directory to a new path. The destination must not
+// exist; destination parents are created.
+func (ns *Namespace) Rename(from, to string) error {
+	e, err := ns.lookup(from)
+	if err != nil {
+		return err
+	}
+	if e == ns.root {
+		return fmt.Errorf("%w: cannot rename root", ErrInvalidPath)
+	}
+	if ns.Exists(to) {
+		return fmt.Errorf("%w: %q", ErrExists, to)
+	}
+	toParts, err := splitPath(to)
+	if err != nil {
+		return err
+	}
+	if len(toParts) == 0 {
+		return fmt.Errorf("%w: cannot rename to root", ErrInvalidPath)
+	}
+	dir := "/" + strings.Join(toParts[:len(toParts)-1], "/")
+	if err := ns.MkdirAll(dir); err != nil {
+		return err
+	}
+	newParent, err := ns.lookup(dir)
+	if err != nil {
+		return err
+	}
+	// Reject moving a directory underneath itself.
+	for p := newParent; p != nil; p = p.parent {
+		if p == e {
+			return fmt.Errorf("%w: cannot move %q inside itself", ErrInvalidPath, from)
+		}
+	}
+	delete(e.parent.children, e.name)
+	name := toParts[len(toParts)-1]
+	e.name = name
+	e.parent = newParent
+	newParent.children[name] = e
+	ns.rewritePaths(e)
+	return nil
+}
+
+// rewritePaths updates the cached path strings of files under e.
+func (ns *Namespace) rewritePaths(e *entry) {
+	var walk func(e *entry, prefix string)
+	walk = func(e *entry, prefix string) {
+		full := prefix + "/" + e.name
+		if e.file != nil {
+			e.file.path = full
+			return
+		}
+		for _, child := range e.children {
+			walk(child, full)
+		}
+	}
+	prefix := ""
+	for p := e.parent; p != nil && p != ns.root; p = p.parent {
+		prefix = "/" + p.name + prefix
+	}
+	walk(e, prefix)
+}
+
+// Walk visits every file in the namespace in sorted path order.
+func (ns *Namespace) Walk(fn func(f *File)) {
+	var walk func(e *entry)
+	walk = func(e *entry) {
+		if e.file != nil {
+			fn(e.file)
+			return
+		}
+		names := make([]string, 0, len(e.children))
+		for name := range e.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			walk(e.children[name])
+		}
+	}
+	walk(ns.root)
+}

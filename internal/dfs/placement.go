@@ -1,0 +1,168 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"octostore/internal/cluster"
+	"octostore/internal/storage"
+)
+
+// ErrNoCapacity is returned when a block cannot be placed because no
+// candidate device has room.
+var ErrNoCapacity = errors.New("dfs: no capacity for block placement")
+
+// Target is one chosen destination for a block replica.
+type Target struct {
+	Node   *cluster.Node
+	Device *storage.Device
+}
+
+// PlacementPolicy decides where the replicas of a new block are stored.
+// Implementations must return targets on distinct nodes (fault tolerance).
+type PlacementPolicy interface {
+	// Name identifies the policy in logs and experiment output.
+	Name() string
+	// PlaceBlock returns up to `replication` targets for a block of the
+	// given size. Fewer targets than requested may be returned when the
+	// cluster lacks space; zero targets is an error.
+	PlaceBlock(size int64, replication int) ([]Target, error)
+}
+
+// hddPlacement reproduces stock HDFS: every replica on an HDD, replicas on
+// distinct nodes, nodes chosen with a random rotor for balance.
+type hddPlacement struct {
+	cluster *cluster.Cluster
+	rng     *rand.Rand
+}
+
+func (p *hddPlacement) Name() string { return "hdfs-3xHDD" }
+
+func (p *hddPlacement) PlaceBlock(size int64, replication int) ([]Target, error) {
+	nodes := p.cluster.Nodes()
+	start := p.rng.Intn(len(nodes))
+	var targets []Target
+	for i := 0; i < len(nodes) && len(targets) < replication; i++ {
+		n := nodes[(start+i)%len(nodes)]
+		if d := n.PickDevice(storage.HDD, size); d != nil {
+			targets = append(targets, Target{Node: n, Device: d})
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("%w: %d bytes on HDD tier", ErrNoCapacity, size)
+	}
+	return targets, nil
+}
+
+// octopusPlacement reproduces the OctopusFS multi-objective block placement
+// (Section 5.3 / [29]): each replica destination is scored on throughput,
+// data balancing, and load balancing, with fault tolerance enforced by the
+// distinct-node constraint and a tier-diversity term that spreads a block's
+// replicas across media (the behaviour visible in Figure 1(b): one replica
+// in memory, one on SSD, one on HDD while space lasts).
+type octopusPlacement struct {
+	cluster *cluster.Cluster
+	rng     *rand.Rand
+	weights PlacementWeights
+}
+
+// PlacementWeights are the relative objective weights of the OctopusFS
+// placement score. The defaults make tier throughput the dominant term,
+// with diversity strong enough that a block's second replica prefers the
+// next tier down over a second memory replica.
+type PlacementWeights struct {
+	Throughput float64
+	DataBal    float64
+	LoadBal    float64
+	Diversity  float64
+}
+
+// DefaultPlacementWeights returns the weights used across the evaluation.
+func DefaultPlacementWeights() PlacementWeights {
+	return PlacementWeights{Throughput: 1.0, DataBal: 0.6, LoadBal: 0.3, Diversity: 2.0}
+}
+
+func (p *octopusPlacement) Name() string { return "octopus-multiobjective" }
+
+// mediaSpeed normalises a media's write bandwidth into (0, 1].
+func mediaSpeed(m storage.Media) float64 {
+	switch m {
+	case storage.Memory:
+		return 1.0
+	case storage.SSD:
+		return 0.45
+	default:
+		return 0.15
+	}
+}
+
+func (p *octopusPlacement) PlaceBlock(size int64, replication int) ([]Target, error) {
+	nodes := p.cluster.Nodes()
+	usedNodes := make(map[int]bool, replication)
+	usedMedia := make(map[storage.Media]int, 3)
+	var targets []Target
+	start := p.rng.Intn(len(nodes))
+	for len(targets) < replication {
+		var best Target
+		bestScore := math.Inf(-1)
+		for i := 0; i < len(nodes); i++ {
+			n := nodes[(start+i)%len(nodes)]
+			if usedNodes[n.ID()] {
+				continue
+			}
+			for _, media := range storage.AllMedia {
+				d := n.PickDevice(media, size)
+				if d == nil {
+					continue
+				}
+				score := p.weights.Throughput * mediaSpeed(media)
+				score += p.weights.DataBal * (1 - d.Utilization())
+				score += p.weights.LoadBal / float64(1+d.Load())
+				score -= p.weights.Diversity * float64(usedMedia[media])
+				if score > bestScore {
+					bestScore = score
+					best = Target{Node: n, Device: d}
+				}
+			}
+		}
+		if best.Device == nil {
+			break // out of eligible nodes or space
+		}
+		usedNodes[best.Node.ID()] = true
+		usedMedia[best.Device.Media()]++
+		targets = append(targets, best)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("%w: %d bytes on any tier", ErrNoCapacity, size)
+	}
+	return targets, nil
+}
+
+// pinnedPlacement places every replica on a fixed media; used by the
+// upgrade-policy isolation experiment (Section 7.4), which starts all
+// replicas on the HDD tier.
+type pinnedPlacement struct {
+	cluster *cluster.Cluster
+	rng     *rand.Rand
+	media   storage.Media
+}
+
+func (p *pinnedPlacement) Name() string { return "pinned-" + p.media.String() }
+
+func (p *pinnedPlacement) PlaceBlock(size int64, replication int) ([]Target, error) {
+	nodes := p.cluster.Nodes()
+	start := p.rng.Intn(len(nodes))
+	var targets []Target
+	for i := 0; i < len(nodes) && len(targets) < replication; i++ {
+		n := nodes[(start+i)%len(nodes)]
+		if d := n.PickDevice(p.media, size); d != nil {
+			targets = append(targets, Target{Node: n, Device: d})
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("%w: %d bytes on %s tier", ErrNoCapacity, size, p.media)
+	}
+	return targets, nil
+}

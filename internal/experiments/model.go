@@ -1,0 +1,493 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"octostore/internal/eval"
+	"octostore/internal/gbt"
+	"octostore/internal/ml"
+	"octostore/internal/storage"
+	"octostore/internal/workload"
+)
+
+// mlSample is one labelled training point with its generation time.
+type mlSample struct {
+	x  []float64
+	y  float64
+	at time.Duration
+}
+
+// sampleParams controls offline dataset construction from a trace.
+type sampleParams struct {
+	spec     ml.FeatureSpec
+	window   time.Duration
+	period   time.Duration // periodic sampling interval
+	fraction float64       // fraction of files sampled per period
+	seed     int64
+}
+
+func defaultSampleParams(spec ml.FeatureSpec, window time.Duration, o Options) sampleParams {
+	return sampleParams{
+		spec:     spec,
+		window:   window,
+		period:   3 * time.Minute,
+		fraction: 0.20,
+		seed:     o.Seed,
+	}
+}
+
+// collectSamples replays a trace through a tracker and generates training
+// points the way the live system does (Section 4.2): periodically for a
+// sample of the files, plus one guaranteed-positive point right after each
+// access.
+func collectSamples(tr *workload.Trace, p sampleParams) []mlSample {
+	tracker := ml.NewTracker(p.spec.K)
+	rng := rand.New(rand.NewSource(p.seed))
+	pipe := ml.Pipeline{Spec: p.spec, Window: p.window}
+
+	// Timeline events: file creations, accesses (job arrivals), periodic
+	// sampling boundaries.
+	type event struct {
+		at     time.Duration
+		kind   int // 0 create, 1 access, 2 periodic
+		file   string
+		size   int64
+		fileID int64
+	}
+	var events []event
+	ids := make(map[string]int64, len(tr.Files))
+	for i, f := range tr.Files {
+		ids[f.Path] = int64(i)
+		events = append(events, event{at: f.CreatedAt, kind: 0, file: f.Path, size: f.Size, fileID: int64(i)})
+	}
+	for _, j := range tr.Jobs {
+		if id, ok := ids[j.InputPath]; ok {
+			events = append(events, event{at: j.Arrival, kind: 1, fileID: id})
+		}
+	}
+	for t := p.period; t <= tr.Duration; t += p.period {
+		events = append(events, event{at: t, kind: 2})
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		return events[a].kind < events[b].kind
+	})
+
+	var samples []mlSample
+	sample := func(rec *ml.FileRecord, now time.Duration) {
+		ref := now - p.window
+		if ref < 0 {
+			return
+		}
+		refT := epoch().Add(ref)
+		if rec.Created.After(refT) {
+			return
+		}
+		x, y := pipe.TrainingPoint(rec, refT)
+		samples = append(samples, mlSample{x: x, y: y, at: now})
+	}
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			tracker.OnCreate(ev.fileID, ev.size, epoch().Add(ev.at))
+		case 1:
+			rec := tracker.OnAccess(ev.fileID, epoch().Add(ev.at))
+			sample(rec, ev.at)
+		case 2:
+			// Deterministic iteration: tracker.Each order is random, so
+			// walk ids in order.
+			for id := int64(0); id < int64(len(tr.Files)); id++ {
+				if rng.Float64() >= p.fraction {
+					continue
+				}
+				if rec, ok := tracker.Get(id); ok {
+					sample(rec, ev.at)
+				}
+			}
+		}
+	}
+	return samples
+}
+
+func epoch() time.Time { return time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC) }
+
+// splitSamples partitions samples by time fraction boundaries.
+func splitSamples(samples []mlSample, total time.Duration, trainFrac, valFrac float64) (train, val, test []mlSample) {
+	trainEnd := time.Duration(trainFrac * float64(total))
+	valEnd := time.Duration((trainFrac + valFrac) * float64(total))
+	for _, s := range samples {
+		switch {
+		case s.at <= trainEnd:
+			train = append(train, s)
+		case s.at <= valEnd:
+			val = append(val, s)
+		default:
+			test = append(test, s)
+		}
+	}
+	return
+}
+
+func toMatrix(samples []mlSample, width int) (*gbt.Matrix, []float64) {
+	x := gbt.NewMatrix(width)
+	y := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		x.AppendRow(s.x)
+		y = append(y, s.y)
+	}
+	return x, y
+}
+
+// trainAndScore fits the paper's model on the train split and scores the
+// test split.
+func trainAndScore(train, test []mlSample, width int) (scores, labels []float64, err error) {
+	xTrain, yTrain := toMatrix(train, width)
+	model, err := gbt.Train(xTrain, yTrain, gbt.PaperParams())
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, s := range test {
+		scores = append(scores, model.Predict(s.x))
+		labels = append(labels, s.y)
+	}
+	return scores, labels, nil
+}
+
+// modelWindows returns the (downgrade, upgrade) class windows used by the
+// offline model experiments, scaled in Fast mode.
+func (o Options) modelWindows() (down, up time.Duration) {
+	if o.Fast {
+		return 45 * time.Minute, 10 * time.Minute
+	}
+	return 90 * time.Minute, 15 * time.Minute
+}
+
+// Fig14ROC regenerates Figure 14: ROC/AUC for the XGB downgrade and
+// upgrade models on both workloads, with a 4h/1h/1h-style
+// train/validation/test split (Section 7.6).
+func Fig14ROC(o Options) ([]*eval.Table, error) {
+	o.applyDefaults()
+	downW, upW := o.modelWindows()
+	t := &eval.Table{
+		ID:     "fig14",
+		Title:  "XGB model ROC evaluation (train 4/6, validate 1/6, test 1/6)",
+		Header: []string{"Workload", "Model", "Samples", "Test AUC", "Accuracy@0.5"},
+	}
+	for _, wl := range []string{"fb", "cmu"} {
+		p, err := o.profile(wl)
+		if err != nil {
+			return nil, err
+		}
+		tr := workload.Generate(p, o.Seed)
+		for _, m := range []struct {
+			name   string
+			window time.Duration
+		}{{"downgrade", downW}, {"upgrade", upW}} {
+			spec := ml.DefaultFeatureSpec()
+			samples := collectSamples(tr, defaultSampleParams(spec, m.window, o))
+			train, val, test := splitSamples(samples, tr.Duration, 4.0/6, 1.0/6)
+			train = append(train, val...) // validation folded into training after tuning
+			if len(train) == 0 || len(test) == 0 {
+				return nil, fmt.Errorf("fig14: empty split (%s/%s)", wl, m.name)
+			}
+			scores, labels, err := trainAndScore(train, test, spec.Width())
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(tr.Name, m.name, fmt.Sprintf("%d", len(samples)),
+				eval.F2(eval.AUC(scores, labels)),
+				eval.Pct(eval.Accuracy(scores, labels, 0.5)))
+		}
+	}
+	return []*eval.Table{t}, nil
+}
+
+// Fig15FeatureAblation regenerates Figure 15: ROC/AUC of the FB downgrade
+// model with selected features removed or the access-history length varied.
+func Fig15FeatureAblation(o Options) ([]*eval.Table, error) {
+	o.applyDefaults()
+	downW, _ := o.modelWindows()
+	p, err := o.profile("fb")
+	if err != nil {
+		return nil, err
+	}
+	tr := workload.Generate(p, o.Seed)
+	variants := []struct {
+		name string
+		spec ml.FeatureSpec
+	}{
+		{"with 12 accesses (default)", ml.DefaultFeatureSpec()},
+		{"without filesize", func() ml.FeatureSpec { s := ml.DefaultFeatureSpec(); s.UseSize = false; return s }()},
+		{"without creation", func() ml.FeatureSpec { s := ml.DefaultFeatureSpec(); s.UseCreation = false; return s }()},
+		{"with 6 accesses", func() ml.FeatureSpec { s := ml.DefaultFeatureSpec(); s.K = 6; return s }()},
+		{"with 18 accesses", func() ml.FeatureSpec { s := ml.DefaultFeatureSpec(); s.K = 18; return s }()},
+	}
+	t := &eval.Table{
+		ID:     "fig15",
+		Title:  "Feature ablation for the FB downgrade model",
+		Header: []string{"Variant", "Test AUC", "Accuracy@0.5"},
+	}
+	for _, v := range variants {
+		samples := collectSamples(tr, defaultSampleParams(v.spec, downW, o))
+		train, val, test := splitSamples(samples, tr.Duration, 4.0/6, 1.0/6)
+		train = append(train, val...)
+		if len(train) == 0 || len(test) == 0 {
+			return nil, fmt.Errorf("fig15: empty split for %q", v.name)
+		}
+		scores, labels, err := trainAndScore(train, test, v.spec.Width())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.name, eval.F2(eval.AUC(scores, labels)), eval.Pct(eval.Accuracy(scores, labels, 0.5)))
+	}
+	return []*eval.Table{t}, nil
+}
+
+// Fig16LearningModes regenerates Figure 16: prediction accuracy over time
+// for incremental learning, hourly retraining, and one-shot training, on
+// an FB workload whose access patterns drift between segments.
+func Fig16LearningModes(o Options) ([]*eval.Table, error) {
+	o.applyDefaults()
+	downW, _ := o.modelWindows()
+	segments := 6
+	segLen := time.Hour
+	if o.Fast {
+		segments = 3
+	}
+	// The class window must fit inside the first segment, or sliding the
+	// reference time one window back yields nothing to train on.
+	window := downW
+	if window > segLen/2 {
+		window = segLen / 2
+	}
+	// The paper's premise is that access patterns evolve as users and jobs
+	// come and go (Section 4). Model that drift by alternating the FB
+	// profile with a shifted variant whose reuse structure differs
+	// (periodic re-scans instead of short-term locality): a one-shot model
+	// trained on hour 1 faces genuinely different patterns later.
+	fb := workload.FB()
+	drifted := workload.FB()
+	drifted.Name = "FBdrift"
+	drifted.TemporalLocality = 0.05
+	drifted.PeriodicFraction = 0.70
+	drifted.ScanPeriodMin = 40 * time.Minute
+	drifted.ScanPeriodMax = 100 * time.Minute
+	tr := workload.GenerateEvolving([]workload.Profile{fb, drifted}, segLen, segments, o.Seed)
+	spec := ml.DefaultFeatureSpec()
+	sp := defaultSampleParams(spec, window, o)
+	if o.Fast {
+		sp.period = 2 * time.Minute
+	}
+	samples := collectSamples(tr, sp)
+
+	// Bucket samples per segment.
+	buckets := make([][]mlSample, segments)
+	for _, s := range samples {
+		idx := int(s.at / segLen)
+		if idx >= segments {
+			idx = segments - 1
+		}
+		buckets[idx] = append(buckets[idx], s)
+	}
+	if len(buckets[0]) == 0 {
+		return nil, fmt.Errorf("fig16: no samples in first segment")
+	}
+
+	measure := func(m *gbt.Model, bucket []mlSample) float64 {
+		var scores, labels []float64
+		for _, s := range bucket {
+			scores = append(scores, m.Predict(s.x))
+			labels = append(labels, s.y)
+		}
+		return eval.Accuracy(scores, labels, 0.5)
+	}
+
+	params := gbt.PaperParams()
+	params.MaxTrees = 300
+	x0, y0 := toMatrix(buckets[0], spec.Width())
+	oneShot, err := gbt.Train(x0, y0, params)
+	if err != nil {
+		return nil, err
+	}
+	incremental, err := gbt.Train(x0, y0, params)
+	if err != nil {
+		return nil, err
+	}
+	retrained := oneShot // hour 1: same model
+
+	t := &eval.Table{
+		ID:     "fig16",
+		Title:  "Prediction accuracy over time: incremental vs retrain vs one-shot (FB with drift)",
+		Header: []string{"Hour", "Incremental", "Retrain hourly", "One-shot"},
+	}
+	for h := 1; h < segments; h++ {
+		bucket := buckets[h]
+		if len(bucket) == 0 {
+			continue
+		}
+		// Accuracy is measured on fresh samples before they are trained on.
+		accInc := measure(incremental, bucket)
+		accRet := measure(retrained, bucket)
+		accOne := measure(oneShot, bucket)
+		t.AddRow(fmt.Sprintf("%d", h+1), eval.Pct(accInc), eval.Pct(accRet), eval.Pct(accOne))
+		// Incremental: update with this segment's samples.
+		xb, yb := toMatrix(bucket, spec.Width())
+		if err := incremental.Update(xb, yb, 10); err != nil {
+			return nil, err
+		}
+		// Retrain: fresh model on this segment only.
+		if m, err := gbt.Train(xb, yb, params); err == nil {
+			retrained = m
+		}
+	}
+	return []*eval.Table{t}, nil
+}
+
+// Fig17WorkloadSwitch regenerates Figure 17: incremental-model accuracy
+// while the workload alternates between FB and CMU at three switching
+// frequencies. Accuracy dips at each switch and the dips shrink as the
+// model has seen both workloads.
+func Fig17WorkloadSwitch(o Options) ([]*eval.Table, error) {
+	o.applyDefaults()
+	downW, _ := o.modelWindows()
+	totalSegments := map[string]struct {
+		segLen   time.Duration
+		segments int
+	}{
+		"switch 6h":   {6 * time.Hour, 2},
+		"switch 3h":   {3 * time.Hour, 4},
+		"switch 1.5h": {90 * time.Minute, 8},
+	}
+	if o.Fast {
+		totalSegments = map[string]struct {
+			segLen   time.Duration
+			segments int
+		}{
+			"switch 1h":  {time.Hour, 2},
+			"switch 30m": {30 * time.Minute, 4},
+		}
+	}
+	names := make([]string, 0, len(totalSegments))
+	for name := range totalSegments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	t := &eval.Table{
+		ID:     "fig17",
+		Title:  "Incremental accuracy while alternating FB and CMU workloads",
+		Header: []string{"Variation", "Window", "Accuracy"},
+	}
+	spec := ml.DefaultFeatureSpec()
+	for _, name := range names {
+		cfg := totalSegments[name]
+		tr := workload.GenerateEvolving(
+			[]workload.Profile{workload.FB(), workload.CMU()}, cfg.segLen, cfg.segments, o.Seed)
+		sp := defaultSampleParams(spec, downW, o)
+		samples := collectSamples(tr, sp)
+		// Evaluate in fixed windows, training incrementally afterwards.
+		window := cfg.segLen / 2
+		nWindows := int(tr.Duration / window)
+		var model *gbt.Model
+		params := gbt.PaperParams()
+		params.MaxTrees = 300
+		cursor := 0
+		for w := 0; w < nWindows; w++ {
+			hi := cursor
+			limit := time.Duration(w+1) * window
+			for hi < len(samples) && samples[hi].at <= limit {
+				hi++
+			}
+			bucket := samples[cursor:hi]
+			cursor = hi
+			if len(bucket) == 0 {
+				continue
+			}
+			if model != nil {
+				var scores, labels []float64
+				for _, s := range bucket {
+					scores = append(scores, model.Predict(s.x))
+					labels = append(labels, s.y)
+				}
+				t.AddRow(name, fmt.Sprintf("%5.1fh", (time.Duration(w+1)*window).Hours()),
+					eval.Pct(eval.Accuracy(scores, labels, 0.5)))
+			}
+			xb, yb := toMatrix(bucket, spec.Width())
+			if model == nil {
+				if m, err := gbt.Train(xb, yb, params); err == nil {
+					model = m
+				}
+			} else if err := model.Update(xb, yb, 6); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return []*eval.Table{t}, nil
+}
+
+// OverheadsReport regenerates the Section 7.7 numbers: time to add a
+// training sample, time per prediction, model memory, and per-file
+// metadata footprint.
+func OverheadsReport(o Options) ([]*eval.Table, error) {
+	o.applyDefaults()
+	downW, _ := o.modelWindows()
+	p, err := o.profile("fb")
+	if err != nil {
+		return nil, err
+	}
+	tr := workload.Generate(p, o.Seed)
+	spec := ml.DefaultFeatureSpec()
+	samples := collectSamples(tr, defaultSampleParams(spec, downW, o))
+	if len(samples) < 100 {
+		return nil, fmt.Errorf("overheads: too few samples (%d)", len(samples))
+	}
+	// Training cost: amortised per sample via the incremental learner.
+	lcfg := ml.DefaultLearnerConfig()
+	lcfg.Params.MaxTrees = 200
+	learner := ml.NewLearner(spec.Width(), lcfg)
+	addStart := time.Now()
+	for _, s := range samples {
+		learner.Add(s.x, s.y)
+	}
+	addTotal := time.Since(addStart)
+
+	// Prediction cost.
+	model := learner.Model()
+	if model == nil {
+		return nil, fmt.Errorf("overheads: learner never trained")
+	}
+	predStart := time.Now()
+	const predIters = 20000
+	for i := 0; i < predIters; i++ {
+		model.Predict(samples[i%len(samples)].x)
+	}
+	predTotal := time.Since(predStart)
+
+	// Tracker footprint.
+	tracker := ml.NewTracker(spec.K)
+	for i, f := range tr.Files {
+		tracker.OnCreate(int64(i), f.Size, epoch())
+	}
+	for _, j := range tr.Jobs {
+		tracker.OnAccess(int64(0), epoch().Add(j.Arrival))
+	}
+	perFile := tracker.FootprintBytes() / tracker.Len()
+
+	t := &eval.Table{
+		ID:     "overheads",
+		Title:  "System overheads (Section 7.7)",
+		Header: []string{"Metric", "Value"},
+	}
+	t.AddRow("training samples", fmt.Sprintf("%d", len(samples)))
+	t.AddRow("avg time per training sample", fmt.Sprintf("%.3f ms", float64(addTotal.Microseconds())/float64(len(samples))/1000))
+	t.AddRow("avg time per prediction", fmt.Sprintf("%.1f ns", float64(predTotal.Nanoseconds())/predIters))
+	t.AddRow("model memory", fmt.Sprintf("%.1f KB", float64(model.ApproxMemoryBytes())/float64(storage.KB)))
+	t.AddRow("model trees", fmt.Sprintf("%d", model.NumTrees()))
+	t.AddRow("tracker bytes per file", fmt.Sprintf("%d B", perFile))
+	return []*eval.Table{t}, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"octostore/internal/dfs"
+	"octostore/internal/eval"
+	"octostore/internal/workload"
+)
+
+// Fig13Scalability regenerates Figure 13: completion-time reduction and
+// efficiency improvement of the XGB policies over HDFS as the cluster
+// scales (the paper: 11 to 88 EC2 workers with proportionally scaled
+// workloads).
+func Fig13Scalability(o Options) ([]*eval.Table, error) {
+	o.applyDefaults()
+	scales := []int{1, 2, 4, 8}
+	if o.Fast {
+		scales = []int{1, 2}
+	}
+	tCompletion := &eval.Table{
+		ID:     "fig13a",
+		Title:  "XGB vs HDFS: percent reduction in completion time by cluster size (FB)",
+		Header: append([]string{"Workers"}, binHeaders()...),
+	}
+	tEfficiency := &eval.Table{
+		ID:     "fig13b",
+		Title:  "XGB vs HDFS: percent improvement in cluster efficiency by cluster size (FB)",
+		Header: append([]string{"Workers"}, binHeaders()...),
+	}
+	for _, scale := range scales {
+		ccfg := o.clusterConfig()
+		ccfg.Workers *= scale
+		p, err := o.profile("fb")
+		if err != nil {
+			return nil, err
+		}
+		// Scale the workload with the cluster, as the paper does on EC2:
+		// more jobs draw on a proportionally larger file population (the
+		// per-bin distinct-file factors already tie files to job counts).
+		p.NumJobs *= scale
+		tr := workload.Generate(p, o.Seed)
+		base, err := runSystem(System{Name: "HDFS", Mode: dfs.ModeHDFS}, tr, ccfg, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		xgb, err := runSystem(System{Name: "XGB", Mode: dfs.ModeOctopus, Down: "xgb", Up: "xgb"}, tr, ccfg, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		baseMean := base.stats.MeanCompletionByBin()
+		xgbMean := xgb.stats.MeanCompletionByBin()
+		baseTask := base.stats.TaskSecondsByBin()
+		xgbTask := xgb.stats.TaskSecondsByBin()
+		rowC := []string{fmt.Sprintf("%d", ccfg.Workers)}
+		rowE := []string{fmt.Sprintf("%d", ccfg.Workers)}
+		for b := workload.Bin(0); b < workload.NumBins; b++ {
+			rowC = append(rowC, eval.Pct(eval.Reduction(baseMean[b].Seconds(), xgbMean[b].Seconds())))
+			rowE = append(rowE, eval.Pct(eval.Reduction(baseTask[b], xgbTask[b])))
+		}
+		tCompletion.AddRow(rowC...)
+		tEfficiency.AddRow(rowE...)
+	}
+	return []*eval.Table{tCompletion, tEfficiency}, nil
+}

@@ -1,0 +1,267 @@
+package gbt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Objective selects the loss minimised by boosting.
+type Objective int
+
+const (
+	// LogisticBinary is log-loss for binary classification; Predict returns
+	// probabilities. This is the paper's "logistic regression for binary
+	// classification" learning objective.
+	LogisticBinary Objective = iota
+	// SquaredError is plain regression; Predict returns raw scores.
+	SquaredError
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case LogisticBinary:
+		return "binary:logistic"
+	case SquaredError:
+		return "reg:squarederror"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Params are the boosting hyperparameters. The zero value is unusable; use
+// DefaultParams or PaperParams as a starting point.
+type Params struct {
+	// MaxDepth bounds tree depth (the paper tunes d=20).
+	MaxDepth int
+	// Rounds is the number of boosting rounds per Train call (paper: r=10).
+	Rounds int
+	// LearningRate is the shrinkage eta applied to each tree.
+	LearningRate float64
+	// Lambda is the L2 regulariser on leaf weights.
+	Lambda float64
+	// Gamma is the minimum loss reduction required to make a split.
+	Gamma float64
+	// MinChildWeight is the minimum hessian sum in a child.
+	MinChildWeight float64
+	// Objective selects the loss.
+	Objective Objective
+	// BaseScore is the global prediction bias in probability space for
+	// LogisticBinary (default 0.5) or output space for SquaredError.
+	BaseScore float64
+	// MaxTrees, when positive, caps the ensemble size under incremental
+	// Update calls; the oldest trees are retired first, which bounds
+	// prediction cost and gives the model a forgetting horizon.
+	MaxTrees int
+}
+
+// DefaultParams returns XGBoost-like defaults.
+func DefaultParams() Params {
+	return Params{
+		MaxDepth:       6,
+		Rounds:         10,
+		LearningRate:   0.3,
+		Lambda:         1.0,
+		Gamma:          0.0,
+		MinChildWeight: 1.0,
+		Objective:      LogisticBinary,
+		BaseScore:      0.5,
+	}
+}
+
+// PaperParams returns the hyperparameters found by the paper's grid search
+// (Section 4.3): max depth 20, 10 boosting rounds, logistic objective,
+// defaults elsewhere.
+func PaperParams() Params {
+	p := DefaultParams()
+	p.MaxDepth = 20
+	p.Rounds = 10
+	return p
+}
+
+func (p *Params) validate() error {
+	if p.MaxDepth <= 0 {
+		return errors.New("gbt: MaxDepth must be positive")
+	}
+	if p.Rounds <= 0 {
+		return errors.New("gbt: Rounds must be positive")
+	}
+	if p.LearningRate <= 0 || p.LearningRate > 1 {
+		return errors.New("gbt: LearningRate must be in (0, 1]")
+	}
+	if p.Lambda < 0 || p.Gamma < 0 || p.MinChildWeight < 0 {
+		return errors.New("gbt: Lambda, Gamma, MinChildWeight must be non-negative")
+	}
+	if p.Objective == LogisticBinary && (p.BaseScore <= 0 || p.BaseScore >= 1) {
+		return errors.New("gbt: BaseScore must be in (0, 1) for the logistic objective")
+	}
+	return nil
+}
+
+// node is one decision-tree node in a flat array representation.
+type node struct {
+	Feature     int     `json:"f"`
+	Threshold   float64 `json:"t"`
+	DefaultLeft bool    `json:"d"`
+	Left        int32   `json:"l"`
+	Right       int32   `json:"r"`
+	Leaf        float64 `json:"w"`
+	IsLeaf      bool    `json:"leaf"`
+	Gain        float64 `json:"g"`
+}
+
+// Tree is a single regression tree of the ensemble. Leaf values already
+// include shrinkage.
+type Tree struct {
+	nodes []node
+}
+
+// NumNodes returns the node count (internal + leaves).
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// predict routes x down the tree; missing features follow the learned
+// default direction.
+func (t *Tree) predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.IsLeaf {
+			return n.Leaf
+		}
+		v := x[n.Feature]
+		switch {
+		case IsMissing(v):
+			if n.DefaultLeft {
+				i = n.Left
+			} else {
+				i = n.Right
+			}
+		case v < n.Threshold:
+			i = n.Left
+		default:
+			i = n.Right
+		}
+	}
+}
+
+// Model is a trained gradient-boosted tree ensemble.
+type Model struct {
+	params     Params
+	trees      []*Tree
+	baseMargin float64
+}
+
+// Params returns the hyperparameters the model was built with.
+func (m *Model) Params() Params { return m.params }
+
+// NumTrees returns the current ensemble size.
+func (m *Model) NumTrees() int { return len(m.trees) }
+
+// sigmoid is the logistic link.
+func sigmoid(z float64) float64 { return 1.0 / (1.0 + math.Exp(-z)) }
+
+// logit is the inverse link, clamped away from the poles.
+func logit(p float64) float64 {
+	const eps = 1e-9
+	if p < eps {
+		p = eps
+	}
+	if p > 1-eps {
+		p = 1 - eps
+	}
+	return math.Log(p / (1 - p))
+}
+
+// PredictMargin returns the raw additive score for a feature vector.
+func (m *Model) PredictMargin(x []float64) float64 {
+	margin := m.baseMargin
+	for _, t := range m.trees {
+		margin += t.predict(x)
+	}
+	return margin
+}
+
+// Predict returns the probability (LogisticBinary) or score (SquaredError)
+// for a feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	margin := m.PredictMargin(x)
+	if m.params.Objective == LogisticBinary {
+		return sigmoid(margin)
+	}
+	return margin
+}
+
+// PredictBatch evaluates Predict for every row of a matrix.
+func (m *Model) PredictBatch(x *Matrix) []float64 {
+	out := make([]float64, x.Rows())
+	for i := range out {
+		out[i] = m.Predict(x.Row(i))
+	}
+	return out
+}
+
+// FeatureImportance returns total split gain per feature, normalised to sum
+// to 1 (all zeros when the ensemble has no splits).
+func (m *Model) FeatureImportance(numFeatures int) []float64 {
+	imp := make([]float64, numFeatures)
+	var total float64
+	for _, t := range m.trees {
+		for i := range t.nodes {
+			n := &t.nodes[i]
+			if !n.IsLeaf && n.Feature < numFeatures {
+				imp[n.Feature] += n.Gain
+				total += n.Gain
+			}
+		}
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// ApproxMemoryBytes estimates the model's in-memory footprint (Section 7.7
+// reports ~200 KB for the paper's models).
+func (m *Model) ApproxMemoryBytes() int {
+	const nodeBytes = 40 // struct fields, amortised
+	total := 0
+	for _, t := range m.trees {
+		total += nodeBytes * len(t.nodes)
+	}
+	return total
+}
+
+// modelJSON is the serialised form of a Model.
+type modelJSON struct {
+	Params     Params   `json:"params"`
+	BaseMargin float64  `json:"base_margin"`
+	Trees      [][]node `json:"trees"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	mj := modelJSON{Params: m.params, BaseMargin: m.baseMargin}
+	for _, t := range m.trees {
+		mj.Trees = append(mj.Trees, t.nodes)
+	}
+	return json.Marshal(mj)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var mj modelJSON
+	if err := json.Unmarshal(data, &mj); err != nil {
+		return err
+	}
+	m.params = mj.Params
+	m.baseMargin = mj.BaseMargin
+	m.trees = nil
+	for _, nodes := range mj.Trees {
+		m.trees = append(m.trees, &Tree{nodes: nodes})
+	}
+	return nil
+}

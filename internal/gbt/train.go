@@ -1,0 +1,303 @@
+package gbt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Train fits a new model on the given matrix and 0/1 (or regression)
+// labels.
+func Train(x *Matrix, y []float64, p Params) (*Model, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if x.Rows() == 0 {
+		return nil, errors.New("gbt: empty training set")
+	}
+	if x.Rows() != len(y) {
+		return nil, fmt.Errorf("gbt: %d rows but %d labels", x.Rows(), len(y))
+	}
+	m := &Model{params: p}
+	if p.Objective == LogisticBinary {
+		m.baseMargin = logit(p.BaseScore)
+	} else {
+		m.baseMargin = p.BaseScore
+	}
+	if err := m.boost(x, y, p.Rounds); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Update continues boosting the existing ensemble for `rounds` rounds using
+// a new batch, implementing the paper's incremental learning: the model is
+// refined with data points as they become available, adapting to workload
+// change without a fixed training window (Section 4.2).
+func (m *Model) Update(x *Matrix, y []float64, rounds int) error {
+	if rounds <= 0 {
+		rounds = m.params.Rounds
+	}
+	if x.Rows() == 0 {
+		return errors.New("gbt: empty update batch")
+	}
+	if x.Rows() != len(y) {
+		return fmt.Errorf("gbt: %d rows but %d labels", x.Rows(), len(y))
+	}
+	if err := m.boost(x, y, rounds); err != nil {
+		return err
+	}
+	if m.params.MaxTrees > 0 && len(m.trees) > m.params.MaxTrees {
+		// Retire the oldest trees. This is an approximation (later trees
+		// were fit against their residuals) but gives the ensemble a
+		// bounded size and a forgetting horizon for workload shifts.
+		drop := len(m.trees) - m.params.MaxTrees
+		m.trees = append([]*Tree(nil), m.trees[drop:]...)
+	}
+	return nil
+}
+
+// boost adds `rounds` trees fit to the current ensemble's gradient on
+// (x, y).
+func (m *Model) boost(x *Matrix, y []float64, rounds int) error {
+	n := x.Rows()
+	margins := make([]float64, n)
+	for i := 0; i < n; i++ {
+		margins[i] = m.PredictMargin(x.Row(i))
+	}
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	b := newBuilder(x, m.params)
+	for r := 0; r < rounds; r++ {
+		m.computeGradients(margins, y, grad, hess)
+		tree := b.build(grad, hess)
+		m.trees = append(m.trees, tree)
+		for i := 0; i < n; i++ {
+			margins[i] += tree.predict(x.Row(i))
+		}
+	}
+	return nil
+}
+
+// computeGradients fills first and second order gradients of the loss at
+// the current margins.
+func (m *Model) computeGradients(margins, y, grad, hess []float64) {
+	switch m.params.Objective {
+	case LogisticBinary:
+		for i, mg := range margins {
+			p := sigmoid(mg)
+			grad[i] = p - y[i]
+			h := p * (1 - p)
+			if h < 1e-16 {
+				h = 1e-16
+			}
+			hess[i] = h
+		}
+	case SquaredError:
+		for i, mg := range margins {
+			grad[i] = mg - y[i]
+			hess[i] = 1
+		}
+	}
+}
+
+// builder holds per-training-set state reused across rounds: for each
+// feature, the row indices with a present value sorted by that value, plus
+// the rows where the feature is missing.
+type builder struct {
+	x       *Matrix
+	params  Params
+	sorted  [][]int32 // per feature: rows with present values, ascending
+	missing [][]int32 // per feature: rows with missing values
+	// scratch
+	inNode []bool
+}
+
+func newBuilder(x *Matrix, p Params) *builder {
+	cols := x.Cols()
+	b := &builder{
+		x:       x,
+		params:  p,
+		sorted:  make([][]int32, cols),
+		missing: make([][]int32, cols),
+		inNode:  make([]bool, x.Rows()),
+	}
+	for j := 0; j < cols; j++ {
+		var present, absent []int32
+		for i := 0; i < x.Rows(); i++ {
+			if IsMissing(x.At(i, j)) {
+				absent = append(absent, int32(i))
+			} else {
+				present = append(present, int32(i))
+			}
+		}
+		j := j
+		sort.SliceStable(present, func(a, c int) bool {
+			return b.x.At(int(present[a]), j) < b.x.At(int(present[c]), j)
+		})
+		b.sorted[j] = present
+		b.missing[j] = absent
+	}
+	return b
+}
+
+// split is a candidate split of one tree node.
+type split struct {
+	feature     int
+	threshold   float64
+	defaultLeft bool
+	gain        float64
+	valid       bool
+}
+
+// build grows one tree for the given gradient/hessian vectors.
+func (b *builder) build(grad, hess []float64) *Tree {
+	t := &Tree{}
+	rows := make([]int32, b.x.Rows())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	b.grow(t, rows, grad, hess, 0)
+	return t
+}
+
+// grow recursively expands a node holding `rows`, returning its index in
+// the tree's flat node array.
+func (b *builder) grow(t *Tree, rows []int32, grad, hess []float64, depth int) int32 {
+	var gSum, hSum float64
+	for _, i := range rows {
+		gSum += grad[i]
+		hSum += hess[i]
+	}
+	idx := int32(len(t.nodes))
+	leafWeight := -gSum / (hSum + b.params.Lambda) * b.params.LearningRate
+	t.nodes = append(t.nodes, node{IsLeaf: true, Leaf: leafWeight, Left: -1, Right: -1})
+	if depth >= b.params.MaxDepth || len(rows) < 2 {
+		return idx
+	}
+	best := b.findBestSplit(rows, grad, hess, gSum, hSum)
+	if !best.valid {
+		return idx
+	}
+	left, right := b.partition(rows, best)
+	if len(left) == 0 || len(right) == 0 {
+		return idx
+	}
+	leftIdx := b.grow(t, left, grad, hess, depth+1)
+	rightIdx := b.grow(t, right, grad, hess, depth+1)
+	t.nodes[idx] = node{
+		Feature:     best.feature,
+		Threshold:   best.threshold,
+		DefaultLeft: best.defaultLeft,
+		Left:        leftIdx,
+		Right:       rightIdx,
+		Gain:        best.gain,
+	}
+	return idx
+}
+
+// findBestSplit runs the exact greedy algorithm with sparsity-aware default
+// directions: for every feature it scans the sorted present values once per
+// missing-direction choice and keeps the split with the highest gain.
+func (b *builder) findBestSplit(rows []int32, grad, hess []float64, gTotal, hTotal float64) split {
+	for _, i := range rows {
+		b.inNode[i] = true
+	}
+	defer func() {
+		for _, i := range rows {
+			b.inNode[i] = false
+		}
+	}()
+
+	lambda := b.params.Lambda
+	parentScore := gTotal * gTotal / (hTotal + lambda)
+	var best split
+
+	for j := 0; j < b.x.Cols(); j++ {
+		// Gradient mass of this node's rows with a missing value for j.
+		var gMiss, hMiss float64
+		for _, i := range b.missing[j] {
+			if b.inNode[i] {
+				gMiss += grad[i]
+				hMiss += hess[i]
+			}
+		}
+		// Walk present values in ascending order accumulating left sums.
+		var gLeft, hLeft float64
+		var prevVal float64
+		havePrev := false
+		for _, i := range b.sorted[j] {
+			if !b.inNode[i] {
+				continue
+			}
+			v := b.x.At(int(i), j)
+			if havePrev && v > prevVal {
+				threshold := (prevVal + v) / 2
+				b.tryThreshold(&best, j, threshold, gLeft, hLeft, gMiss, hMiss, gTotal, hTotal, parentScore)
+			}
+			gLeft += grad[i]
+			hLeft += hess[i]
+			prevVal = v
+			havePrev = true
+		}
+		// A final "everything present goes left, missing decides side"
+		// split is only meaningful when missing rows exist.
+		if havePrev && (gMiss != 0 || hMiss != 0) {
+			b.tryThreshold(&best, j, math.Nextafter(prevVal, math.Inf(1)), gLeft, hLeft, gMiss, hMiss, gTotal, hTotal, parentScore)
+		}
+	}
+	return best
+}
+
+// tryThreshold evaluates a candidate threshold with both missing-value
+// directions and updates best in place.
+func (b *builder) tryThreshold(best *split, feature int, threshold, gLeft, hLeft, gMiss, hMiss, gTotal, hTotal, parentScore float64) {
+	lambda := b.params.Lambda
+	minChild := b.params.MinChildWeight
+	for _, missLeft := range [2]bool{true, false} {
+		gl, hl := gLeft, hLeft
+		if missLeft {
+			gl += gMiss
+			hl += hMiss
+		}
+		gr := gTotal - gl
+		hr := hTotal - hl
+		if hl < minChild || hr < minChild {
+			continue
+		}
+		gain := 0.5*(gl*gl/(hl+lambda)+gr*gr/(hr+lambda)-parentScore) - b.params.Gamma
+		if gain <= 0 {
+			continue
+		}
+		if !best.valid || gain > best.gain {
+			*best = split{
+				feature:     feature,
+				threshold:   threshold,
+				defaultLeft: missLeft,
+				gain:        gain,
+				valid:       true,
+			}
+		}
+	}
+}
+
+// partition splits the node's rows by the chosen split.
+func (b *builder) partition(rows []int32, s split) (left, right []int32) {
+	for _, i := range rows {
+		v := b.x.At(int(i), s.feature)
+		switch {
+		case IsMissing(v):
+			if s.defaultLeft {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		case v < s.threshold:
+			left = append(left, i)
+		default:
+			right = append(right, i)
+		}
+	}
+	return left, right
+}

@@ -1,0 +1,57 @@
+package ml
+
+import (
+	"time"
+)
+
+// Pipeline binds a feature spec, a class window, and an incremental learner
+// into the full Section 4 pipeline for one model. The framework runs two
+// pipelines: the upgrade model with a small window (will the file be
+// accessed soon?) and the downgrade model with a large window (has the file
+// gone cold?).
+type Pipeline struct {
+	Spec    FeatureSpec
+	Window  time.Duration
+	Learner *Learner
+}
+
+// NewPipeline builds a pipeline with the given class window.
+func NewPipeline(spec FeatureSpec, window time.Duration, cfg LearnerConfig) *Pipeline {
+	return &Pipeline{
+		Spec:    spec,
+		Window:  window,
+		Learner: NewLearner(spec.Width(), cfg),
+	}
+}
+
+// Sample generates one training point for a file at current time `now` by
+// sliding the reference time one class window into the past
+// (Section 4.2): features come from accesses at or before tr = now-w, the
+// label from whether the file was accessed in (tr, now].
+// Files created after the reference time are skipped (they could not have
+// been observed at tr); it reports whether a sample was produced.
+func (p *Pipeline) Sample(rec *FileRecord, now time.Time) bool {
+	tr := now.Add(-p.Window)
+	if rec.Created.After(tr) {
+		return false
+	}
+	x := p.Spec.Vector(rec, tr)
+	y := Label(rec, tr, p.Window)
+	p.Learner.Add(x, y)
+	return true
+}
+
+// Score predicts the probability that the file will be accessed within the
+// class window starting now (reference time = now, Section 4.4). ok is
+// false while the learner is not ready to serve.
+func (p *Pipeline) Score(rec *FileRecord, now time.Time) (prob float64, ok bool) {
+	x := p.Spec.Vector(rec, now)
+	return p.Learner.Predict(x)
+}
+
+// TrainingPoint materialises the (features, label) pair for a file at a
+// given reference time without feeding the learner; offline experiments
+// (Figures 14-17) use it to build datasets.
+func (p *Pipeline) TrainingPoint(rec *FileRecord, ref time.Time) ([]float64, float64) {
+	return p.Spec.Vector(rec, ref), Label(rec, ref, p.Window)
+}

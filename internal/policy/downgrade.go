@@ -1,0 +1,290 @@
+package policy
+
+import (
+	"time"
+
+	"octostore/internal/core"
+	"octostore/internal/dfs"
+	"octostore/internal/storage"
+)
+
+// LRU downgrades the file accessed least recently (Table 1).
+type LRU struct {
+	core.NopCallbacks
+	thresholdStartStop
+	defaultTargetTier
+	ctx *core.Context
+}
+
+// NewLRU builds the LRU downgrade policy.
+func NewLRU(ctx *core.Context) *LRU {
+	return &LRU{thresholdStartStop: thresholdStartStop{ctx}, defaultTargetTier: defaultTargetTier{ctx}, ctx: ctx}
+}
+
+// Name implements core.DowngradePolicy.
+func (p *LRU) Name() string { return "LRU" }
+
+// SelectFile implements core.DowngradePolicy.
+func (p *LRU) SelectFile(tier storage.Media) *dfs.File {
+	var best *dfs.File
+	for _, f := range p.ctx.EligibleFiles(tier) {
+		if best == nil || p.ctx.LastTouch(f).Before(p.ctx.LastTouch(best)) {
+			best = f
+		}
+	}
+	return best
+}
+
+// LFU downgrades the file used least often (Table 1); ties break toward
+// the least recently used.
+type LFU struct {
+	core.NopCallbacks
+	thresholdStartStop
+	defaultTargetTier
+	ctx *core.Context
+}
+
+// NewLFU builds the LFU downgrade policy.
+func NewLFU(ctx *core.Context) *LFU {
+	return &LFU{thresholdStartStop: thresholdStartStop{ctx}, defaultTargetTier: defaultTargetTier{ctx}, ctx: ctx}
+}
+
+// Name implements core.DowngradePolicy.
+func (p *LFU) Name() string { return "LFU" }
+
+// SelectFile implements core.DowngradePolicy.
+func (p *LFU) SelectFile(tier storage.Media) *dfs.File {
+	var best *dfs.File
+	for _, f := range p.ctx.EligibleFiles(tier) {
+		if best == nil {
+			best = f
+			continue
+		}
+		cf, cb := p.ctx.AccessCount(f), p.ctx.AccessCount(best)
+		if cf < cb || (cf == cb && p.ctx.LastTouch(f).Before(p.ctx.LastTouch(best))) {
+			best = f
+		}
+	}
+	return best
+}
+
+// LRFUDown downgrades the file with the lowest recency+frequency weight
+// (Formula 1).
+type LRFUDown struct {
+	core.NopCallbacks
+	thresholdStartStop
+	defaultTargetTier
+	ctx      *core.Context
+	halfLife time.Duration
+	book     weightBook
+}
+
+// NewLRFUDown builds the LRFU downgrade policy with the given half-life H.
+func NewLRFUDown(ctx *core.Context, halfLife time.Duration) *LRFUDown {
+	if halfLife <= 0 {
+		halfLife = DefaultLRFUHalfLife
+	}
+	return &LRFUDown{
+		thresholdStartStop: thresholdStartStop{ctx},
+		defaultTargetTier:  defaultTargetTier{ctx},
+		ctx:                ctx,
+		halfLife:           halfLife,
+		book:               newWeightBook(),
+	}
+}
+
+// Name implements core.DowngradePolicy.
+func (p *LRFUDown) Name() string { return "LRFU" }
+
+// OnFileCreated initialises the weight to 1 (Section 5.2).
+func (p *LRFUDown) OnFileCreated(f *dfs.File) {
+	p.book.weights[f.ID()] = 1
+	p.book.touched[f.ID()] = p.ctx.Clock.Now()
+}
+
+// OnFileAccessed applies Formula 1.
+func (p *LRFUDown) OnFileAccessed(f *dfs.File) {
+	now := p.ctx.Clock.Now()
+	old := p.book.weights[f.ID()]
+	last, ok := p.book.touched[f.ID()]
+	if !ok {
+		last = f.Created()
+	}
+	p.book.weights[f.ID()] = lrfuWeight(old, now.Sub(last), p.halfLife)
+	p.book.touched[f.ID()] = now
+}
+
+// OnFileDeleted drops the weight entry.
+func (p *LRFUDown) OnFileDeleted(f *dfs.File) { p.book.forget(f.ID()) }
+
+// SelectFile picks the lowest decayed weight.
+func (p *LRFUDown) SelectFile(tier storage.Media) *dfs.File {
+	now := p.ctx.Clock.Now()
+	var best *dfs.File
+	bestW := 0.0
+	for _, f := range p.ctx.EligibleFiles(tier) {
+		last, ok := p.book.touched[f.ID()]
+		if !ok {
+			last = f.Created()
+		}
+		w := lrfuDecayed(p.book.weights[f.ID()], now.Sub(last), p.halfLife)
+		if best == nil || w < bestW {
+			best, bestW = f, w
+		}
+	}
+	return best
+}
+
+// LIFE reproduces PACMan's LIFE policy (Table 1): if files older than the
+// window exist, evict the least frequently used among them; otherwise evict
+// the largest recent file, which minimises average job completion time by
+// favouring small inputs.
+type LIFE struct {
+	core.NopCallbacks
+	thresholdStartStop
+	defaultTargetTier
+	ctx    *core.Context
+	window time.Duration
+}
+
+// NewLIFE builds the LIFE downgrade policy.
+func NewLIFE(ctx *core.Context, window time.Duration) *LIFE {
+	if window <= 0 {
+		window = DefaultLIFEWindow
+	}
+	return &LIFE{thresholdStartStop: thresholdStartStop{ctx}, defaultTargetTier: defaultTargetTier{ctx}, ctx: ctx, window: window}
+}
+
+// Name implements core.DowngradePolicy.
+func (p *LIFE) Name() string { return "LIFE" }
+
+// SelectFile implements the two-partition rule.
+func (p *LIFE) SelectFile(tier storage.Media) *dfs.File {
+	oldCut := p.ctx.Clock.Now().Add(-p.window)
+	var lfuOld *dfs.File
+	var largestNew *dfs.File
+	for _, f := range p.ctx.EligibleFiles(tier) {
+		if p.ctx.LastTouch(f).Before(oldCut) {
+			if lfuOld == nil || p.ctx.AccessCount(f) < p.ctx.AccessCount(lfuOld) {
+				lfuOld = f
+			}
+			continue
+		}
+		if largestNew == nil || f.Size() > largestNew.Size() {
+			largestNew = f
+		}
+	}
+	if lfuOld != nil {
+		return lfuOld
+	}
+	return largestNew
+}
+
+// LFUF reproduces PACMan's LFU-F policy (Table 1): LFU among old files,
+// else LFU among recent files, maximising cluster efficiency.
+type LFUF struct {
+	core.NopCallbacks
+	thresholdStartStop
+	defaultTargetTier
+	ctx    *core.Context
+	window time.Duration
+}
+
+// NewLFUF builds the LFU-F downgrade policy.
+func NewLFUF(ctx *core.Context, window time.Duration) *LFUF {
+	if window <= 0 {
+		window = DefaultLIFEWindow
+	}
+	return &LFUF{thresholdStartStop: thresholdStartStop{ctx}, defaultTargetTier: defaultTargetTier{ctx}, ctx: ctx, window: window}
+}
+
+// Name implements core.DowngradePolicy.
+func (p *LFUF) Name() string { return "LFU-F" }
+
+// SelectFile implements the two-partition LFU rule.
+func (p *LFUF) SelectFile(tier storage.Media) *dfs.File {
+	oldCut := p.ctx.Clock.Now().Add(-p.window)
+	var lfuOld, lfuNew *dfs.File
+	for _, f := range p.ctx.EligibleFiles(tier) {
+		if p.ctx.LastTouch(f).Before(oldCut) {
+			if lfuOld == nil || p.ctx.AccessCount(f) < p.ctx.AccessCount(lfuOld) {
+				lfuOld = f
+			}
+		} else {
+			if lfuNew == nil || p.ctx.AccessCount(f) < p.ctx.AccessCount(lfuNew) {
+				lfuNew = f
+			}
+		}
+	}
+	if lfuOld != nil {
+		return lfuOld
+	}
+	return lfuNew
+}
+
+// EXDDown downgrades the file with the lowest exponentially decayed weight
+// (Formula 2, Big SQL).
+type EXDDown struct {
+	core.NopCallbacks
+	thresholdStartStop
+	defaultTargetTier
+	ctx   *core.Context
+	alpha float64
+	book  weightBook
+}
+
+// NewEXDDown builds the EXD downgrade policy.
+func NewEXDDown(ctx *core.Context, alpha float64) *EXDDown {
+	if alpha <= 0 {
+		alpha = DefaultEXDAlpha
+	}
+	return &EXDDown{
+		thresholdStartStop: thresholdStartStop{ctx},
+		defaultTargetTier:  defaultTargetTier{ctx},
+		ctx:                ctx,
+		alpha:              alpha,
+		book:               newWeightBook(),
+	}
+}
+
+// Name implements core.DowngradePolicy.
+func (p *EXDDown) Name() string { return "EXD" }
+
+// OnFileCreated initialises the weight.
+func (p *EXDDown) OnFileCreated(f *dfs.File) {
+	p.book.weights[f.ID()] = 1
+	p.book.touched[f.ID()] = p.ctx.Clock.Now()
+}
+
+// OnFileAccessed applies Formula 2.
+func (p *EXDDown) OnFileAccessed(f *dfs.File) {
+	now := p.ctx.Clock.Now()
+	old := p.book.weights[f.ID()]
+	last, ok := p.book.touched[f.ID()]
+	if !ok {
+		last = f.Created()
+	}
+	p.book.weights[f.ID()] = exdWeight(old, now.Sub(last), p.alpha)
+	p.book.touched[f.ID()] = now
+}
+
+// OnFileDeleted drops the weight entry.
+func (p *EXDDown) OnFileDeleted(f *dfs.File) { p.book.forget(f.ID()) }
+
+// SelectFile picks the lowest decayed weight.
+func (p *EXDDown) SelectFile(tier storage.Media) *dfs.File {
+	now := p.ctx.Clock.Now()
+	var best *dfs.File
+	bestW := 0.0
+	for _, f := range p.ctx.EligibleFiles(tier) {
+		last, ok := p.book.touched[f.ID()]
+		if !ok {
+			last = f.Created()
+		}
+		w := exdDecayed(p.book.weights[f.ID()], now.Sub(last), p.alpha)
+		if best == nil || w < bestW {
+			best, bestW = f, w
+		}
+	}
+	return best
+}

@@ -1,0 +1,237 @@
+package policy
+
+import (
+	"time"
+
+	"octostore/internal/core"
+	"octostore/internal/dfs"
+	"octostore/internal/storage"
+)
+
+// singleShot implements the common upgrade-loop shape for OSA, LRFU and
+// EXD: the accessed file is the only candidate and the process stops after
+// it (Sections 6.2 and 6.4).
+type singleShot struct {
+	pending *dfs.File
+}
+
+func (s *singleShot) SelectFile() *dfs.File {
+	f := s.pending
+	s.pending = nil
+	return f
+}
+
+func (s *singleShot) StopUpgrade() bool { return s.pending == nil }
+
+// OSA upgrades a file into memory on every access when it is not already
+// there (Table 2, "On Single Access").
+type OSA struct {
+	core.NopCallbacks
+	singleShot
+	ctx *core.Context
+}
+
+// NewOSA builds the OSA upgrade policy.
+func NewOSA(ctx *core.Context) *OSA { return &OSA{ctx: ctx} }
+
+// Name implements core.UpgradePolicy.
+func (p *OSA) Name() string { return "OSA" }
+
+// StartUpgrade implements core.UpgradePolicy.
+func (p *OSA) StartUpgrade(accessed *dfs.File) bool {
+	if accessed == nil || accessed.HasReplicaOn(storage.Memory) {
+		return false
+	}
+	p.pending = accessed
+	return true
+}
+
+// SelectTargetTier implements core.UpgradePolicy: memory only (OSA does not
+// move data from HDD to SSD, Section 6.1).
+func (p *OSA) SelectTargetTier(f *dfs.File, from storage.Media) (storage.Media, bool) {
+	return p.ctx.DefaultUpgradeTier(f, from)
+}
+
+// LRFUUp upgrades an accessed file when its Formula 1 weight exceeds a
+// threshold (Table 2).
+type LRFUUp struct {
+	core.NopCallbacks
+	singleShot
+	ctx       *core.Context
+	halfLife  time.Duration
+	threshold float64
+	book      weightBook
+}
+
+// NewLRFUUp builds the LRFU upgrade policy.
+func NewLRFUUp(ctx *core.Context, halfLife time.Duration, threshold float64) *LRFUUp {
+	if halfLife <= 0 {
+		halfLife = DefaultLRFUHalfLife
+	}
+	if threshold <= 0 {
+		threshold = DefaultLRFUUpgradeThreshold
+	}
+	return &LRFUUp{ctx: ctx, halfLife: halfLife, threshold: threshold, book: newWeightBook()}
+}
+
+// Name implements core.UpgradePolicy.
+func (p *LRFUUp) Name() string { return "LRFU" }
+
+// OnFileCreated initialises the weight to 1.
+func (p *LRFUUp) OnFileCreated(f *dfs.File) {
+	p.book.weights[f.ID()] = 1
+	p.book.touched[f.ID()] = p.ctx.Clock.Now()
+}
+
+// OnFileAccessed applies Formula 1 (the weight the admission test uses).
+func (p *LRFUUp) OnFileAccessed(f *dfs.File) {
+	now := p.ctx.Clock.Now()
+	old := p.book.weights[f.ID()]
+	last, ok := p.book.touched[f.ID()]
+	if !ok {
+		last = f.Created()
+	}
+	p.book.weights[f.ID()] = lrfuWeight(old, now.Sub(last), p.halfLife)
+	p.book.touched[f.ID()] = now
+}
+
+// OnFileDeleted drops the weight entry.
+func (p *LRFUUp) OnFileDeleted(f *dfs.File) { p.book.forget(f.ID()) }
+
+// StartUpgrade admits files whose weight passed the threshold.
+func (p *LRFUUp) StartUpgrade(accessed *dfs.File) bool {
+	if accessed == nil || accessed.HasReplicaOn(storage.Memory) {
+		return false
+	}
+	if p.book.weights[accessed.ID()] <= p.threshold {
+		return false
+	}
+	p.pending = accessed
+	return true
+}
+
+// SelectTargetTier implements core.UpgradePolicy.
+func (p *LRFUUp) SelectTargetTier(f *dfs.File, from storage.Media) (storage.Media, bool) {
+	return p.ctx.DefaultUpgradeTier(f, from)
+}
+
+// EXDUp reproduces Big SQL's admission rule (Table 2): upgrade when memory
+// has room; otherwise upgrade only when the file's Formula 2 weight exceeds
+// the summed weights of the files that would have to be downgraded to make
+// room.
+type EXDUp struct {
+	core.NopCallbacks
+	singleShot
+	ctx   *core.Context
+	alpha float64
+	book  weightBook
+}
+
+// NewEXDUp builds the EXD upgrade policy.
+func NewEXDUp(ctx *core.Context, alpha float64) *EXDUp {
+	if alpha <= 0 {
+		alpha = DefaultEXDAlpha
+	}
+	return &EXDUp{ctx: ctx, alpha: alpha, book: newWeightBook()}
+}
+
+// Name implements core.UpgradePolicy.
+func (p *EXDUp) Name() string { return "EXD" }
+
+// OnFileCreated initialises the weight.
+func (p *EXDUp) OnFileCreated(f *dfs.File) {
+	p.book.weights[f.ID()] = 1
+	p.book.touched[f.ID()] = p.ctx.Clock.Now()
+}
+
+// OnFileAccessed applies Formula 2.
+func (p *EXDUp) OnFileAccessed(f *dfs.File) {
+	now := p.ctx.Clock.Now()
+	old := p.book.weights[f.ID()]
+	last, ok := p.book.touched[f.ID()]
+	if !ok {
+		last = f.Created()
+	}
+	p.book.weights[f.ID()] = exdWeight(old, now.Sub(last), p.alpha)
+	p.book.touched[f.ID()] = now
+}
+
+// OnFileDeleted drops the weight entry.
+func (p *EXDUp) OnFileDeleted(f *dfs.File) { p.book.forget(f.ID()) }
+
+// StartUpgrade implements the space-or-outweigh admission test.
+func (p *EXDUp) StartUpgrade(accessed *dfs.File) bool {
+	if accessed == nil || accessed.HasReplicaOn(storage.Memory) {
+		return false
+	}
+	need := oneReplicaBytes(accessed)
+	if p.ctx.TierFreeBytes(storage.Memory) >= need {
+		p.pending = accessed
+		return true
+	}
+	if p.weightOf(accessed) > p.victimWeightSum(need) {
+		p.pending = accessed
+		return true
+	}
+	return false
+}
+
+func (p *EXDUp) weightOf(f *dfs.File) float64 {
+	now := p.ctx.Clock.Now()
+	last, ok := p.book.touched[f.ID()]
+	if !ok {
+		last = f.Created()
+	}
+	return exdDecayed(p.book.weights[f.ID()], now.Sub(last), p.alpha)
+}
+
+// victimWeightSum sums the decayed weights of the lowest-weight memory
+// files whose eviction would free `need` bytes.
+func (p *EXDUp) victimWeightSum(need int64) float64 {
+	type scored struct {
+		f *dfs.File
+		w float64
+	}
+	var candidates []scored
+	for _, f := range p.ctx.EligibleFiles(storage.Memory) {
+		candidates = append(candidates, scored{f, p.weightOf(f)})
+	}
+	// Selection by ascending weight.
+	for i := 0; i < len(candidates); i++ {
+		minIdx := i
+		for j := i + 1; j < len(candidates); j++ {
+			if candidates[j].w < candidates[minIdx].w {
+				minIdx = j
+			}
+		}
+		candidates[i], candidates[minIdx] = candidates[minIdx], candidates[i]
+	}
+	var freed int64
+	var sum float64
+	for _, c := range candidates {
+		if freed >= need {
+			break
+		}
+		freed += c.f.BytesOn(storage.Memory)
+		sum += c.w
+	}
+	if freed < need {
+		// Even evicting everything would not fit the file: report an
+		// unbeatable weight so the admission test fails.
+		return 1e300
+	}
+	return sum
+}
+
+// SelectTargetTier implements core.UpgradePolicy. EXD may target memory
+// even when full: the admission test already decided the trade is worth it,
+// and the downgrade process frees the space.
+func (p *EXDUp) SelectTargetTier(f *dfs.File, from storage.Media) (storage.Media, bool) {
+	if from == storage.Memory {
+		return 0, false
+	}
+	if to, ok := p.ctx.DefaultUpgradeTier(f, from); ok {
+		return to, true
+	}
+	return storage.Memory, true
+}

@@ -1,0 +1,200 @@
+package policy
+
+import (
+	"math/rand"
+
+	"octostore/internal/core"
+	"octostore/internal/dfs"
+	"octostore/internal/ml"
+	"octostore/internal/storage"
+)
+
+// XGBDown is the paper's ML downgrade policy (Section 5.2): an
+// incrementally trained gradient-boosted model predicts, for the k least
+// recently used files on the tier, the probability of access within the
+// large class window (default 6 hours), and the file with the lowest
+// probability is downgraded. Until the model is ready the policy behaves
+// like LRU.
+type XGBDown struct {
+	thresholdStartStop
+	defaultTargetTier
+	ctx      *core.Context
+	pipeline *ml.Pipeline
+	rng      *rand.Rand
+}
+
+// NewXGBDown builds the XGB downgrade policy with its own incremental
+// model (class window = Config.DowngradeWindow).
+func NewXGBDown(ctx *core.Context, learnerCfg ml.LearnerConfig) *XGBDown {
+	spec := ml.DefaultFeatureSpec()
+	spec.K = ctx.Cfg.TrackerK
+	return &XGBDown{
+		thresholdStartStop: thresholdStartStop{ctx},
+		defaultTargetTier:  defaultTargetTier{ctx},
+		ctx:                ctx,
+		pipeline:           ml.NewPipeline(spec, ctx.Cfg.DowngradeWindow, learnerCfg),
+		rng:                rand.New(rand.NewSource(learnerCfg.Seed + 101)),
+	}
+}
+
+// Name implements core.DowngradePolicy.
+func (p *XGBDown) Name() string { return "XGB" }
+
+// Pipeline exposes the model pipeline for experiment instrumentation.
+func (p *XGBDown) Pipeline() *ml.Pipeline { return p.pipeline }
+
+// OnFileCreated implements core.FileCallbacks.
+func (p *XGBDown) OnFileCreated(*dfs.File) {}
+
+// OnFileAccessed generates a guaranteed-positive training point for the
+// accessed file (Section 4.2: "right after a file is accessed, but only
+// for that file").
+func (p *XGBDown) OnFileAccessed(f *dfs.File) {
+	p.pipeline.Sample(p.ctx.Record(f), p.ctx.Clock.Now())
+}
+
+// OnFileDeleted implements core.FileCallbacks.
+func (p *XGBDown) OnFileDeleted(*dfs.File) {}
+
+// Tick periodically samples a fraction of all files for training
+// (Section 4.2: "repeating the above three steps periodically for a sample
+// of the files").
+func (p *XGBDown) Tick() {
+	now := p.ctx.Clock.Now()
+	for _, f := range p.ctx.FS.Files() {
+		if p.rng.Float64() < p.ctx.Cfg.SampleFraction {
+			p.pipeline.Sample(p.ctx.Record(f), now)
+		}
+	}
+}
+
+// SelectFile scores the k least recently used files and picks the one
+// least likely to be accessed in the distant future.
+func (p *XGBDown) SelectFile(tier storage.Media) *dfs.File {
+	candidates := p.ctx.LRUFiles(tier, p.ctx.Cfg.CandidateK)
+	if len(candidates) == 0 {
+		return nil
+	}
+	now := p.ctx.Clock.Now()
+	var best *dfs.File
+	bestProb := 2.0
+	for _, f := range candidates {
+		prob, ok := p.pipeline.Score(p.ctx.Record(f), now)
+		if !ok {
+			// Model not trained/gated yet: fall back to pure LRU order.
+			return candidates[0]
+		}
+		if prob < bestProb {
+			best, bestProb = f, prob
+		}
+	}
+	return best
+}
+
+// XGBUp is the paper's ML upgrade policy (Section 6.1): on access, upgrade
+// the file when its predicted probability of access within the small class
+// window (default 30 minutes) exceeds the discrimination threshold; on
+// periodic ticks, proactively score the k most recently used non-memory
+// files and upgrade all that qualify, bounded by the upgrade batch limit
+// (Section 6.4).
+type XGBUp struct {
+	ctx      *core.Context
+	pipeline *ml.Pipeline
+	rng      *rand.Rand
+
+	queue          []*dfs.File
+	scheduledBytes int64
+}
+
+// NewXGBUp builds the XGB upgrade policy with its own incremental model
+// (class window = Config.UpgradeWindow).
+func NewXGBUp(ctx *core.Context, learnerCfg ml.LearnerConfig) *XGBUp {
+	spec := ml.DefaultFeatureSpec()
+	spec.K = ctx.Cfg.TrackerK
+	return &XGBUp{
+		ctx:      ctx,
+		pipeline: ml.NewPipeline(spec, ctx.Cfg.UpgradeWindow, learnerCfg),
+		rng:      rand.New(rand.NewSource(learnerCfg.Seed + 211)),
+	}
+}
+
+// Name implements core.UpgradePolicy.
+func (p *XGBUp) Name() string { return "XGB" }
+
+// Pipeline exposes the model pipeline for experiment instrumentation.
+func (p *XGBUp) Pipeline() *ml.Pipeline { return p.pipeline }
+
+// OnFileCreated implements core.FileCallbacks.
+func (p *XGBUp) OnFileCreated(*dfs.File) {}
+
+// OnFileAccessed feeds the upgrade model a positive sample.
+func (p *XGBUp) OnFileAccessed(f *dfs.File) {
+	p.pipeline.Sample(p.ctx.Record(f), p.ctx.Clock.Now())
+}
+
+// OnFileDeleted implements core.FileCallbacks.
+func (p *XGBUp) OnFileDeleted(*dfs.File) {}
+
+// Tick periodically samples files for training.
+func (p *XGBUp) Tick() {
+	now := p.ctx.Clock.Now()
+	for _, f := range p.ctx.FS.Files() {
+		if p.rng.Float64() < p.ctx.Cfg.SampleFraction {
+			p.pipeline.Sample(p.ctx.Record(f), now)
+		}
+	}
+}
+
+// StartUpgrade implements core.UpgradePolicy. With an accessed file it
+// admits on the model's probability; on periodic invocations it builds a
+// proactive batch of likely-soon-accessed files.
+func (p *XGBUp) StartUpgrade(accessed *dfs.File) bool {
+	p.queue = p.queue[:0]
+	p.scheduledBytes = 0
+	now := p.ctx.Clock.Now()
+	if accessed != nil {
+		if accessed.HasReplicaOn(storage.Memory) {
+			return false
+		}
+		prob, ok := p.pipeline.Score(p.ctx.Record(accessed), now)
+		if !ok || prob <= p.ctx.Cfg.UpgradeThreshold {
+			return false
+		}
+		p.queue = append(p.queue, accessed)
+		return true
+	}
+	// Proactive path: score the most recently used non-memory files.
+	for _, f := range p.ctx.UpgradeCandidates(p.ctx.Cfg.CandidateK) {
+		prob, ok := p.pipeline.Score(p.ctx.Record(f), now)
+		if !ok {
+			return false // model not ready; nothing proactive to do
+		}
+		if prob > p.ctx.Cfg.UpgradeThreshold {
+			p.queue = append(p.queue, f)
+		}
+	}
+	return len(p.queue) > 0
+}
+
+// SelectFile pops the next queued candidate and accounts its bytes against
+// the batch limit.
+func (p *XGBUp) SelectFile() *dfs.File {
+	if len(p.queue) == 0 {
+		return nil
+	}
+	f := p.queue[0]
+	p.queue = p.queue[1:]
+	p.scheduledBytes += oneReplicaBytes(f)
+	return f
+}
+
+// SelectTargetTier implements core.UpgradePolicy.
+func (p *XGBUp) SelectTargetTier(f *dfs.File, from storage.Media) (storage.Media, bool) {
+	return p.ctx.DefaultUpgradeTier(f, from)
+}
+
+// StopUpgrade stops when the queue is drained or the scheduled volume
+// exceeds the batch limit (Section 6.4).
+func (p *XGBUp) StopUpgrade() bool {
+	return len(p.queue) == 0 || p.scheduledBytes >= p.ctx.Cfg.UpgradeBatchLimit
+}

@@ -1,0 +1,267 @@
+// Package sim provides a deterministic discrete-event simulation engine and
+// the virtual clock that drives every other component in octostore.
+//
+// All simulation state advances by processing events in timestamp order.
+// Components never sleep or consult the wall clock; instead they schedule
+// callbacks on an Engine and read the current virtual time from its Clock.
+// This allows a six-hour cluster workload to be replayed in milliseconds and
+// makes every run exactly reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Clock exposes the current virtual time. Components that only need to read
+// time (policies, trackers, metrics) should depend on Clock, not Engine.
+type Clock interface {
+	// Now returns the current virtual time.
+	Now() time.Time
+}
+
+// Event is a scheduled callback. Events with equal timestamps fire in the
+// order they were scheduled (FIFO), which keeps runs deterministic.
+type Event struct {
+	at   time.Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// Cancel prevents a pending event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; the simulation model is sequential by design (determinism
+// is worth more than parallelism at this scale).
+type Engine struct {
+	now     time.Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// Epoch is the virtual time at which every new Engine starts. The concrete
+// date is arbitrary; only durations matter to the simulation.
+var Epoch = time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// NewEngine returns an engine whose clock starts at Epoch.
+func NewEngine() *Engine {
+	return &Engine{now: Epoch}
+}
+
+// Now implements Clock.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Fired reports how many events have been processed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are currently scheduled (including
+// cancelled events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero. It returns the Event so the caller may cancel it.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now.Add(delay), fn)
+}
+
+// ScheduleAt runs fn at the given virtual time. Times in the past are
+// clamped to the current time.
+func (e *Engine) ScheduleAt(at time.Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt called with nil callback")
+	}
+	if at.Before(e.now) {
+		at = e.now
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Every schedules fn to run repeatedly with the given period, starting one
+// period from now. The returned Ticker can be stopped. A period <= 0 panics.
+func (e *Engine) Every(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every called with non-positive period %v", period))
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+// Ticker re-schedules a callback at a fixed virtual period until stopped.
+type Ticker struct {
+	engine  *Engine
+	period  time.Duration
+	fn      func()
+	pending *Event
+	stopped bool
+}
+
+func (t *Ticker) schedule() {
+	t.pending = t.engine.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future ticks. It is safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.pending.Cancel()
+}
+
+// Step processes the single earliest pending event. It reports false when no
+// events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= deadline and then advances
+// the clock to exactly the deadline.
+func (e *Engine) RunUntil(deadline time.Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.events) == 0 {
+			break
+		}
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at.After(deadline) {
+			break
+		}
+		e.Step()
+	}
+	if e.now.Before(deadline) {
+		e.now = deadline
+	}
+}
+
+// RunFor is shorthand for RunUntil(Now().Add(d)).
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) peek() *Event {
+	for len(e.events) > 0 {
+		if e.events[0].dead {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0]
+	}
+	return nil
+}
+
+// Since returns the virtual duration elapsed since t.
+func (e *Engine) Since(t time.Time) time.Duration { return e.now.Sub(t) }
+
+// Seconds returns the virtual seconds elapsed since the epoch.
+func (e *Engine) Seconds() float64 { return e.now.Sub(Epoch).Seconds() }
+
+// ManualClock is a trivial Clock for unit tests that do not need an event
+// queue. The zero value starts at Epoch.
+type ManualClock struct {
+	t time.Time
+}
+
+// NewManualClock returns a ManualClock starting at Epoch.
+func NewManualClock() *ManualClock { return &ManualClock{t: Epoch} }
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	if c.t.IsZero() {
+		c.t = Epoch
+	}
+	return c.t
+}
+
+// Advance moves the clock forward by d (backwards moves are ignored).
+func (c *ManualClock) Advance(d time.Duration) {
+	if d > 0 {
+		c.t = c.Now().Add(d)
+	}
+}
+
+// Set moves the clock to t if t is not before the current time.
+func (c *ManualClock) Set(t time.Time) {
+	if t.After(c.Now()) {
+		c.t = t
+	}
+}
+
+// InfiniteFuture is a timestamp far beyond any simulated horizon, used as a
+// sentinel for "no completion scheduled".
+var InfiniteFuture = Epoch.Add(time.Duration(math.MaxInt64 / 4))

@@ -1,0 +1,475 @@
+// Package workload generates synthetic MapReduce-style traces calibrated to
+// the Facebook (FB) and CMU OpenCloud workloads the paper derives with SWIM
+// (Section 7.1): matching job counts, the Table 3 bin distribution of job
+// input sizes, heavy-tailed file sizes, skewed file popularity (a small
+// fraction of files accessed more than five times; a sizable fraction of
+// files created but never read), and each workload's temporal structure —
+// FB exhibits strong short-term temporal locality, while CMU's scientific
+// jobs periodically re-scan datasets, which defeats pure recency policies.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"octostore/internal/storage"
+)
+
+// Bin classifies jobs by input data size (Table 3).
+type Bin int
+
+// The six bins of Table 3.
+const (
+	BinA Bin = iota // 0-128 MB
+	BinB            // 128-512 MB
+	BinC            // 0.5-1 GB
+	BinD            // 1-2 GB
+	BinE            // 2-5 GB
+	BinF            // 5-10 GB
+	NumBins
+)
+
+// String implements fmt.Stringer.
+func (b Bin) String() string {
+	if b < 0 || b >= NumBins {
+		return fmt.Sprintf("Bin(%d)", int(b))
+	}
+	return string(rune('A' + int(b)))
+}
+
+// binBounds returns the [lo, hi) input-size range of a bin in bytes.
+func binBounds(b Bin) (lo, hi int64) {
+	switch b {
+	case BinA:
+		return 1 * storage.MB, 128 * storage.MB
+	case BinB:
+		return 128 * storage.MB, 512 * storage.MB
+	case BinC:
+		return 512 * storage.MB, 1 * storage.GB
+	case BinD:
+		return 1 * storage.GB, 2 * storage.GB
+	case BinE:
+		return 2 * storage.GB, 5 * storage.GB
+	default:
+		return 5 * storage.GB, 10 * storage.GB
+	}
+}
+
+// BinOf classifies an input size in bytes.
+func BinOf(bytes int64) Bin {
+	switch {
+	case bytes < 128*storage.MB:
+		return BinA
+	case bytes < 512*storage.MB:
+		return BinB
+	case bytes < 1*storage.GB:
+		return BinC
+	case bytes < 2*storage.GB:
+		return BinD
+	case bytes < 5*storage.GB:
+		return BinE
+	default:
+		return BinF
+	}
+}
+
+// FileSpec is one pre-existing input file of the trace. CreatedAt is the
+// offset at which the file appears; plain Generate leaves it at zero
+// (all inputs staged up front, as SWIM does), while GenerateEvolving marks
+// each segment's files with the segment start.
+type FileSpec struct {
+	Path      string
+	Size      int64
+	Bin       Bin
+	CreatedAt time.Duration
+}
+
+// Job is one trace job: it arrives, reads its input file, computes, and
+// optionally persists an output file.
+type Job struct {
+	ID          int
+	Arrival     time.Duration // offset from trace start
+	InputPath   string
+	InputBytes  int64
+	OutputPath  string // empty when the job does not persist output
+	OutputBytes int64
+	CPUPerTask  time.Duration
+	Bin         Bin
+}
+
+// Trace is a complete generated workload.
+type Trace struct {
+	Name     string
+	Duration time.Duration
+	Files    []FileSpec
+	Jobs     []Job
+}
+
+// TotalInputBytes sums the sizes of the pre-existing files.
+func (t *Trace) TotalInputBytes() int64 {
+	var total int64
+	for _, f := range t.Files {
+		total += f.Size
+	}
+	return total
+}
+
+// AccessCounts returns how many jobs read each input file path.
+func (t *Trace) AccessCounts() map[string]int {
+	counts := make(map[string]int, len(t.Files))
+	for _, j := range t.Jobs {
+		counts[j.InputPath]++
+	}
+	return counts
+}
+
+// Profile parameterises trace generation for one workload family.
+type Profile struct {
+	Name     string
+	NumJobs  int
+	Duration time.Duration
+
+	// BinFractions is the Table 3 job-count distribution.
+	BinFractions [NumBins]float64
+	// FilesPerBinJob controls how many distinct input files back each
+	// bin's job population: distinct files ≈ jobs*factor (min 1). Large
+	// bins use factors well below 1 so that a few big datasets are shared
+	// by many jobs, keeping the total data volume at the paper's ~90 GB
+	// scale while preserving the heavy-tailed job-size distribution.
+	FilesPerBinJob [NumBins]float64
+	// ZipfS is the within-bin popularity skew (>1 = more skew).
+	ZipfS float64
+	// TemporalLocality is the probability that a job re-reads a recently
+	// accessed file of its bin instead of drawing by popularity (FB-style
+	// short-term reuse).
+	TemporalLocality float64
+	// PeriodicFraction is the probability that a job's input is chosen by
+	// the periodic-scan schedule of its bin (CMU-style re-scans).
+	PeriodicFraction float64
+	// ScanPeriodMin/Max bound each file's re-scan period.
+	ScanPeriodMin, ScanPeriodMax time.Duration
+	// OutputJobFraction is the fraction of jobs that persist output.
+	OutputJobFraction float64
+	// OutputRatioMin/Max bound output size as a fraction of input.
+	OutputRatioMin, OutputRatioMax float64
+	// OutputReuse is the probability that a job reads a previous job's
+	// output instead of a pre-existing file (producer-consumer chains).
+	// Mid-run production is what keeps the memory tier churning; outputs
+	// that are never reused form the paper's "created but never accessed"
+	// population.
+	OutputReuse float64
+	// CPUPerTaskMin/Max bound per-task compute time.
+	CPUPerTaskMin, CPUPerTaskMax time.Duration
+}
+
+// FB returns the Facebook-derived profile: 1000 jobs over 6 hours,
+// dominated by small jobs (Table 3), strong temporal locality, and a file
+// population of roughly 1380 files totalling ~92 GB once outputs are
+// counted (Section 7.1).
+func FB() Profile {
+	return Profile{
+		Name:     "FB",
+		NumJobs:  1000,
+		Duration: 6 * time.Hour,
+		BinFractions: [NumBins]float64{
+			0.744, 0.162, 0.040, 0.030, 0.016, 0.008,
+		},
+		FilesPerBinJob:    [NumBins]float64{1.10, 0.50, 0.40, 0.40, 0.30, 0.30},
+		ZipfS:             1.1,
+		TemporalLocality:  0.50,
+		PeriodicFraction:  0.0,
+		OutputJobFraction: 0.60,
+		OutputRatioMin:    0.20,
+		OutputRatioMax:    0.90,
+		OutputReuse:       0.30,
+		CPUPerTaskMin:     2 * time.Second,
+		CPUPerTaskMax:     6 * time.Second,
+	}
+}
+
+// CMU returns the OpenCloud-derived profile: 800 scientific jobs over 6
+// hours with flatter small-job skew (Table 3) and periodic dataset
+// re-scans in place of short-term locality, the access structure that makes
+// recency-only policies underperform (Section 7.2).
+func CMU() Profile {
+	return Profile{
+		Name:     "CMU",
+		NumJobs:  800,
+		Duration: 6 * time.Hour,
+		BinFractions: [NumBins]float64{
+			0.634, 0.291, 0.009, 0.049, 0.015, 0.003,
+		},
+		FilesPerBinJob:    [NumBins]float64{1.30, 0.50, 0.50, 0.40, 0.30, 0.50},
+		ZipfS:             1.05,
+		TemporalLocality:  0.02,
+		PeriodicFraction:  0.85,
+		ScanPeriodMin:     100 * time.Minute,
+		ScanPeriodMax:     240 * time.Minute,
+		OutputJobFraction: 0.50,
+		OutputRatioMin:    0.20,
+		OutputRatioMax:    0.90,
+		OutputReuse:       0.25,
+		CPUPerTaskMin:     2 * time.Second,
+		CPUPerTaskMax:     8 * time.Second,
+	}
+}
+
+// binFile is generation-time state for one input file.
+type binFile struct {
+	spec       FileSpec
+	lastAccess time.Duration
+	accessed   bool
+	period     time.Duration
+	nextDue    time.Duration
+}
+
+// Generate builds a deterministic trace from a profile and seed.
+func Generate(p Profile, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{Name: p.Name, Duration: p.Duration}
+
+	// 1. Decide each job's bin per the Table 3 distribution, then its
+	// arrival time (Poisson process over the duration).
+	bins := make([]Bin, p.NumJobs)
+	for i := range bins {
+		bins[i] = sampleBin(rng, p.BinFractions)
+	}
+	arrivals := make([]time.Duration, p.NumJobs)
+	rate := float64(p.NumJobs) / p.Duration.Seconds()
+	at := 0.0
+	for i := range arrivals {
+		at += rng.ExpFloat64() / rate
+		arrivals[i] = time.Duration(at * float64(time.Second))
+	}
+	// Clamp stragglers into the duration.
+	for i := range arrivals {
+		if arrivals[i] >= p.Duration {
+			arrivals[i] = p.Duration - time.Minute
+		}
+	}
+
+	// 2. Build the per-bin input file pools.
+	jobsPerBin := make([]int, NumBins)
+	for _, b := range bins {
+		jobsPerBin[b]++
+	}
+	pools := make([][]*binFile, NumBins)
+	fileID := 0
+	for b := Bin(0); b < NumBins; b++ {
+		n := int(math.Ceil(float64(jobsPerBin[b]) * p.FilesPerBinJob[b]))
+		if jobsPerBin[b] > 0 && n < 1 {
+			n = 1
+		}
+		lo, hi := binBounds(b)
+		for i := 0; i < n; i++ {
+			size := logUniform(rng, lo, hi)
+			f := &binFile{spec: FileSpec{
+				Path: fmt.Sprintf("/data/%s/bin%s/f%04d", p.Name, b, fileID),
+				Size: size,
+				Bin:  b,
+			}}
+			if p.PeriodicFraction > 0 {
+				f.period = p.ScanPeriodMin +
+					time.Duration(rng.Float64()*float64(p.ScanPeriodMax-p.ScanPeriodMin))
+				f.nextDue = time.Duration(rng.Float64() * float64(f.period))
+			}
+			pools[b] = append(pools[b], f)
+			tr.Files = append(tr.Files, f.spec)
+			fileID++
+		}
+	}
+
+	// 3. Assign each job an input file using the profile's access
+	// structure, walking jobs in arrival order.
+	order := make([]int, p.NumJobs)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return arrivals[order[a]] < arrivals[order[b]] })
+
+	zipfWeights := make([][]float64, NumBins)
+	for b := Bin(0); b < NumBins; b++ {
+		zipfWeights[b] = zipfCDF(len(pools[b]), p.ZipfS)
+	}
+
+	// Outputs become available for chained consumption a little after their
+	// producer arrives (approximating job runtime).
+	const produceMargin = 10 * time.Minute
+	type producedFile struct {
+		file        *binFile
+		availableAt time.Duration
+	}
+	var produced [NumBins][]*producedFile
+
+	for _, idx := range order {
+		b := bins[idx]
+		pool := pools[b]
+		if len(pool) == 0 {
+			continue
+		}
+		now := arrivals[idx]
+		var f *binFile
+		// Producer-consumer chain: read a prior job's output of this bin.
+		if p.OutputReuse > 0 && rng.Float64() < p.OutputReuse {
+			avail := produced[b]
+			for i := len(avail) - 1; i >= 0; i-- {
+				if avail[i].availableAt <= now {
+					f = avail[i].file
+					break
+				}
+			}
+		}
+		if f == nil {
+			f = chooseFile(rng, p, pool, zipfWeights[b], now)
+		}
+		f.lastAccess = now
+		f.accessed = true
+		if p.PeriodicFraction > 0 && f.period > 0 {
+			f.nextDue = now + f.period
+		}
+		job := Job{
+			ID:         idx,
+			Arrival:    now,
+			InputPath:  f.spec.Path,
+			InputBytes: f.spec.Size,
+			Bin:        b,
+			CPUPerTask: p.CPUPerTaskMin +
+				time.Duration(rng.Float64()*float64(p.CPUPerTaskMax-p.CPUPerTaskMin)),
+		}
+		if rng.Float64() < p.OutputJobFraction {
+			ratio := p.OutputRatioMin + rng.Float64()*(p.OutputRatioMax-p.OutputRatioMin)
+			job.OutputPath = fmt.Sprintf("/out/%s/job%04d", p.Name, idx)
+			job.OutputBytes = int64(ratio * float64(f.spec.Size))
+			if job.OutputBytes < storage.MB {
+				job.OutputBytes = storage.MB
+			}
+			out := &binFile{spec: FileSpec{
+				Path:      job.OutputPath,
+				Size:      job.OutputBytes,
+				Bin:       BinOf(job.OutputBytes),
+				CreatedAt: now,
+			}}
+			produced[out.spec.Bin] = append(produced[out.spec.Bin],
+				&producedFile{file: out, availableAt: now + produceMargin})
+		}
+		tr.Jobs = append(tr.Jobs, job)
+	}
+	sort.Slice(tr.Jobs, func(a, b int) bool { return tr.Jobs[a].Arrival < tr.Jobs[b].Arrival })
+	return tr
+}
+
+// chooseFile picks a job's input file per the profile's access structure.
+func chooseFile(rng *rand.Rand, p Profile, pool []*binFile, zipf []float64, now time.Duration) *binFile {
+	// CMU-style periodic scans: pick the most overdue file.
+	if p.PeriodicFraction > 0 && rng.Float64() < p.PeriodicFraction {
+		var best *binFile
+		var bestOver time.Duration = math.MinInt64
+		for _, f := range pool {
+			over := now - f.nextDue
+			if over > bestOver {
+				best, bestOver = f, over
+			}
+		}
+		if best != nil {
+			return best
+		}
+	}
+	// FB-style temporal locality: re-read something touched recently, with
+	// a bias toward the most recent files (short-term reuse bursts).
+	if p.TemporalLocality > 0 && rng.Float64() < p.TemporalLocality {
+		const window = 30 * time.Minute
+		var recent []*binFile
+		for _, f := range pool {
+			if f.accessed && now-f.lastAccess < window {
+				recent = append(recent, f)
+			}
+		}
+		if len(recent) > 0 {
+			// Sort-free recency bias: sample two and keep the fresher.
+			a := recent[rng.Intn(len(recent))]
+			b := recent[rng.Intn(len(recent))]
+			if b.lastAccess.Seconds() > a.lastAccess.Seconds() {
+				return b
+			}
+			return a
+		}
+	}
+	// Popularity draw (Zipf over the bin pool).
+	u := rng.Float64()
+	i := sort.SearchFloat64s(zipf, u)
+	if i >= len(pool) {
+		i = len(pool) - 1
+	}
+	return pool[i]
+}
+
+// GenerateEvolving concatenates per-segment traces so the access patterns
+// shift over time: segment i uses profiles[i mod len(profiles)] with a
+// fresh file pool and seed. It drives the workload-change experiments
+// (Figures 16 and 17): a model trained on early segments faces different
+// patterns later.
+func GenerateEvolving(profiles []Profile, segment time.Duration, segments int, seed int64) *Trace {
+	out := &Trace{Name: "evolving", Duration: segment * time.Duration(segments)}
+	for i := 0; i < segments; i++ {
+		p := profiles[i%len(profiles)]
+		p.NumJobs = int(float64(p.NumJobs) * segment.Seconds() / p.Duration.Seconds())
+		if p.NumJobs < 1 {
+			p.NumJobs = 1
+		}
+		p.Duration = segment
+		p.Name = fmt.Sprintf("%s-seg%d", p.Name, i)
+		sub := Generate(p, seed+int64(i)*7919)
+		offset := segment * time.Duration(i)
+		for _, f := range sub.Files {
+			f.CreatedAt = offset
+			out.Files = append(out.Files, f)
+		}
+		for _, j := range sub.Jobs {
+			j.Arrival += offset
+			out.Jobs = append(out.Jobs, j)
+		}
+	}
+	return out
+}
+
+// sampleBin draws a bin from the distribution.
+func sampleBin(rng *rand.Rand, fractions [NumBins]float64) Bin {
+	u := rng.Float64()
+	acc := 0.0
+	for b := Bin(0); b < NumBins; b++ {
+		acc += fractions[b]
+		if u < acc {
+			return b
+		}
+	}
+	return BinA
+}
+
+// logUniform draws a size log-uniformly from [lo, hi).
+func logUniform(rng *rand.Rand, lo, hi int64) int64 {
+	l, h := math.Log(float64(lo)), math.Log(float64(hi))
+	return int64(math.Exp(l + rng.Float64()*(h-l)))
+}
+
+// zipfCDF returns the cumulative Zipf(s) distribution over n ranks.
+func zipfCDF(n int, s float64) []float64 {
+	if n == 0 {
+		return nil
+	}
+	weights := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0 / math.Pow(float64(i+1), s)
+		weights[i] = w
+		total += w
+	}
+	acc := 0.0
+	for i := range weights {
+		acc += weights[i] / total
+		weights[i] = acc
+	}
+	return weights
+}

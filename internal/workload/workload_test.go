@@ -1,0 +1,330 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"octostore/internal/storage"
+)
+
+func TestBinOf(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		want  Bin
+	}{
+		{64 * storage.MB, BinA},
+		{128 * storage.MB, BinB},
+		{511 * storage.MB, BinB},
+		{600 * storage.MB, BinC},
+		{1 * storage.GB, BinD},
+		{3 * storage.GB, BinE},
+		{8 * storage.GB, BinF},
+	}
+	for _, c := range cases {
+		if got := BinOf(c.bytes); got != c.want {
+			t.Fatalf("BinOf(%d) = %v, want %v", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestBinString(t *testing.T) {
+	if BinA.String() != "A" || BinF.String() != "F" {
+		t.Fatal("bin strings wrong")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	t1 := Generate(FB(), 42)
+	t2 := Generate(FB(), 42)
+	if len(t1.Jobs) != len(t2.Jobs) || len(t1.Files) != len(t2.Files) {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := range t1.Jobs {
+		if t1.Jobs[i] != t2.Jobs[i] {
+			t.Fatalf("job %d differs between runs", i)
+		}
+	}
+	t3 := Generate(FB(), 43)
+	same := true
+	for i := range t1.Jobs {
+		if i < len(t3.Jobs) && t1.Jobs[i] != t3.Jobs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestFBTraceShape(t *testing.T) {
+	tr := Generate(FB(), 1)
+	if tr.Name != "FB" {
+		t.Fatalf("name = %s", tr.Name)
+	}
+	if len(tr.Jobs) != 1000 {
+		t.Fatalf("jobs = %d, want 1000", len(tr.Jobs))
+	}
+	// Bin distribution within tolerance of Table 3.
+	counts := make([]int, NumBins)
+	for _, j := range tr.Jobs {
+		counts[j.Bin]++
+	}
+	fracA := float64(counts[BinA]) / float64(len(tr.Jobs))
+	if math.Abs(fracA-0.744) > 0.05 {
+		t.Fatalf("bin A fraction = %.3f, want ~0.744", fracA)
+	}
+	// File population: paper reports 1380 files for FB including outputs.
+	outputs := 0
+	for _, j := range tr.Jobs {
+		if j.OutputPath != "" {
+			outputs++
+		}
+	}
+	total := len(tr.Files) + outputs
+	if total < 1100 || total > 1700 {
+		t.Fatalf("total files (inputs %d + outputs %d) = %d, want ~1380", len(tr.Files), outputs, total)
+	}
+}
+
+func TestCMUTraceShape(t *testing.T) {
+	tr := Generate(CMU(), 1)
+	if len(tr.Jobs) != 800 {
+		t.Fatalf("jobs = %d, want 800", len(tr.Jobs))
+	}
+	counts := make([]int, NumBins)
+	for _, j := range tr.Jobs {
+		counts[j.Bin]++
+	}
+	fracA := float64(counts[BinA]) / float64(len(tr.Jobs))
+	if math.Abs(fracA-0.634) > 0.06 {
+		t.Fatalf("bin A fraction = %.3f, want ~0.634", fracA)
+	}
+}
+
+func TestArrivalsSortedWithinDuration(t *testing.T) {
+	for _, p := range []Profile{FB(), CMU()} {
+		tr := Generate(p, 7)
+		var last time.Duration = -1
+		for _, j := range tr.Jobs {
+			if j.Arrival < last {
+				t.Fatal("arrivals not sorted")
+			}
+			if j.Arrival < 0 || j.Arrival >= p.Duration {
+				t.Fatalf("arrival %v outside [0, %v)", j.Arrival, p.Duration)
+			}
+			last = j.Arrival
+		}
+	}
+}
+
+func TestJobInputMatchesBin(t *testing.T) {
+	tr := Generate(FB(), 11)
+	sizes := make(map[string]int64, len(tr.Files))
+	for _, f := range tr.Files {
+		sizes[f.Path] = f.Size
+	}
+	// Outputs of earlier jobs are legitimate inputs of later jobs.
+	producedAt := make(map[string]time.Duration)
+	for _, j := range tr.Jobs {
+		if j.OutputPath != "" {
+			sizes[j.OutputPath] = j.OutputBytes
+			producedAt[j.OutputPath] = j.Arrival
+		}
+	}
+	chained := 0
+	for _, j := range tr.Jobs {
+		size, ok := sizes[j.InputPath]
+		if !ok {
+			t.Fatalf("job %d reads unknown file %s", j.ID, j.InputPath)
+		}
+		if size != j.InputBytes {
+			t.Fatalf("job %d input bytes %d != file size %d", j.ID, j.InputBytes, size)
+		}
+		if BinOf(size) != j.Bin {
+			t.Fatalf("job %d bin %v but input size %d is bin %v", j.ID, j.Bin, size, BinOf(size))
+		}
+		if at, isOutput := producedAt[j.InputPath]; isOutput {
+			chained++
+			if at >= j.Arrival {
+				t.Fatalf("job %d consumes output %s before its producer arrives", j.ID, j.InputPath)
+			}
+		}
+	}
+	if chained == 0 {
+		t.Fatal("no producer-consumer chains generated")
+	}
+}
+
+func TestPopularitySkew(t *testing.T) {
+	tr := Generate(FB(), 3)
+	counts := tr.AccessCounts()
+	over5 := 0
+	for _, c := range counts {
+		if c > 5 {
+			over5++
+		}
+	}
+	// Paper: 5.7% of FB files accessed more than 5 times. Inputs only here
+	// (outputs are never re-read), so measure against the input population
+	// and accept a broad band.
+	frac := float64(over5) / float64(len(tr.Files))
+	if frac < 0.005 || frac > 0.20 {
+		t.Fatalf("fraction of files accessed >5 times = %.3f, want heavy-tailed", frac)
+	}
+	// Some files should never be accessed (plus all outputs).
+	never := 0
+	for _, f := range tr.Files {
+		if counts[f.Path] == 0 {
+			never++
+		}
+	}
+	if never == 0 {
+		t.Fatal("every input file accessed; expected a cold fraction")
+	}
+}
+
+func TestTemporalLocalityDiffersBetweenProfiles(t *testing.T) {
+	// Measure median reuse distance in time: FB should re-access files
+	// sooner after their previous access than CMU.
+	medianGap := func(tr *Trace) time.Duration {
+		last := map[string]time.Duration{}
+		var gaps []time.Duration
+		for _, j := range tr.Jobs {
+			if prev, ok := last[j.InputPath]; ok {
+				gaps = append(gaps, j.Arrival-prev)
+			}
+			last[j.InputPath] = j.Arrival
+		}
+		if len(gaps) == 0 {
+			return 0
+		}
+		// insertion sort is fine at this size
+		for i := 1; i < len(gaps); i++ {
+			for j := i; j > 0 && gaps[j] < gaps[j-1]; j-- {
+				gaps[j], gaps[j-1] = gaps[j-1], gaps[j]
+			}
+		}
+		return gaps[len(gaps)/2]
+	}
+	fb := medianGap(Generate(FB(), 5))
+	cmu := medianGap(Generate(CMU(), 5))
+	if fb == 0 || cmu == 0 {
+		t.Fatal("no re-accesses generated")
+	}
+	if fb >= cmu {
+		t.Fatalf("FB median reuse gap %v should be shorter than CMU %v", fb, cmu)
+	}
+}
+
+func TestCMUPeriodicity(t *testing.T) {
+	tr := Generate(CMU(), 9)
+	// For files with >= 3 accesses, successive gaps should cluster near the
+	// file's period: check that the coefficient of variation of gaps is
+	// small for at least some files.
+	accesses := map[string][]time.Duration{}
+	for _, j := range tr.Jobs {
+		accesses[j.InputPath] = append(accesses[j.InputPath], j.Arrival)
+	}
+	regular := 0
+	candidates := 0
+	for _, times := range accesses {
+		if len(times) < 4 {
+			continue
+		}
+		candidates++
+		var gaps []float64
+		for i := 1; i < len(times); i++ {
+			gaps = append(gaps, (times[i] - times[i-1]).Seconds())
+		}
+		mean, varsum := 0.0, 0.0
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		for _, g := range gaps {
+			varsum += (g - mean) * (g - mean)
+		}
+		cv := math.Sqrt(varsum/float64(len(gaps))) / mean
+		if cv < 0.5 {
+			regular++
+		}
+	}
+	if candidates == 0 {
+		t.Fatal("no multi-access files in CMU trace")
+	}
+	if regular == 0 {
+		t.Fatal("no periodically accessed files detected in CMU trace")
+	}
+}
+
+func TestOutputJobs(t *testing.T) {
+	tr := Generate(FB(), 13)
+	withOutput := 0
+	for _, j := range tr.Jobs {
+		if j.OutputPath == "" {
+			continue
+		}
+		withOutput++
+		if j.OutputBytes <= 0 {
+			t.Fatalf("job %d has output path but %d bytes", j.ID, j.OutputBytes)
+		}
+		if j.OutputBytes > j.InputBytes && j.OutputBytes > storage.MB {
+			t.Fatalf("job %d output %d larger than input %d", j.ID, j.OutputBytes, j.InputBytes)
+		}
+	}
+	frac := float64(withOutput) / float64(len(tr.Jobs))
+	want := FB().OutputJobFraction
+	if math.Abs(frac-want) > 0.06 {
+		t.Fatalf("output job fraction = %.3f, want ~%.2f", frac, want)
+	}
+}
+
+func TestTotalInputBytesReasonable(t *testing.T) {
+	tr := Generate(FB(), 17)
+	total := tr.TotalInputBytes()
+	// Paper: FB processes 1380 files with total size 92 GB. The synthetic
+	// trace should land in the same regime (tens of GB).
+	if total < 30*storage.GB || total > 200*storage.GB {
+		t.Fatalf("total input bytes = %.1f GB, want tens of GB", float64(total)/float64(storage.GB))
+	}
+}
+
+func TestCPUPerTaskWithinBounds(t *testing.T) {
+	p := FB()
+	tr := Generate(p, 19)
+	for _, j := range tr.Jobs {
+		if j.CPUPerTask < p.CPUPerTaskMin || j.CPUPerTask > p.CPUPerTaskMax {
+			t.Fatalf("job %d CPU %v outside [%v, %v]", j.ID, j.CPUPerTask, p.CPUPerTaskMin, p.CPUPerTaskMax)
+		}
+	}
+}
+
+func TestZipfCDF(t *testing.T) {
+	cdf := zipfCDF(5, 1.0)
+	if len(cdf) != 5 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	if math.Abs(cdf[4]-1.0) > 1e-9 {
+		t.Fatalf("cdf[last] = %v", cdf[4])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] <= cdf[i-1] {
+			t.Fatal("cdf not increasing")
+		}
+	}
+	if zipfCDF(0, 1.0) != nil {
+		t.Fatal("empty cdf should be nil")
+	}
+}
+
+func TestLogUniformBounds(t *testing.T) {
+	tr := Generate(FB(), 23)
+	for _, f := range tr.Files {
+		lo, hi := binBounds(f.Bin)
+		if f.Size < lo || f.Size >= hi+hi/8 { // allow rounding slack at top
+			t.Fatalf("file %s size %d outside bin %v bounds [%d, %d)", f.Path, f.Size, f.Bin, lo, hi)
+		}
+	}
+}
