@@ -103,3 +103,8 @@ func BenchmarkFig17WorkloadSwitch(b *testing.B) { runExperiment(b, "fig17") }
 
 // BenchmarkOverheads regenerates the Section 7.7 overhead numbers.
 func BenchmarkOverheads(b *testing.B) { runExperiment(b, "overheads") }
+
+// BenchmarkScenarios replays the scenario catalog (hot-set drift, burst
+// storm, multi-tenant mix, capacity crunch, node churn) against the
+// compared systems with the invariant checker enabled.
+func BenchmarkScenarios(b *testing.B) { runExperiment(b, "scenarios") }

@@ -5,6 +5,9 @@
 //	octobench -exp fig6              # one experiment at paper scale
 //	octobench -exp all -fast         # every experiment, reduced scale
 //	octobench -list                  # show available experiment ids
+//	octobench -exp scenarios -fast   # replay the whole scenario catalog
+//	octobench -exp scenarios -scenario node-churn   # one scenario
+//	octobench -scenario list         # show available scenario names
 //
 // Each experiment prints one or more aligned text tables whose rows mirror
 // the series the paper plots; see EXPERIMENTS.md for the mapping and the
@@ -18,15 +21,17 @@ import (
 	"time"
 
 	"octostore/internal/experiments"
+	"octostore/internal/scenario"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (or 'all')")
-		list    = flag.Bool("list", false, "list available experiments")
-		fast    = flag.Bool("fast", false, "reduced-scale run (small cluster, short workload)")
-		workers = flag.Int("workers", 11, "cluster worker count")
-		seed    = flag.Int64("seed", 1, "workload/placement seed")
+		exp      = flag.String("exp", "", "experiment id (or 'all')")
+		list     = flag.Bool("list", false, "list available experiments")
+		fast     = flag.Bool("fast", false, "reduced-scale run (small cluster, short workload)")
+		workers  = flag.Int("workers", 11, "cluster worker count")
+		seed     = flag.Int64("seed", 1, "workload/placement seed")
+		scenName = flag.String("scenario", "", "scenario name for -exp scenarios ('list' to enumerate, empty for all)")
 	)
 	flag.Parse()
 
@@ -36,11 +41,21 @@ func main() {
 		}
 		return
 	}
+	if *scenName == "list" {
+		for _, name := range scenario.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "octobench: -exp is required (use -list to see options)")
 		os.Exit(2)
 	}
-	opts := experiments.Options{Workers: *workers, Seed: *seed, Fast: *fast}
+	if *scenName != "" && *exp != "scenarios" && *exp != "all" {
+		fmt.Fprintf(os.Stderr, "octobench: -scenario only applies to -exp scenarios (got -exp %s)\n", *exp)
+		os.Exit(2)
+	}
+	opts := experiments.Options{Workers: *workers, Seed: *seed, Fast: *fast, Scenario: *scenName}
 
 	ids := []string{*exp}
 	if *exp == "all" {

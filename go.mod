@@ -1,0 +1,3 @@
+module octostore
+
+go 1.21

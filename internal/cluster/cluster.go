@@ -84,6 +84,7 @@ func (n *Node) TierCapacity(media storage.Media) int64 {
 type Cluster struct {
 	engine *sim.Engine
 	nodes  []*Node
+	nextID int
 }
 
 // Config describes a cluster to build.
@@ -112,22 +113,45 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{engine: engine}
 	for i := 0; i < cfg.Workers; i++ {
-		n := &Node{
-			id:      i,
-			name:    fmt.Sprintf("worker-%d", i),
-			devices: make(map[storage.Media][]*storage.Device),
-			slots:   cfg.SlotsPerNode,
-		}
-		for _, spec := range cfg.Spec {
-			for j := 0; j < spec.Count; j++ {
-				id := fmt.Sprintf("%s/%s-%d", n.name, spec.Media, j)
-				d := storage.NewDevice(engine, id, spec.Media, spec.Capacity, spec.ReadBW, spec.WriteBW)
-				n.devices[spec.Media] = append(n.devices[spec.Media], d)
-			}
-		}
-		c.nodes = append(c.nodes, n)
+		c.AddNode(cfg.Spec, cfg.SlotsPerNode)
 	}
 	return c, nil
+}
+
+// AddNode joins a fresh worker with the given storage spec and task slots to
+// the cluster (node membership churn, e.g. scale-out mid-workload). Node ids
+// are never reused.
+func (c *Cluster) AddNode(spec storage.NodeSpec, slots int) *Node {
+	n := &Node{
+		id:      c.nextID,
+		name:    fmt.Sprintf("worker-%d", c.nextID),
+		devices: make(map[storage.Media][]*storage.Device),
+		slots:   slots,
+	}
+	c.nextID++
+	for _, ds := range spec {
+		for j := 0; j < ds.Count; j++ {
+			id := fmt.Sprintf("%s/%s-%d", n.name, ds.Media, j)
+			d := storage.NewDevice(c.engine, id, ds.Media, ds.Capacity, ds.ReadBW, ds.WriteBW)
+			n.devices[ds.Media] = append(n.devices[ds.Media], d)
+		}
+	}
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// RemoveNode detaches the worker with the given id from the cluster,
+// returning it (nil when unknown). Its devices leave capacity accounting;
+// the caller is responsible for the replicas it held (dfs.FileSystem.FailNode
+// wraps this with replica teardown).
+func (c *Cluster) RemoveNode(id int) *Node {
+	for i, n := range c.nodes {
+		if n.id == id {
+			c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
+			return n
+		}
+	}
+	return nil
 }
 
 // MustNew is New but panics on error; convenient in tests and examples.
@@ -145,8 +169,17 @@ func (c *Cluster) Engine() *sim.Engine { return c.engine }
 // Nodes returns all worker nodes.
 func (c *Cluster) Nodes() []*Node { return c.nodes }
 
-// Node returns the worker with the given id.
-func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
+// Node returns the worker with the given id, or nil after it has left the
+// cluster. Ids equal slice positions only until the first membership change,
+// so this searches rather than indexes.
+func (c *Cluster) Node(id int) *Node {
+	for _, n := range c.nodes {
+		if n.id == id {
+			return n
+		}
+	}
+	return nil
+}
 
 // Size returns the number of worker nodes.
 func (c *Cluster) Size() int { return len(c.nodes) }

@@ -66,7 +66,9 @@ func (c *Context) IsBusy(f *dfs.File) bool {
 // property).
 func (c *Context) EligibleFiles(tier storage.Media) []*dfs.File {
 	var out []*dfs.File
-	for _, f := range c.FS.Files() {
+	// LiveFiles avoids the sorted namespace walk; HasReplicaOn is O(1) via
+	// the residency counters. Selection policies impose their own ordering.
+	for _, f := range c.FS.LiveFiles() {
 		if f.Deleted() || !c.FS.Complete(f) || c.IsBusy(f) {
 			continue
 		}
@@ -87,7 +89,7 @@ func (c *Context) EligibleFiles(tier storage.Media) []*dfs.File {
 // Section 6.1).
 func (c *Context) UpgradeCandidates(k int) []*dfs.File {
 	var out []*dfs.File
-	for _, f := range c.FS.Files() {
+	for _, f := range c.FS.LiveFiles() {
 		if f.Deleted() || !c.FS.Complete(f) || c.IsBusy(f) || len(f.Blocks()) == 0 {
 			continue
 		}

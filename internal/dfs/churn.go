@@ -1,0 +1,73 @@
+package dfs
+
+import (
+	"octostore/internal/cluster"
+	"octostore/internal/storage"
+)
+
+// This file implements cluster membership churn against the file system:
+// node joins (trivial — placement discovers new nodes on the next decision)
+// and node loss, which must tear replica state down without corrupting the
+// capacity accounting that the invariant checker enforces at every event
+// boundary.
+
+// AddNode joins a fresh worker to the cluster and returns it. Placement,
+// movement targeting and task scheduling pick the node up on their next
+// decision; no replica state changes.
+func (fs *FileSystem) AddNode(spec storage.NodeSpec, slots int) *cluster.Node {
+	return fs.cluster.AddNode(spec, slots)
+}
+
+// FailNode removes a worker from the cluster, losing every replica it held.
+// Replicas on the node are detached from their blocks and the node's devices
+// leave capacity accounting wholesale (no per-replica Release). In-flight
+// transfers involving the node are settled so the commit callbacks cannot
+// resurrect detached replicas or leak destination reservations. Blocks whose
+// remaining readable replicas fall below the replication target surface via
+// UnderReplicatedFiles, where the Replication Monitor repairs them; with the
+// default replication of 3 and distinct-node placement, a single node loss
+// never makes a block unreadable.
+func (fs *FileSystem) FailNode(n *cluster.Node) {
+	if n == nil || fs.removedNodes[n.ID()] {
+		return
+	}
+	fs.removedNodes[n.ID()] = true
+	// Settle in-flight moves whose destination sits on the lost node: the
+	// device leaves accounting now, so the pending reservation does too, and
+	// the commit keeps the replica at its source.
+	for m := range fs.moves {
+		if m.dstNod == n && !m.dstGone {
+			m.dstGone = true
+			fs.pendingMoveBytes -= m.block.size
+		}
+	}
+	for _, f := range fs.fileList {
+		for _, b := range f.blocks {
+			for i := 0; i < len(b.replicas); {
+				r := b.replicas[i]
+				if r.node != n {
+					i++
+					continue
+				}
+				wasReadable := r.Readable()
+				media := r.Media()
+				if r.state != ReplicaDeleting {
+					fs.liveBytes -= b.size
+				}
+				// Deleting also tells any pending write-completion callback
+				// (initial create, cache fill, copy) not to mark the
+				// detached replica valid.
+				r.state = ReplicaDeleting
+				b.replicas = append(b.replicas[:i], b.replicas[i+1:]...)
+				if wasReadable {
+					b.noteUnreadable(r, media)
+				}
+			}
+		}
+	}
+	fs.cluster.RemoveNode(n.ID())
+}
+
+// NodeRemoved reports whether the node with the given id has left the
+// cluster through FailNode.
+func (fs *FileSystem) NodeRemoved(id int) bool { return fs.removedNodes[id] }

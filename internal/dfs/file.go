@@ -133,6 +133,42 @@ func (b *Block) removeReplica(r *Replica) {
 	}
 }
 
+// hasReplica reports whether r is still attached to the block.
+func (b *Block) hasReplica(r *Replica) bool {
+	for _, other := range b.replicas {
+		if other == r {
+			return true
+		}
+	}
+	return false
+}
+
+// noteReadable updates the owning file's per-tier residency counter after r
+// became readable: the counter gains the block when r is its first readable
+// replica on that media. Call it after the state (and, for moves, device)
+// change has been applied.
+func (b *Block) noteReadable(r *Replica) {
+	m := r.Media()
+	for _, other := range b.replicas {
+		if other != r && other.Readable() && other.Media() == m {
+			return
+		}
+	}
+	b.file.tierBlocks[m]++
+}
+
+// noteUnreadable is the inverse of noteReadable: call it after r stopped
+// being readable on `media` (state change, device repoint, or detachment),
+// passing the media it was readable on.
+func (b *Block) noteUnreadable(r *Replica, media storage.Media) {
+	for _, other := range b.replicas {
+		if other != r && other.Readable() && other.Media() == media {
+			return
+		}
+	}
+	b.file.tierBlocks[media]--
+}
+
 // File is a stored file: an ordered list of blocks plus metadata.
 type File struct {
 	id          FileID
@@ -142,6 +178,11 @@ type File struct {
 	replication int
 	blocks      []*Block
 	deleted     bool
+	// tierBlocks[m] counts blocks having at least one readable replica on
+	// media m, maintained incrementally on every replica transition so the
+	// manager's per-tick file scans answer HasReplicaOn in O(1) instead of
+	// walking every replica of every block.
+	tierBlocks [3]int32
 }
 
 // ID returns the file id.
@@ -167,8 +208,15 @@ func (f *File) Deleted() bool { return f.deleted }
 
 // HasReplicaOn reports whether every block of the file has a readable
 // replica on the given media — the "all-or-nothing" property the paper's
-// policies care about (Section 3.2).
+// policies care about (Section 3.2). It reads the incrementally maintained
+// residency counter, so it is O(1).
 func (f *File) HasReplicaOn(media storage.Media) bool {
+	return len(f.blocks) > 0 && int(f.tierBlocks[media]) == len(f.blocks)
+}
+
+// hasReplicaOnSlow recomputes HasReplicaOn from the replica lists; the
+// invariant checker uses it to validate the counters.
+func (f *File) hasReplicaOnSlow(media storage.Media) bool {
 	if len(f.blocks) == 0 {
 		return false
 	}

@@ -122,18 +122,35 @@ type FileSystem struct {
 	nextBlockID int64
 	creating    map[FileID]bool
 	stats       Stats
+
+	// fileList/filePos index every live file so manager scans iterate a
+	// flat slice instead of walking (and sorting) the namespace tree.
+	fileList []*File
+	filePos  map[FileID]int
+
+	// liveBytes tracks the block bytes of all attached, non-deleting
+	// replicas; pendingMoveBytes tracks destination reservations of
+	// in-flight tier moves. Together they let the invariant checker verify
+	// capacity conservation in O(#devices) at any event boundary.
+	liveBytes        int64
+	pendingMoveBytes int64
+	moves            map[*blockMove]bool
+	removedNodes     map[int]bool
 }
 
 // New builds a file system over the cluster.
 func New(c *cluster.Cluster, cfg Config) (*FileSystem, error) {
 	cfg.applyDefaults()
 	fs := &FileSystem{
-		engine:   c.Engine(),
-		cluster:  c,
-		ns:       NewNamespace(),
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		creating: make(map[FileID]bool),
+		engine:       c.Engine(),
+		cluster:      c,
+		ns:           NewNamespace(),
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		creating:     make(map[FileID]bool),
+		filePos:      make(map[FileID]int),
+		moves:        make(map[*blockMove]bool),
+		removedNodes: make(map[int]bool),
 	}
 	switch cfg.Mode {
 	case ModeHDFS, ModeHDFSCache:
@@ -194,6 +211,34 @@ func (fs *FileSystem) Files() []*File {
 	var files []*File
 	fs.ns.Walk(func(f *File) { files = append(files, f) })
 	return files
+}
+
+// LiveFiles returns every live file without walking or sorting the
+// namespace tree — the fast path for the manager's per-tick selection
+// scans. The order is deterministic (insertion order perturbed by
+// swap-removal on delete) but not sorted; callers that need an ordering
+// must impose their own. The returned slice is the live index: do not
+// mutate it or hold it across file creations and deletions.
+func (fs *FileSystem) LiveFiles() []*File { return fs.fileList }
+
+// trackFile adds f to the live-file index.
+func (fs *FileSystem) trackFile(f *File) {
+	fs.filePos[f.id] = len(fs.fileList)
+	fs.fileList = append(fs.fileList, f)
+}
+
+// untrackFile removes f from the live-file index by swapping the tail in.
+func (fs *FileSystem) untrackFile(f *File) {
+	pos, ok := fs.filePos[f.id]
+	if !ok {
+		return
+	}
+	last := len(fs.fileList) - 1
+	fs.fileList[pos] = fs.fileList[last]
+	fs.filePos[fs.fileList[pos].id] = pos
+	fs.fileList[last] = nil
+	fs.fileList = fs.fileList[:last]
+	delete(fs.filePos, f.id)
 }
 
 // Complete reports whether the file's initial write has finished.
@@ -272,6 +317,7 @@ func (fs *FileSystem) Create(path string, size int64, done func(*File, error)) {
 		fail(err)
 		return
 	}
+	fs.trackFile(f)
 	// Cut the file into blocks.
 	for remaining := size; remaining > 0; remaining -= fs.cfg.BlockSize {
 		bs := remaining
@@ -289,6 +335,7 @@ func (fs *FileSystem) Create(path string, size int64, done func(*File, error)) {
 			fs.releaseAllReplicas(f)
 			if _, rmErr := fs.ns.removeFile(f.path); rmErr == nil {
 				f.deleted = true
+				fs.untrackFile(f)
 			}
 			fail(err)
 			return
@@ -339,11 +386,13 @@ func (fs *FileSystem) writeBlock(b *Block, onDone func()) error {
 		r := &Replica{block: b, node: t.Node, device: t.Device, state: ReplicaCreating}
 		replicas = append(replicas, r)
 		b.replicas = append(b.replicas, r)
+		fs.liveBytes += b.size
 	}
 	barrier := fs.finishAfter(len(targets), fs.clientFloor(b.size), func() {
 		for _, r := range replicas {
 			if r.state == ReplicaCreating {
 				r.state = ReplicaValid
+				b.noteReadable(r)
 			}
 		}
 		onDone()
@@ -399,10 +448,12 @@ func (fs *FileSystem) cacheFile(f *File) {
 		b := b
 		r := &Replica{block: b, node: node, device: target, state: ReplicaCreating, isCache: true}
 		b.replicas = append(b.replicas, r)
+		fs.liveBytes += b.size
 		fs.stats.BytesUpgradedTo[storage.Memory] += b.size
 		target.StartWrite(b.size, func() {
 			if r.state == ReplicaCreating {
 				r.state = ReplicaValid
+				b.noteReadable(r)
 			}
 		})
 	}
@@ -495,6 +546,7 @@ func (fs *FileSystem) Delete(path string) error {
 	}
 	fs.releaseAllReplicas(f)
 	f.deleted = true
+	fs.untrackFile(f)
 	fs.stats.FilesDeleted++
 	for _, l := range fs.listeners {
 		l.FileDeleted(f)
@@ -508,11 +560,13 @@ func (fs *FileSystem) releaseAllReplicas(f *File) {
 			if r.state != ReplicaDeleting {
 				r.state = ReplicaDeleting
 				r.device.Release(b.size)
+				fs.liveBytes -= b.size
 				fs.stats.ReplicasDeleted++
 			}
 		}
 		b.replicas = nil
 	}
+	f.tierBlocks = [3]int32{}
 }
 
 func (fs *FileSystem) inTransition(f *File) bool {

@@ -92,10 +92,95 @@ func TestPropertyCapacityConservation(t *testing.T) {
 					op, liveReplicaBytes(fs), deviceUsedBytes(fs))
 				return false
 			}
+			if err := fs.CheckInvariants(); err != nil {
+				t.Logf("invariants after op %d: %v", op, err)
+				return false
+			}
 		}
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyInvariantsUnderChurnAndNodeLoss extends the random-ops
+// property with mid-flight invariant checks (no quiescing between ops) and
+// node membership churn: every event boundary must satisfy the O(devices)
+// accounting check, and quiescent points the deep check.
+func TestPropertyInvariantsUnderChurnAndNodeLoss(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		e := sim.NewEngine()
+		c := cluster.MustNew(e, cluster.Config{
+			Workers: 4, SlotsPerNode: 2, Spec: storage.SmallWorkerSpec(),
+		})
+		fs := MustNew(c, Config{Mode: ModeOctopus, BlockSize: 8 * storage.MB, Seed: seed})
+		var bad error
+		e.SetEventHook(func() {
+			if bad == nil {
+				bad = fs.CheckAccounting()
+			}
+		})
+		rng := rand.New(rand.NewSource(seed))
+		var paths []string
+		nextID := 0
+		for _, op := range ops {
+			switch op % 7 {
+			case 0, 1: // create
+				path := pathN("/p", nextID)
+				nextID++
+				fs.Create(path, int64(1+rng.Intn(24))*storage.MB, func(f *File, err error) {
+					if err == nil {
+						paths = append(paths, path)
+					}
+				})
+			case 2: // delete
+				if len(paths) > 0 {
+					i := rng.Intn(len(paths))
+					if err := fs.Delete(paths[i]); err == nil {
+						paths = append(paths[:i], paths[i+1:]...)
+					}
+				}
+			case 3: // move down
+				if len(paths) > 0 {
+					if f, err := fs.Open(paths[rng.Intn(len(paths))]); err == nil {
+						_ = fs.MoveFileReplicas(f, storage.Memory, storage.SSD, nil)
+					}
+				}
+			case 4: // copy up
+				if len(paths) > 0 {
+					if f, err := fs.Open(paths[rng.Intn(len(paths))]); err == nil {
+						_ = fs.CopyFileReplicas(f, storage.Memory, nil)
+					}
+				}
+			case 5: // node churn: drop a node (keeping at least two), add one back
+				nodes := fs.Cluster().Nodes()
+				if len(nodes) > 2 {
+					fs.FailNode(nodes[rng.Intn(len(nodes))])
+				} else {
+					fs.AddNode(storage.SmallWorkerSpec(), 2)
+				}
+			case 6: // run a few events without quiescing, then keep going
+				for i := 0; i < 5 && e.Step(); i++ {
+				}
+			}
+			if bad != nil {
+				t.Logf("accounting violated mid-flight: %v", bad)
+				return false
+			}
+		}
+		e.Run()
+		if bad != nil {
+			t.Logf("accounting violated: %v", bad)
+			return false
+		}
+		if err := fs.CheckInvariants(); err != nil {
+			t.Logf("deep invariants: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
 }

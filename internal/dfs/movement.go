@@ -19,6 +19,9 @@ type blockMove struct {
 	src    *Replica
 	dstDev *storage.Device
 	dstNod *cluster.Node
+	// dstGone is set when the destination node leaves the cluster while the
+	// transfer is in flight; the commit then keeps the replica at the source.
+	dstGone bool
 }
 
 // MoveFileReplicas relocates, for every block of f, the replica on tier
@@ -71,6 +74,8 @@ func (fs *FileSystem) MoveFileReplicas(f *File, from, to storage.Media, done fun
 	})
 	for _, m := range moves {
 		m.src.state = ReplicaMoving
+		fs.moves[m] = true
+		fs.pendingMoveBytes += m.block.size
 		if upgrade {
 			fs.stats.BytesUpgradedTo[to] += m.block.size
 		} else {
@@ -93,11 +98,31 @@ func (fs *FileSystem) transferBlock(m *blockMove, onDone func()) {
 		if pending > 0 {
 			return
 		}
-		// Commit: the replica now lives on the destination device.
-		m.src.device.Release(size)
-		m.src.device = m.dstDev
-		m.src.node = m.dstNod
-		m.src.state = ReplicaValid
+		delete(fs.moves, m)
+		switch {
+		case !m.block.hasReplica(m.src):
+			// The source replica vanished mid-transfer (its node left the
+			// cluster): there is nothing to commit. Free the destination
+			// reservation unless that node is gone too.
+			if !m.dstGone {
+				m.dstDev.Release(size)
+				fs.pendingMoveBytes -= size
+			}
+		case m.dstGone:
+			// The destination node vanished: the replica stays at the
+			// source; its reservation accounting was settled at removal.
+			m.src.state = ReplicaValid
+		default:
+			// Commit: the replica now lives on the destination device.
+			srcMedia := m.src.Media()
+			m.src.device.Release(size)
+			fs.pendingMoveBytes -= size
+			m.block.noteUnreadable(m.src, srcMedia)
+			m.src.device = m.dstDev
+			m.src.node = m.dstNod
+			m.src.state = ReplicaValid
+			m.block.noteReadable(m.src)
+		}
 		onDone()
 	}
 	m.src.device.StartRead(size, step)
@@ -197,6 +222,7 @@ func (fs *FileSystem) CopyFileReplicas(f *File, to storage.Media, done func(erro
 		size := p.block.size
 		newReplica := &Replica{block: p.block, node: p.dstNod, device: p.dstDev, state: ReplicaCreating}
 		p.block.replicas = append(p.block.replicas, newReplica)
+		fs.liveBytes += size
 		fs.stats.BytesUpgradedTo[to] += size
 		pending := 2
 		step := func() {
@@ -204,7 +230,12 @@ func (fs *FileSystem) CopyFileReplicas(f *File, to storage.Media, done func(erro
 			if pending > 0 {
 				return
 			}
-			newReplica.state = ReplicaValid
+			// The replica may have been torn down mid-copy (file delete is
+			// blocked by inTransition, but node loss is not).
+			if newReplica.state == ReplicaCreating {
+				newReplica.state = ReplicaValid
+				p.block.noteReadable(newReplica)
+			}
 			barrier()
 		}
 		p.src.device.StartRead(size, step)
@@ -235,8 +266,11 @@ func (fs *FileSystem) DeleteFileReplicas(f *File, from storage.Media) error {
 		victims = append(victims, r)
 	}
 	for _, r := range victims {
+		media := r.Media()
 		r.state = ReplicaDeleting
 		r.device.Release(r.block.size)
+		fs.liveBytes -= r.block.size
+		r.block.noteUnreadable(r, media)
 		r.block.removeReplica(r)
 		fs.stats.ReplicasDeleted++
 	}
@@ -248,16 +282,16 @@ func (fs *FileSystem) DeleteFileReplicas(f *File, from storage.Media) error {
 // Monitor uses this to re-replicate after failures or deletions.
 func (fs *FileSystem) UnderReplicatedFiles() []*File {
 	var out []*File
-	fs.ns.Walk(func(f *File) {
+	for _, f := range fs.fileList {
 		if fs.creating[f.id] {
-			return
+			continue
 		}
 		for _, b := range f.blocks {
-			if b.ReadableReplicas() < f.replication && b.ReadableReplicas() > 0 {
+			if n := b.ReadableReplicas(); n < f.replication && n > 0 {
 				out = append(out, f)
-				return
+				break
 			}
 		}
-	})
+	}
 	return out
 }

@@ -25,6 +25,134 @@ func TestCleanPath(t *testing.T) {
 	}
 }
 
+// TestCleanPathCorners pins the normalisation corner cases: repeated and
+// trailing slashes collapse, "." components vanish, and "..", bare
+// relatives, and dot-paths are rejected outright.
+func TestCleanPathCorners(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+	}{
+		{"//", "/"},
+		{"///", "/"},
+		{"/a/", "/a"},
+		{"/a//", "/a"},
+		{"//a///b//", "/a/b"},
+		{"/./", "/"},
+		{"/a/./", "/a"},
+		{"/a/b/c/", "/a/b/c"},
+	} {
+		got, err := CleanPath(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("CleanPath(%q) = %q, %v; want %q", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"..", ".", "a", "a/b", "/..", "/../", "/a/..", "/a/../", "/a/b/../c", "./a"} {
+		if got, err := CleanPath(bad); err == nil {
+			t.Fatalf("CleanPath(%q) = %q, want rejection", bad, got)
+		}
+	}
+	// lookup must agree with CleanPath on rejection.
+	ns := NewNamespace()
+	for _, bad := range []string{"", "a", "/a/../b"} {
+		if _, err := ns.lookup(bad); err == nil {
+			t.Fatalf("lookup(%q) should fail", bad)
+		}
+	}
+	// ...and on normalisation: messy spellings of an existing path resolve.
+	if err := ns.insertFile("/x/y/z", &File{path: "/x/y/z"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, messy := range []string{"/x/y/z", "//x//y//z", "/x/./y/z/", "/x/y/z//"} {
+		if f, err := ns.GetFile(messy); err != nil || f == nil {
+			t.Fatalf("GetFile(%q) = %v, %v; want the file", messy, f, err)
+		}
+	}
+}
+
+// TestRenameSubtreeRewritesAllDescendants renames a directory holding a
+// nested subtree and verifies every descendant file's cached path is
+// rewritten, the old paths are gone, and FileCount is preserved.
+func TestRenameSubtreeRewritesAllDescendants(t *testing.T) {
+	ns := NewNamespace()
+	files := map[string]*File{}
+	for _, p := range []string{
+		"/src/f0",
+		"/src/a/f1",
+		"/src/a/f2",
+		"/src/a/b/f3",
+		"/src/a/b/c/f4",
+		"/other/keep",
+	} {
+		f := &File{path: p}
+		files[p] = f
+		if err := ns.insertFile(p, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ns.FileCount() != 6 {
+		t.Fatalf("FileCount = %d, want 6", ns.FileCount())
+	}
+	if err := ns.Rename("/src", "/dst/deep/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if ns.FileCount() != 6 {
+		t.Fatalf("FileCount after rename = %d, want 6 (rename must not create or drop files)", ns.FileCount())
+	}
+	moved := map[string]string{
+		"/src/f0":       "/dst/deep/moved/f0",
+		"/src/a/f1":     "/dst/deep/moved/a/f1",
+		"/src/a/f2":     "/dst/deep/moved/a/f2",
+		"/src/a/b/f3":   "/dst/deep/moved/a/b/f3",
+		"/src/a/b/c/f4": "/dst/deep/moved/a/b/c/f4",
+	}
+	for old, now := range moved {
+		if ns.Exists(old) {
+			t.Fatalf("old path %q still resolves", old)
+		}
+		got, err := ns.GetFile(now)
+		if err != nil {
+			t.Fatalf("GetFile(%q): %v", now, err)
+		}
+		if got != files[old] {
+			t.Fatalf("path %q resolves to the wrong file", now)
+		}
+		if got.Path() != now {
+			t.Fatalf("file moved from %q has cached path %q, want %q", old, got.Path(), now)
+		}
+	}
+	// The unrelated sibling is untouched.
+	if f, err := ns.GetFile("/other/keep"); err != nil || f.Path() != "/other/keep" {
+		t.Fatalf("unrelated file disturbed: %v, %v", f, err)
+	}
+	if ns.Exists("/src") {
+		t.Fatal("source directory still exists")
+	}
+	// Walk order agrees with the rewritten paths.
+	ns.Walk(func(f *File) {
+		if got, err := ns.GetFile(f.Path()); err != nil || got != f {
+			t.Fatalf("walked file %q does not round-trip: %v", f.Path(), err)
+		}
+	})
+}
+
+// TestRenameFileUpdatesCachedPath renames a single file across directories.
+func TestRenameFileUpdatesCachedPath(t *testing.T) {
+	ns := NewNamespace()
+	f := &File{path: "/a/old"}
+	if err := ns.insertFile("/a/old", f); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Rename("/a/old", "/b/c/new"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Path() != "/b/c/new" {
+		t.Fatalf("cached path = %q, want /b/c/new", f.Path())
+	}
+	if ns.FileCount() != 1 {
+		t.Fatalf("FileCount = %d, want 1", ns.FileCount())
+	}
+}
+
 func TestInsertAndGetFile(t *testing.T) {
 	ns := NewNamespace()
 	f := &File{path: "/data/input/f1"}

@@ -24,6 +24,9 @@ type Options struct {
 	// Fast shrinks the workload and cluster for unit tests and smoke runs;
 	// shapes still hold but absolute values are noisier.
 	Fast bool
+	// Scenario restricts the "scenarios" experiment to one named catalog
+	// scenario; empty replays the whole catalog.
+	Scenario string
 }
 
 // DefaultOptions reproduces the paper's testbed scale.
@@ -112,6 +115,7 @@ var registry = map[string]Runner{
 	"fig16":     Fig16LearningModes,
 	"fig17":     Fig17WorkloadSwitch,
 	"overheads": OverheadsReport,
+	"scenarios": Scenarios,
 	"tieraware": TierAwareScheduling,
 }
 

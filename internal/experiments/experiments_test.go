@@ -25,8 +25,8 @@ func TestIDsAndGet(t *testing.T) {
 	ids := IDs()
 	// 16 paper artifacts (Figures 2, 5-17 and Tables 3-4 share some ids),
 	// the Section 7.7 overheads report, and the tier-aware extension.
-	if len(ids) != 18 {
-		t.Fatalf("experiments registered = %d, want 18", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("experiments registered = %d, want 19", len(ids))
 	}
 	for _, id := range ids {
 		if _, err := Get(id); err != nil {

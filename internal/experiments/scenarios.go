@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"octostore/internal/dfs"
+	"octostore/internal/eval"
+	"octostore/internal/scenario"
+)
+
+// scenarioSystems are the configurations each scenario replays against: the
+// static tiered baseline and the paper's learned policies.
+func scenarioSystems() []scenario.System {
+	return []scenario.System{
+		{Name: "OctopusFS", Mode: dfs.ModeOctopus},
+		{Name: "LRU-OSA", Mode: dfs.ModeOctopus, Down: "lru", Up: "osa"},
+		{Name: "XGB", Mode: dfs.ModeOctopus, Down: "xgb", Up: "xgb"},
+	}
+}
+
+// Scenarios replays the scenario catalog (or the single scenario named by
+// Options.Scenario) against the compared systems with the invariant checker
+// enabled, and reports throughput, completion time, policy activity, and
+// the checker's verdict per replay. A non-zero violation count fails the
+// experiment: a scenario result is only meaningful when every replayed
+// event left the system consistent.
+func Scenarios(o Options) ([]*eval.Table, error) {
+	o.applyDefaults()
+	catalog := scenario.Catalog()
+	if o.Scenario != "" {
+		sc, err := scenario.Get(o.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		catalog = []scenario.Scenario{sc}
+	}
+	perf := &eval.Table{
+		ID:    "scenarios",
+		Title: "Scenario replays: workload metrics per system (invariant checker enabled)",
+		Header: []string{"Scenario", "System", "Jobs", "Mean CT (min)", "P95 CT (min)",
+			"Read (GB)", "MB/s", "Mem hit"},
+	}
+	activity := &eval.Table{
+		ID:    "scenarios-activity",
+		Title: "Scenario replays: policy decisions and invariant checks",
+		Header: []string{"Scenario", "System", "Upgrades", "Downgrades", "Deletes",
+			"Repairs", "Events", "Checks", "Violations", "Lost blocks"},
+	}
+	opts := scenario.Options{Seed: o.Seed, Fast: o.Fast}
+	if !o.Fast {
+		// Fast mode pins the shrunken topology, exactly like
+		// Options.clusterConfig does for every other experiment.
+		opts.Workers = o.Workers
+	}
+	for _, sc := range catalog {
+		for _, sys := range scenarioSystems() {
+			res, err := scenario.Run(sc, sys, opts)
+			if err != nil {
+				return nil, fmt.Errorf("scenarios: %w", err)
+			}
+			if len(res.Violations) > 0 {
+				return nil, fmt.Errorf("scenarios: %s on %s violated invariants: %v",
+					sc.Name, sys.Name, res.Violations)
+			}
+			perf.AddRow(sc.Name, sys.Name,
+				fmt.Sprintf("%d", res.Jobs),
+				durationMinutes(res.MeanCompletion),
+				durationMinutes(res.P95Completion),
+				gb(res.BytesRead),
+				fmt.Sprintf("%.1f", res.ThroughputMBps),
+				eval.Pct(res.MemHitRatio))
+			activity.AddRow(sc.Name, sys.Name,
+				fmt.Sprintf("%d", res.Upgrades),
+				fmt.Sprintf("%d", res.Downgrades),
+				fmt.Sprintf("%d", res.ReplicaDeletes),
+				fmt.Sprintf("%d", res.Repairs),
+				fmt.Sprintf("%d", res.Events),
+				fmt.Sprintf("%d", res.AccountingChecks+res.DeepChecks),
+				fmt.Sprintf("%d", len(res.Violations)),
+				fmt.Sprintf("%d", res.DataLossBlocks))
+		}
+	}
+	return []*eval.Table{perf, activity}, nil
+}

@@ -393,7 +393,13 @@ func (r *runner) pickNode(b *dfs.Block) *cluster.Node {
 	var bestTierLocal *cluster.Node
 	bestTier := storage.Media(99)
 	for _, n := range r.fs.Cluster().Nodes() {
-		slots := r.freeSlots[n]
+		slots, known := r.freeSlots[n]
+		if !known {
+			// The node joined after Run started (membership churn): all of
+			// its slots are free.
+			slots = n.Slots()
+			r.freeSlots[n] = slots
+		}
 		if slots <= 0 {
 			continue
 		}

@@ -61,7 +61,7 @@ func (p *XGBDown) OnFileDeleted(*dfs.File) {}
 // of the files").
 func (p *XGBDown) Tick() {
 	now := p.ctx.Clock.Now()
-	for _, f := range p.ctx.FS.Files() {
+	for _, f := range p.ctx.FS.LiveFiles() {
 		if p.rng.Float64() < p.ctx.Cfg.SampleFraction {
 			p.pipeline.Sample(p.ctx.Record(f), now)
 		}
@@ -138,7 +138,7 @@ func (p *XGBUp) OnFileDeleted(*dfs.File) {}
 // Tick periodically samples files for training.
 func (p *XGBUp) Tick() {
 	now := p.ctx.Clock.Now()
-	for _, f := range p.ctx.FS.Files() {
+	for _, f := range p.ctx.FS.LiveFiles() {
 		if p.rng.Float64() < p.ctx.Cfg.SampleFraction {
 			p.pipeline.Sample(p.ctx.Record(f), now)
 		}

@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"testing"
+
+	"octostore/internal/dfs"
+)
+
+// BenchmarkReplay measures full scenario replay throughput — trace
+// generation, preload, job execution, policy work, and the every-event
+// invariant checker — reporting replayed simulation events per second.
+func BenchmarkReplay(b *testing.B) {
+	sc := HotSetDrift()
+	sys := System{Name: "XGB", Mode: dfs.ModeOctopus, Down: "xgb", Up: "xgb"}
+	var events uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(sc, sys, Options{Fast: true, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkReplayUnchecked is the same replay with the invariant checker
+// sampled at 1/1000 events: the difference against BenchmarkReplay is the
+// cost of always-on checking.
+func BenchmarkReplayUnchecked(b *testing.B) {
+	sc := HotSetDrift()
+	sys := System{Name: "XGB", Mode: dfs.ModeOctopus, Down: "xgb", Up: "xgb"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(sc, sys, Options{Fast: true, Seed: 1, CheckEvery: 1000, DeepCheckEvery: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"octostore/internal/cluster"
+	"octostore/internal/storage"
+	"octostore/internal/workload"
+)
+
+// The built-in catalog: five situations beyond the two canned FB/CMU
+// traces, each stressing a different failure mode of tiering policies.
+
+// HotSetDrift replays an FB-shaped workload whose Zipf hot set rotates
+// through four segments: policies (and learned models) must un-learn a
+// previously hot file population.
+func HotSetDrift() Scenario {
+	return Scenario{
+		Name:        "hotset-drift",
+		Description: "FB-shaped workload whose popular file set rotates every quarter of the trace",
+		Cluster:     DefaultCluster,
+		Trace: func(o Options) *workload.Trace {
+			p := workload.FB()
+			if o.Fast {
+				p = FastProfile(p)
+			}
+			return workload.GenerateDrift(p, 4, o.Seed)
+		},
+	}
+}
+
+// BurstStorm compresses FB arrivals into five-minute storms every half
+// hour: queueing explodes at storm fronts while tiers must drain between
+// them.
+func BurstStorm() Scenario {
+	return Scenario{
+		Name:        "burst-storm",
+		Description: "FB workload with arrivals compressed into periodic storms followed by idle gaps",
+		Cluster:     DefaultCluster,
+		Trace: func(o Options) *workload.Trace {
+			p := workload.FB()
+			if o.Fast {
+				p = FastProfile(p)
+			}
+			return workload.Burstify(workload.Generate(p, o.Seed), 30*time.Minute, 5*time.Minute)
+		},
+	}
+}
+
+// MultiTenant interleaves an FB tenant (short-term locality) with a CMU
+// tenant (periodic re-scans) under separate namespaces: recency-only and
+// frequency-only policies each fit only one tenant.
+func MultiTenant() Scenario {
+	return Scenario{
+		Name:        "multi-tenant",
+		Description: "FB and CMU tenants share the cluster under /tenant0 and /tenant1",
+		Cluster:     DefaultCluster,
+		Trace: func(o Options) *workload.Trace {
+			fb := workload.FB()
+			cmu := workload.CMU()
+			if o.Fast {
+				fb, cmu = FastProfile(fb), FastProfile(cmu)
+				// Halve each tenant so the mix stays at single-workload scale.
+				fb.NumJobs /= 2
+				cmu.NumJobs /= 2
+			}
+			return workload.Merge("multi-tenant",
+				workload.Generate(fb, o.Seed),
+				workload.Generate(cmu, o.Seed+101))
+		},
+	}
+}
+
+// TierCrunch runs the FB workload and floods the cluster with cold ballast
+// a third of the way in, forcing the downgrade process to run against live
+// traffic.
+func TierCrunch() Scenario {
+	return Scenario{
+		Name:        "capacity-crunch",
+		Description: "cold ballast floods the fast tiers mid-workload, forcing downgrades under load",
+		Cluster:     DefaultCluster,
+		Trace: func(o Options) *workload.Trace {
+			p := workload.FB()
+			if o.Fast {
+				p = FastProfile(p)
+			}
+			return workload.Generate(p, o.Seed)
+		},
+		Perturb: []Perturbation{
+			CapacityCrunch{
+				Offset: 40 * time.Minute,
+				// Sized against the Fast cluster (3 GB memory + 24 GB SSD
+				// cluster-wide): enough to push the fast tiers through their
+				// high watermarks. At paper scale the same ballast is a
+				// memory-tier crunch.
+				TotalBytes: 6 * storage.GB,
+				FileBytes:  256 * storage.MB,
+				Parallel:   4,
+			},
+		},
+	}
+}
+
+// NodeJoinLeave exercises membership churn: a worker is lost a third of the
+// way in (its replicas must be re-replicated) and a fresh empty worker joins
+// later (placement must discover and fill it).
+func NodeJoinLeave() Scenario {
+	spec := func(o Options) storage.NodeSpec {
+		if o.Fast {
+			return fastWorkerSpec()
+		}
+		return storage.PaperWorkerSpec()
+	}
+	return Scenario{
+		Name:        "node-churn",
+		Description: "one worker fails mid-workload and a fresh worker joins later",
+		Cluster: func(o Options) cluster.Config {
+			cfg := DefaultCluster(o)
+			if o.Workers == 0 && o.Fast {
+				// One extra worker so losing one keeps replication targets
+				// reachable.
+				cfg.Workers = 4
+			}
+			return cfg
+		},
+		Trace: func(o Options) *workload.Trace {
+			p := workload.FB()
+			if o.Fast {
+				p = FastProfile(p)
+			}
+			return workload.Generate(p, o.Seed)
+		},
+		Perturb: []Perturbation{
+			nodeChurnFast{spec: spec},
+		},
+	}
+}
+
+// nodeChurnFast adapts NodeChurn to options-dependent node specs.
+type nodeChurnFast struct {
+	spec func(o Options) storage.NodeSpec
+}
+
+func (n nodeChurnFast) Name() string { return "node-churn" }
+
+func (n nodeChurnFast) Install(rp *Replay) {
+	NodeChurn{
+		Leave:    []time.Duration{40 * time.Minute},
+		Join:     []time.Duration{80 * time.Minute},
+		Spec:     n.spec(rp.Opts),
+		Slots:    4,
+		MinNodes: 3,
+	}.Install(rp)
+}
+
+// Catalog returns the built-in scenarios in a stable order.
+func Catalog() []Scenario {
+	return []Scenario{
+		HotSetDrift(),
+		BurstStorm(),
+		MultiTenant(),
+		TierCrunch(),
+		NodeJoinLeave(),
+	}
+}
+
+// Names lists the catalog scenario names, sorted.
+func Names() []string {
+	var names []string
+	for _, sc := range Catalog() {
+		names = append(names, sc.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get looks a catalog scenario up by name.
+func Get(name string) (Scenario, error) {
+	for _, sc := range Catalog() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (want one of %v)", name, Names())
+}

@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"octostore/internal/dfs"
+	"octostore/internal/storage"
+)
+
+// CapacityCrunch floods the cluster with cold ballast data partway through
+// the job phase: TotalBytes of never-read files are created starting at
+// Offset, in FileBytes pieces at Parallel concurrent streams. Under tiered
+// placement the ballast lands on the fastest tiers with room, shoving
+// utilization over the high watermark and forcing the downgrade process to
+// run while the workload is still reading — the tier-capacity-crunch
+// situation of Section 5.
+type CapacityCrunch struct {
+	Offset     time.Duration
+	TotalBytes int64
+	FileBytes  int64
+	Parallel   int
+}
+
+// Name implements Perturbation.
+func (c CapacityCrunch) Name() string { return "capacity-crunch" }
+
+// Install implements Perturbation.
+func (c CapacityCrunch) Install(rp *Replay) {
+	fileBytes := c.FileBytes
+	if fileBytes <= 0 {
+		fileBytes = 256 * storage.MB
+	}
+	files := int(c.TotalBytes / fileBytes)
+	if files < 1 {
+		files = 1
+	}
+	parallel := c.Parallel
+	if parallel <= 0 {
+		parallel = 4
+	}
+	rp.Engine.Schedule(c.Offset, func() {
+		next := 0
+		var launch func()
+		launch = func() {
+			if next >= files {
+				return
+			}
+			idx := next
+			next++
+			// Creation failures (a genuinely full cluster) are the point of
+			// the crunch, not an error; keep pushing.
+			rp.FS.Create(fmt.Sprintf("/ballast/b%04d", idx), fileBytes, func(_ *dfs.File, _ error) {
+				launch()
+			})
+		}
+		for i := 0; i < parallel; i++ {
+			launch()
+		}
+	})
+}
+
+// NodeChurn removes and adds workers during the job phase: at every Leave
+// offset the highest-id surviving worker fails (its replicas are lost and
+// repaired by the replication monitor, when one is attached), and at every
+// Join offset a fresh worker with the given spec joins. At least MinNodes
+// workers always survive.
+type NodeChurn struct {
+	Leave    []time.Duration
+	Join     []time.Duration
+	Spec     storage.NodeSpec
+	Slots    int
+	MinNodes int
+}
+
+// Name implements Perturbation.
+func (n NodeChurn) Name() string { return "node-churn" }
+
+// Install implements Perturbation.
+func (n NodeChurn) Install(rp *Replay) {
+	minNodes := n.MinNodes
+	if minNodes < 2 {
+		minNodes = 2
+	}
+	for _, at := range n.Leave {
+		rp.Engine.Schedule(at, func() {
+			nodes := rp.Cluster.Nodes()
+			if len(nodes) <= minNodes {
+				return
+			}
+			// Deterministic victim: the highest-id worker still alive.
+			victim := nodes[0]
+			for _, nd := range nodes[1:] {
+				if nd.ID() > victim.ID() {
+					victim = nd
+				}
+			}
+			rp.FS.FailNode(victim)
+		})
+	}
+	for _, at := range n.Join {
+		rp.Engine.Schedule(at, func() {
+			rp.FS.AddNode(n.Spec, n.Slots)
+		})
+	}
+}

@@ -1,0 +1,199 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"octostore/internal/dfs"
+	"octostore/internal/storage"
+	"octostore/internal/workload"
+)
+
+func fastOpts() Options { return Options{Fast: true, Seed: 1} }
+
+func xgbSystem() System {
+	return System{Name: "XGB", Mode: dfs.ModeOctopus, Down: "xgb", Up: "xgb"}
+}
+
+// TestCatalogReplaysCleanly replays every catalog scenario against both an
+// unmanaged OctopusFS baseline and the managed XGB system: jobs must
+// complete, the always-on invariant checker must run and find nothing, and
+// no block may lose its last replica.
+func TestCatalogReplaysCleanly(t *testing.T) {
+	systems := []System{
+		{Name: "OctopusFS", Mode: dfs.ModeOctopus},
+		xgbSystem(),
+	}
+	for _, sc := range Catalog() {
+		for _, sys := range systems {
+			res, err := Run(sc, sys, fastOpts())
+			if err != nil {
+				t.Fatalf("%s on %s: %v", sc.Name, sys.Name, err)
+			}
+			if res.Jobs == 0 {
+				t.Fatalf("%s on %s: no jobs ran", sc.Name, sys.Name)
+			}
+			if res.AccountingChecks == 0 || res.DeepChecks == 0 {
+				t.Fatalf("%s on %s: invariant checker did not run (acct=%d deep=%d)",
+					sc.Name, sys.Name, res.AccountingChecks, res.DeepChecks)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("%s on %s: invariant violations: %v", sc.Name, sys.Name, res.Violations)
+			}
+			if res.DataLossBlocks != 0 {
+				t.Fatalf("%s on %s: %d blocks lost all replicas", sc.Name, sys.Name, res.DataLossBlocks)
+			}
+			if res.BytesRead == 0 || res.ThroughputMBps <= 0 {
+				t.Fatalf("%s on %s: no data read (bytes=%d tput=%f)",
+					sc.Name, sys.Name, res.BytesRead, res.ThroughputMBps)
+			}
+		}
+	}
+}
+
+// TestReplayDeterministic requires byte-identical results for equal
+// (scenario, system, options) triples — the property the paper's replays
+// (and every future regression comparison) depend on.
+func TestReplayDeterministic(t *testing.T) {
+	for _, sc := range Catalog() {
+		a, err := Run(sc, xgbSystem(), fastOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(sc, xgbSystem(), fastOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: replay not deterministic:\n  first:  %+v\n  second: %+v", sc.Name, a, b)
+		}
+	}
+}
+
+// TestSeedChangesOutcome guards against accidentally ignoring the seed.
+func TestSeedChangesOutcome(t *testing.T) {
+	a, err := Run(HotSetDrift(), xgbSystem(), Options{Fast: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(HotSetDrift(), xgbSystem(), Options{Fast: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events == b.Events && a.MeanCompletion == b.MeanCompletion {
+		t.Fatal("different seeds produced identical replays")
+	}
+}
+
+// TestNodeChurnTriggersRepair checks the churn pipeline end to end: the
+// failed worker's replicas must surface as under-replicated and the
+// replication monitor must re-replicate them.
+func TestNodeChurnTriggersRepair(t *testing.T) {
+	res, err := Run(NodeJoinLeave(), xgbSystem(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repairs == 0 {
+		t.Fatal("node loss triggered no re-replication")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("churn violated invariants: %v", res.Violations)
+	}
+}
+
+// TestCapacityCrunchCrowdsTiers checks that the ballast flood actually
+// lands: tier occupancy at the end of the replay is higher than the plain
+// FB replay's, and the crowded memory tier costs hit ratio.
+func TestCapacityCrunchCrowdsTiers(t *testing.T) {
+	crunch, err := Run(TierCrunch(), xgbSystem(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := TierCrunch()
+	plain.Perturb = nil
+	base, err := Run(plain, xgbSystem(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crunchTotal, baseTotal float64
+	for m := 0; m < 3; m++ {
+		crunchTotal += crunch.FinalUtilization[m]
+		baseTotal += base.FinalUtilization[m]
+	}
+	if crunchTotal <= baseTotal {
+		t.Fatalf("crunch utilization %v not above baseline %v",
+			crunch.FinalUtilization, base.FinalUtilization)
+	}
+	if crunch.MemHitRatio >= base.MemHitRatio {
+		t.Fatalf("crunch hit ratio %.3f did not drop below baseline %.3f",
+			crunch.MemHitRatio, base.MemHitRatio)
+	}
+}
+
+// TestPerturbationsScheduleOnly ensures Install never mutates the system
+// synchronously: everything must flow through engine events.
+func TestPerturbationsScheduleOnly(t *testing.T) {
+	sc := NodeJoinLeave()
+	res, err := Run(sc, System{Name: "plain", Mode: dfs.ModeOctopus}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unmanaged system: node loss is not repaired, but invariants must
+	// still hold (lost replicas are accounted, not leaked).
+	if len(res.Violations) != 0 {
+		t.Fatalf("unmanaged churn violated invariants: %v", res.Violations)
+	}
+}
+
+func TestCatalogLookup(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("catalog has %d scenarios, want 5: %v", len(names), names)
+	}
+	for _, name := range names {
+		sc, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Name != name {
+			t.Fatalf("Get(%q) returned %q", name, sc.Name)
+		}
+		if sc.Description == "" || sc.Cluster == nil || sc.Trace == nil {
+			t.Fatalf("scenario %q incomplete", name)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestCustomScenario exercises the DSL the README documents: a user-defined
+// scenario composed from existing generators and perturbations.
+func TestCustomScenario(t *testing.T) {
+	sc := Scenario{
+		Name:        "custom",
+		Description: "burstified CMU with a mid-run crunch",
+		Cluster:     DefaultCluster,
+		Trace: func(o Options) *workload.Trace {
+			p := FastProfile(workload.CMU())
+			p.NumJobs = 60
+			return workload.Burstify(workload.Generate(p, o.Seed), 20*time.Minute, 4*time.Minute)
+		},
+		Perturb: []Perturbation{
+			// FileBytes deliberately omitted: the perturbation must apply
+			// its own default rather than divide by zero.
+			CapacityCrunch{Offset: 30 * time.Minute, TotalBytes: storage.GB},
+		},
+	}
+	res, err := Run(sc, xgbSystem(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 60 {
+		t.Fatalf("jobs = %d, want 60", res.Jobs)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}

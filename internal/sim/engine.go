@@ -80,6 +80,7 @@ type Engine struct {
 	events  eventHeap
 	stopped bool
 	fired   uint64
+	onEvent func()
 }
 
 // Epoch is the virtual time at which every new Engine starts. The concrete
@@ -163,6 +164,13 @@ func (t *Ticker) Stop() {
 	t.pending.Cancel()
 }
 
+// SetEventHook installs fn to run after every fired event, regardless of
+// which loop (Step, Run, RunUntil, or a component's private drain loop)
+// processed it. The scenario replayer uses it to validate system invariants
+// at event boundaries. A nil fn removes the hook. The hook must not schedule
+// events or re-enter the engine.
+func (e *Engine) SetEventHook(fn func()) { e.onEvent = fn }
+
 // Step processes the single earliest pending event. It reports false when no
 // events remain.
 func (e *Engine) Step() bool {
@@ -174,6 +182,9 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		e.fired++
 		ev.fn()
+		if e.onEvent != nil {
+			e.onEvent()
+		}
 		return true
 	}
 	return false

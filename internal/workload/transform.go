@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// This file provides the trace generators and transforms the scenario
+// subsystem composes into cluster perturbations: a drifting hot set (the
+// popularity ranking rotates over time, defeating models trained on early
+// segments), bursty arrival storms (arrival times compressed into periodic
+// spikes), and multi-tenant job mixes (several traces interleaved under
+// per-tenant namespaces).
+
+// GenerateDrift builds a trace whose Zipf popularity ranking is re-drawn
+// every Duration/segments: the file population stays fixed, but which files
+// are hot rotates per segment. Unlike GenerateEvolving (fresh files each
+// segment), drift keeps total data volume constant and stresses policies
+// that must un-learn a previously hot set.
+func GenerateDrift(p Profile, segments int, seed int64) *Trace {
+	if segments < 1 {
+		segments = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{Name: p.Name + "-drift", Duration: p.Duration}
+
+	// Job bins and Poisson arrivals, exactly as Generate.
+	bins, arrivals := jobBinsAndArrivals(rng, p)
+
+	// One fixed file pool per bin.
+	jobsPerBin := make([]int, NumBins)
+	for _, b := range bins {
+		jobsPerBin[b]++
+	}
+	pools := make([][]FileSpec, NumBins)
+	fileID := 0
+	for b := Bin(0); b < NumBins; b++ {
+		n := poolSize(jobsPerBin[b], p.FilesPerBinJob[b])
+		lo, hi := binBounds(b)
+		for i := 0; i < n; i++ {
+			spec := FileSpec{
+				Path: fmt.Sprintf("/data/%s/bin%s/f%04d", tr.Name, b, fileID),
+				Size: logUniform(rng, lo, hi),
+				Bin:  b,
+			}
+			pools[b] = append(pools[b], spec)
+			tr.Files = append(tr.Files, spec)
+			fileID++
+		}
+	}
+
+	// Per-segment popularity permutations: rank i of the Zipf draw maps to a
+	// different file each segment.
+	perms := make([][][]int, segments)
+	for s := 0; s < segments; s++ {
+		perms[s] = make([][]int, NumBins)
+		segRng := rand.New(rand.NewSource(seed + 1009*int64(s+1)))
+		for b := Bin(0); b < NumBins; b++ {
+			perms[s][b] = segRng.Perm(len(pools[b]))
+		}
+	}
+	zipf := make([][]float64, NumBins)
+	for b := Bin(0); b < NumBins; b++ {
+		zipf[b] = zipfCDF(len(pools[b]), p.ZipfS)
+	}
+
+	segLen := p.Duration / time.Duration(segments)
+	for idx := 0; idx < p.NumJobs; idx++ {
+		b := bins[idx]
+		if len(pools[b]) == 0 {
+			continue
+		}
+		seg := int(arrivals[idx] / segLen)
+		if seg >= segments {
+			seg = segments - 1
+		}
+		u := rng.Float64()
+		rank := sort.SearchFloat64s(zipf[b], u)
+		if rank >= len(pools[b]) {
+			rank = len(pools[b]) - 1
+		}
+		f := pools[b][perms[seg][b][rank]]
+		job := Job{
+			ID:         idx,
+			Arrival:    arrivals[idx],
+			InputPath:  f.Path,
+			InputBytes: f.Size,
+			Bin:        b,
+			CPUPerTask: p.CPUPerTaskMin +
+				time.Duration(rng.Float64()*float64(p.CPUPerTaskMax-p.CPUPerTaskMin)),
+		}
+		tr.Jobs = append(tr.Jobs, job)
+	}
+	sort.Slice(tr.Jobs, func(a, b int) bool { return tr.Jobs[a].Arrival < tr.Jobs[b].Arrival })
+	return tr
+}
+
+// Burstify compresses each job's arrival within its period-aligned window
+// into the first `burst` of that window, turning a smooth Poisson arrival
+// process into periodic storms separated by idle gaps. Relative job order is
+// preserved; the trace duration is unchanged.
+func Burstify(tr *Trace, period, burst time.Duration) *Trace {
+	if period <= 0 || burst <= 0 || burst >= period {
+		return tr
+	}
+	out := &Trace{Name: tr.Name + "-burst", Duration: tr.Duration, Files: tr.Files}
+	out.Jobs = append([]Job(nil), tr.Jobs...)
+	scale := float64(burst) / float64(period)
+	for i := range out.Jobs {
+		t := out.Jobs[i].Arrival
+		window := t / period * period // period-aligned window start
+		within := t - window
+		out.Jobs[i].Arrival = window + time.Duration(float64(within)*scale)
+	}
+	sort.Slice(out.Jobs, func(a, b int) bool { return out.Jobs[a].Arrival < out.Jobs[b].Arrival })
+	return out
+}
+
+// Merge interleaves several traces into one multi-tenant mix: tenant i's
+// files and jobs move under the path prefix "/tenant<i>", job ids are
+// re-assigned to stay unique, and jobs are ordered by arrival. The merged
+// duration is the longest input duration.
+func Merge(name string, traces ...*Trace) *Trace {
+	out := &Trace{Name: name}
+	nextID := 0
+	for i, tr := range traces {
+		prefix := fmt.Sprintf("/tenant%d", i)
+		if tr.Duration > out.Duration {
+			out.Duration = tr.Duration
+		}
+		for _, f := range tr.Files {
+			f.Path = prefix + f.Path
+			out.Files = append(out.Files, f)
+		}
+		for _, j := range tr.Jobs {
+			j.ID = nextID
+			nextID++
+			j.InputPath = prefix + j.InputPath
+			if j.OutputPath != "" {
+				j.OutputPath = prefix + j.OutputPath
+			}
+			out.Jobs = append(out.Jobs, j)
+		}
+	}
+	sort.Slice(out.Jobs, func(a, b int) bool {
+		if out.Jobs[a].Arrival != out.Jobs[b].Arrival {
+			return out.Jobs[a].Arrival < out.Jobs[b].Arrival
+		}
+		return out.Jobs[a].ID < out.Jobs[b].ID
+	})
+	return out
+}

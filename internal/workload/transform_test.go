@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateDriftDeterministic(t *testing.T) {
+	p := FB()
+	p.NumJobs = 200
+	a := GenerateDrift(p, 4, 7)
+	b := GenerateDrift(p, 4, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("GenerateDrift not deterministic for equal seeds")
+	}
+	c := GenerateDrift(p, 4, 8)
+	if reflect.DeepEqual(a.Jobs, c.Jobs) {
+		t.Fatal("different seeds produced identical job streams")
+	}
+}
+
+// TestGenerateDriftHotSetMoves checks the defining property: the most
+// popular file of the first time segment differs from the most popular file
+// of the last segment, while the file population is shared.
+func TestGenerateDriftHotSetMoves(t *testing.T) {
+	p := FB()
+	p.NumJobs = 600
+	segments := 3
+	tr := GenerateDrift(p, segments, 11)
+	segLen := tr.Duration / time.Duration(segments)
+	top := func(lo, hi time.Duration) string {
+		counts := map[string]int{}
+		for _, j := range tr.Jobs {
+			if j.Arrival >= lo && j.Arrival < hi {
+				counts[j.InputPath]++
+			}
+		}
+		best, bestN := "", -1
+		for path, n := range counts {
+			if n > bestN || (n == bestN && path < best) {
+				best, bestN = path, n
+			}
+		}
+		return best
+	}
+	first := top(0, segLen)
+	last := top(tr.Duration-segLen, tr.Duration+1)
+	if first == "" || last == "" {
+		t.Fatal("empty segment")
+	}
+	if first == last {
+		t.Fatalf("hot set did not drift: %q tops both first and last segment", first)
+	}
+	// All inputs come from the fixed pre-staged population.
+	files := map[string]bool{}
+	for _, f := range tr.Files {
+		files[f.Path] = true
+	}
+	for _, j := range tr.Jobs {
+		if !files[j.InputPath] {
+			t.Fatalf("job input %q not in the file population", j.InputPath)
+		}
+	}
+}
+
+func TestBurstifyCompressesArrivals(t *testing.T) {
+	p := FB()
+	p.NumJobs = 300
+	tr := Generate(p, 3)
+	period := 30 * time.Minute
+	burst := 5 * time.Minute
+	out := Burstify(tr, period, burst)
+	if len(out.Jobs) != len(tr.Jobs) {
+		t.Fatalf("job count changed: %d -> %d", len(tr.Jobs), len(out.Jobs))
+	}
+	for _, j := range out.Jobs {
+		within := j.Arrival % period
+		if within >= burst {
+			t.Fatalf("arrival %v lands %v into its window, outside the %v burst", j.Arrival, within, burst)
+		}
+	}
+	// The original trace must be untouched.
+	for _, j := range tr.Jobs {
+		if j.Arrival%period >= burst {
+			return
+		}
+	}
+	t.Fatal("original trace had no arrival outside the burst window; test vacuous")
+}
+
+func TestBurstifyRejectsBadWindows(t *testing.T) {
+	tr := Generate(FB(), 3)
+	if got := Burstify(tr, 0, time.Minute); got != tr {
+		t.Fatal("zero period should return the input unchanged")
+	}
+	if got := Burstify(tr, time.Minute, time.Minute); got != tr {
+		t.Fatal("burst >= period should return the input unchanged")
+	}
+}
+
+func TestMergeMultiTenant(t *testing.T) {
+	fb := FB()
+	fb.NumJobs = 100
+	cmu := CMU()
+	cmu.NumJobs = 80
+	a := Generate(fb, 5)
+	b := Generate(cmu, 5)
+	m := Merge("mix", a, b)
+	if len(m.Jobs) != len(a.Jobs)+len(b.Jobs) {
+		t.Fatalf("merged jobs = %d, want %d", len(m.Jobs), len(a.Jobs)+len(b.Jobs))
+	}
+	if len(m.Files) != len(a.Files)+len(b.Files) {
+		t.Fatalf("merged files = %d, want %d", len(m.Files), len(a.Files)+len(b.Files))
+	}
+	ids := map[int]bool{}
+	for i, j := range m.Jobs {
+		if ids[j.ID] {
+			t.Fatalf("duplicate job id %d", j.ID)
+		}
+		ids[j.ID] = true
+		if !strings.HasPrefix(j.InputPath, "/tenant0") && !strings.HasPrefix(j.InputPath, "/tenant1") {
+			t.Fatalf("job input %q missing tenant prefix", j.InputPath)
+		}
+		if i > 0 && m.Jobs[i-1].Arrival > j.Arrival {
+			t.Fatal("merged jobs not ordered by arrival")
+		}
+	}
+	if m.Duration != a.Duration && m.Duration != b.Duration {
+		t.Fatalf("merged duration %v matches neither input", m.Duration)
+	}
+}

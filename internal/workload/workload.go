@@ -226,13 +226,11 @@ type binFile struct {
 	nextDue    time.Duration
 }
 
-// Generate builds a deterministic trace from a profile and seed.
-func Generate(p Profile, seed int64) *Trace {
-	rng := rand.New(rand.NewSource(seed))
-	tr := &Trace{Name: p.Name, Duration: p.Duration}
-
-	// 1. Decide each job's bin per the Table 3 distribution, then its
-	// arrival time (Poisson process over the duration).
+// jobBinsAndArrivals decides each job's bin per the Table 3 distribution
+// and its arrival time (Poisson process over the duration, stragglers
+// clamped in). Shared by Generate and GenerateDrift so the arrival model
+// cannot drift between them.
+func jobBinsAndArrivals(rng *rand.Rand, p Profile) ([]Bin, []time.Duration) {
 	bins := make([]Bin, p.NumJobs)
 	for i := range bins {
 		bins[i] = sampleBin(rng, p.BinFractions)
@@ -243,13 +241,29 @@ func Generate(p Profile, seed int64) *Trace {
 	for i := range arrivals {
 		at += rng.ExpFloat64() / rate
 		arrivals[i] = time.Duration(at * float64(time.Second))
-	}
-	// Clamp stragglers into the duration.
-	for i := range arrivals {
 		if arrivals[i] >= p.Duration {
 			arrivals[i] = p.Duration - time.Minute
 		}
 	}
+	return bins, arrivals
+}
+
+// poolSize is the number of distinct input files backing a bin's jobs.
+func poolSize(jobs int, factor float64) int {
+	n := int(math.Ceil(float64(jobs) * factor))
+	if jobs > 0 && n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Generate builds a deterministic trace from a profile and seed.
+func Generate(p Profile, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{Name: p.Name, Duration: p.Duration}
+
+	// 1. Decide each job's bin and arrival time.
+	bins, arrivals := jobBinsAndArrivals(rng, p)
 
 	// 2. Build the per-bin input file pools.
 	jobsPerBin := make([]int, NumBins)
@@ -259,10 +273,7 @@ func Generate(p Profile, seed int64) *Trace {
 	pools := make([][]*binFile, NumBins)
 	fileID := 0
 	for b := Bin(0); b < NumBins; b++ {
-		n := int(math.Ceil(float64(jobsPerBin[b]) * p.FilesPerBinJob[b]))
-		if jobsPerBin[b] > 0 && n < 1 {
-			n = 1
-		}
+		n := poolSize(jobsPerBin[b], p.FilesPerBinJob[b])
 		lo, hi := binBounds(b)
 		for i := 0; i < n; i++ {
 			size := logUniform(rng, lo, hi)
