@@ -1,0 +1,608 @@
+package core
+
+// This file implements the incremental candidate indexes that replace the
+// manager's per-tick full scans of FS.LiveFiles(). The paper's overhead
+// claim (Section 7.7: tier management stays negligible on a busy cluster)
+// only holds when the management plane is sublinear in the number of
+// managed files, so selection state is maintained event by event through
+// the file-system notifications instead of being rebuilt per decision:
+//
+//   - per-tier recency heaps ordered by (last touch, file id) serve the LRU
+//     downgrade policy and the XGB policy's "k least recently used files"
+//     candidate collection in O(log N) / O(k log N);
+//   - per-tier frequency heaps ordered by (access count, last touch, id)
+//     serve the LFU downgrade policy;
+//   - one most-recently-used heap over files not resident in memory serves
+//     Context.UpgradeCandidates (the XGB upgrade policy's "k most recently
+//     used files", Section 6.1) without sorting the live-file set;
+//   - a subscription feed forwards per-tier residency flips to policies
+//     that keep their own ordered state (the LRFU/EXD lazy weight heaps in
+//     internal/policy).
+//
+// Membership follows the all-or-nothing residency property: a file appears
+// in the structures of exactly the tiers holding a replica of every block,
+// maintained from dfs.Listener FileTierChanged flips plus file
+// creation/deletion. Dynamic predicates (manager busy marks, failure
+// cooldowns) are filtered at selection time, not indexed.
+
+import (
+	"fmt"
+	"time"
+
+	"octostore/internal/dfs"
+	"octostore/internal/storage"
+)
+
+// HeapKey orders files inside a FileHeap: ascending weight, then time, then
+// file id. Policies use the fields they need and zero the rest.
+type HeapKey struct {
+	W  float64
+	T  time.Time
+	ID dfs.FileID
+}
+
+// Less is the ascending HeapKey order.
+func (a HeapKey) Less(b HeapKey) bool {
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	if !a.T.Equal(b.T) {
+		return a.T.Before(b.T)
+	}
+	return a.ID < b.ID
+}
+
+type heapEntry struct {
+	file *dfs.File
+	key  HeapKey
+	pos  int
+}
+
+// FileHeap is an indexed binary min-heap of files with O(log N)
+// insert/update/remove and allocation-free ordered selection (popped
+// entries are restored from a reused scratch buffer). The comparator is
+// fixed at construction, so the same structure serves ascending recency
+// (LRU), descending recency (upgrade MRU), frequency, and weight orders.
+type FileHeap struct {
+	byID  map[dfs.FileID]*heapEntry
+	items []*heapEntry
+	stash []*heapEntry
+	less  func(a, b HeapKey) bool
+}
+
+// NewFileHeap builds an empty heap with the given comparator (nil means
+// the ascending HeapKey.Less order).
+func NewFileHeap(less func(a, b HeapKey) bool) *FileHeap {
+	if less == nil {
+		less = HeapKey.Less
+	}
+	return &FileHeap{byID: make(map[dfs.FileID]*heapEntry), less: less}
+}
+
+// TimeDescending orders by most recent time first (ties toward lower id);
+// the weight component is ignored.
+func TimeDescending(a, b HeapKey) bool {
+	if !a.T.Equal(b.T) {
+		return a.T.After(b.T)
+	}
+	return a.ID < b.ID
+}
+
+// Len returns the number of indexed files.
+func (h *FileHeap) Len() int { return len(h.items) }
+
+// Has reports whether the file is indexed.
+func (h *FileHeap) Has(id dfs.FileID) bool {
+	_, ok := h.byID[id]
+	return ok
+}
+
+// Update inserts the file or re-keys it in place.
+func (h *FileHeap) Update(f *dfs.File, w float64, t time.Time) {
+	key := HeapKey{W: w, T: t, ID: f.ID()}
+	if e, ok := h.byID[f.ID()]; ok {
+		e.key = key
+		h.fix(e.pos)
+		return
+	}
+	e := &heapEntry{file: f, key: key, pos: len(h.items)}
+	h.byID[f.ID()] = e
+	h.items = append(h.items, e)
+	h.up(e.pos)
+}
+
+// Remove drops the file if present.
+func (h *FileHeap) Remove(id dfs.FileID) {
+	e, ok := h.byID[id]
+	if !ok {
+		return
+	}
+	delete(h.byID, id)
+	last := len(h.items) - 1
+	pos := e.pos
+	h.items[pos] = h.items[last]
+	h.items[pos].pos = pos
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if pos < last {
+		h.fix(pos)
+	}
+}
+
+// Rekey recomputes every entry's key with fn and re-heapifies in O(N); the
+// lazy weight heaps use it when their evaluation horizon advances.
+func (h *FileHeap) Rekey(fn func(f *dfs.File) (float64, time.Time)) {
+	for _, e := range h.items {
+		w, t := fn(e.file)
+		e.key = HeapKey{W: w, T: t, ID: e.file.ID()}
+	}
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// Each visits every indexed entry in unspecified order.
+func (h *FileHeap) Each(fn func(f *dfs.File, key HeapKey)) {
+	for _, e := range h.items {
+		fn(e.file, e.key)
+	}
+}
+
+// Key returns the stored key of a file.
+func (h *FileHeap) Key(id dfs.FileID) (HeapKey, bool) {
+	e, ok := h.byID[id]
+	if !ok {
+		return HeapKey{}, false
+	}
+	return e.key, true
+}
+
+// SelectMin returns the minimum-key file passing the eligibility filter,
+// or nil. Keys must be exact (not bounds). Ineligible prefixes are popped
+// and restored, so the cost is O((s+1) log N) where s is the number of
+// ineligible entries ahead of the winner.
+func (h *FileHeap) SelectMin(eligible func(*dfs.File) bool) *dfs.File {
+	var best *dfs.File
+	h.stash = h.stash[:0]
+	for len(h.items) > 0 {
+		top := h.popTop()
+		h.stash = append(h.stash, top)
+		if eligible == nil || eligible(top.file) {
+			best = top.file
+			break
+		}
+	}
+	h.restore()
+	return best
+}
+
+// SelectMinLazy returns the file minimizing (trueW(f), f.ID()) among
+// eligible entries, where stored weight keys are lower bounds of trueW
+// (entries' T components must be zero). It pops entries while their bound
+// could still beat the best exact weight seen, then restores them; with
+// tight bounds this inspects a tiny prefix of the heap.
+func (h *FileHeap) SelectMinLazy(eligible func(*dfs.File) bool, trueW func(*dfs.File) float64) *dfs.File {
+	var best *dfs.File
+	var bestKey HeapKey
+	h.stash = h.stash[:0]
+	for len(h.items) > 0 {
+		if best != nil && h.less(bestKey, h.items[0].key) {
+			break
+		}
+		top := h.popTop()
+		h.stash = append(h.stash, top)
+		if eligible != nil && !eligible(top.file) {
+			continue
+		}
+		tk := HeapKey{W: trueW(top.file), ID: top.file.ID()}
+		if best == nil || h.less(tk, bestKey) {
+			best, bestKey = top.file, tk
+		}
+	}
+	h.restore()
+	return best
+}
+
+// TopK appends up to k eligible files to out in heap order and returns the
+// extended slice; the heap is left unchanged. Cost is O((k+s) log N).
+func (h *FileHeap) TopK(k int, eligible func(*dfs.File) bool, out []*dfs.File) []*dfs.File {
+	if k <= 0 {
+		k = len(h.items)
+	}
+	taken := 0
+	h.stash = h.stash[:0]
+	for len(h.items) > 0 && taken < k {
+		top := h.popTop()
+		h.stash = append(h.stash, top)
+		if eligible == nil || eligible(top.file) {
+			out = append(out, top.file)
+			taken++
+		}
+	}
+	h.restore()
+	return out
+}
+
+func (h *FileHeap) popTop() *heapEntry {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[0].pos = 0
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *FileHeap) restore() {
+	for _, e := range h.stash {
+		e.pos = len(h.items)
+		h.items = append(h.items, e)
+		h.up(e.pos)
+	}
+	h.stash = h.stash[:0]
+}
+
+func (h *FileHeap) fix(pos int) {
+	if !h.up(pos) {
+		h.down(pos)
+	}
+}
+
+func (h *FileHeap) up(pos int) bool {
+	moved := false
+	for pos > 0 {
+		parent := (pos - 1) / 2
+		if !h.less(h.items[pos].key, h.items[parent].key) {
+			break
+		}
+		h.swap(pos, parent)
+		pos = parent
+		moved = true
+	}
+	return moved
+}
+
+func (h *FileHeap) down(pos int) {
+	n := len(h.items)
+	for {
+		left := 2*pos + 1
+		if left >= n {
+			return
+		}
+		child := left
+		if right := left + 1; right < n && h.less(h.items[right].key, h.items[left].key) {
+			child = right
+		}
+		if !h.less(h.items[child].key, h.items[pos].key) {
+			return
+		}
+		h.swap(pos, child)
+		pos = child
+	}
+}
+
+func (h *FileHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].pos = i
+	h.items[j].pos = j
+}
+
+// ResidencySubscriber receives per-tier membership events derived from the
+// file-system notifications; policies that keep their own ordered candidate
+// state (the LRFU/EXD weight heaps) implement it and register through
+// CandidateIndex.Subscribe.
+type ResidencySubscriber interface {
+	// OnTierResident fires when a complete file becomes fully resident on a
+	// tier (and once per resident tier when the file is first seen).
+	OnTierResident(f *dfs.File, tier storage.Media)
+	// OnTierEvicted fires when the file stops being fully resident on the
+	// tier.
+	OnTierEvicted(f *dfs.File, tier storage.Media)
+	// OnTrackedFileDeleted fires when the file leaves the namespace.
+	OnTrackedFileDeleted(f *dfs.File)
+}
+
+// CandidateIndex is the Context's incremental selection state. Structures
+// are built on demand — each policy declares what it needs at construction
+// (RequireRecency, RequireFrequency, RequireUpgradeMRU) and pays only for
+// that — and bootstrap from the currently live files, so construction order
+// relative to file creation does not matter.
+type CandidateIndex struct {
+	ctx     *Context
+	recency [3]*FileHeap // per tier: (lastTouch, id) ascending
+	freq    [3]*FileHeap // per tier: (count, lastTouch, id) ascending
+	mru     *FileHeap    // non-memory-resident files: lastTouch descending
+	subs    []ResidencySubscriber
+}
+
+func newCandidateIndex(ctx *Context) *CandidateIndex { return &CandidateIndex{ctx: ctx} }
+
+// RequireRecency enables the per-tier recency heaps (LRU selection and
+// LRU-ordered top-k collection).
+func (ix *CandidateIndex) RequireRecency() {
+	if ix.recency[0] != nil {
+		return
+	}
+	for _, m := range storage.AllMedia {
+		ix.recency[m] = NewFileHeap(nil)
+	}
+	ix.bootstrap(func(f *dfs.File, m storage.Media) {
+		ix.recency[m].Update(f, 0, ix.ctx.LastTouch(f))
+	}, nil)
+}
+
+// RequireFrequency enables the per-tier frequency heaps (LFU selection).
+func (ix *CandidateIndex) RequireFrequency() {
+	if ix.freq[0] != nil {
+		return
+	}
+	for _, m := range storage.AllMedia {
+		ix.freq[m] = NewFileHeap(nil)
+	}
+	ix.bootstrap(func(f *dfs.File, m storage.Media) {
+		ix.freq[m].Update(f, float64(ix.ctx.AccessCount(f)), ix.ctx.LastTouch(f))
+	}, nil)
+}
+
+// RequireUpgradeMRU enables the most-recently-used heap over files not
+// resident in memory (Context.UpgradeCandidates).
+func (ix *CandidateIndex) RequireUpgradeMRU() {
+	if ix.mru != nil {
+		return
+	}
+	ix.mru = NewFileHeap(TimeDescending)
+	ix.bootstrap(nil, func(f *dfs.File) {
+		if ix.upgradeIndexable(f) {
+			ix.mru.Update(f, 0, ix.ctx.LastTouch(f))
+		}
+	})
+}
+
+// Subscribe registers a residency subscriber and replays the current
+// membership to it, so late-constructed policies start consistent.
+func (ix *CandidateIndex) Subscribe(s ResidencySubscriber) {
+	ix.subs = append(ix.subs, s)
+	for _, f := range ix.ctx.FS.LiveFiles() {
+		if f.Deleted() || !ix.ctx.FS.Complete(f) {
+			continue
+		}
+		for _, m := range storage.AllMedia {
+			if f.HasReplicaOn(m) {
+				s.OnTierResident(f, m)
+			}
+		}
+	}
+}
+
+// bootstrap seeds newly enabled structures from the live-file index.
+func (ix *CandidateIndex) bootstrap(perTier func(*dfs.File, storage.Media), perFile func(*dfs.File)) {
+	for _, f := range ix.ctx.FS.LiveFiles() {
+		if f.Deleted() || !ix.ctx.FS.Complete(f) {
+			continue
+		}
+		if perFile != nil {
+			perFile(f)
+		}
+		if perTier != nil {
+			for _, m := range storage.AllMedia {
+				if f.HasReplicaOn(m) {
+					perTier(f, m)
+				}
+			}
+		}
+	}
+}
+
+// upgradeIndexable is the static part of the UpgradeCandidates predicate;
+// busy and cooldown are filtered at selection time.
+func (ix *CandidateIndex) upgradeIndexable(f *dfs.File) bool {
+	return !f.Deleted() && len(f.Blocks()) > 0 && !f.HasReplicaOn(storage.Memory)
+}
+
+// --- event feed (driven by the Context's file-system listener) ---
+
+func (ix *CandidateIndex) fileCreated(f *dfs.File) {
+	touch := ix.ctx.LastTouch(f)
+	for _, m := range storage.AllMedia {
+		if !f.HasReplicaOn(m) {
+			continue
+		}
+		if ix.recency[m] != nil {
+			ix.recency[m].Update(f, 0, touch)
+		}
+		if ix.freq[m] != nil {
+			ix.freq[m].Update(f, float64(ix.ctx.AccessCount(f)), touch)
+		}
+		for _, s := range ix.subs {
+			s.OnTierResident(f, m)
+		}
+	}
+	if ix.mru != nil && ix.upgradeIndexable(f) {
+		ix.mru.Update(f, 0, touch)
+	}
+}
+
+func (ix *CandidateIndex) fileAccessed(f *dfs.File) {
+	id := f.ID()
+	touch := ix.ctx.LastTouch(f)
+	for _, m := range storage.AllMedia {
+		if ix.recency[m] != nil && ix.recency[m].Has(id) {
+			ix.recency[m].Update(f, 0, touch)
+		}
+		if ix.freq[m] != nil && ix.freq[m].Has(id) {
+			ix.freq[m].Update(f, float64(ix.ctx.AccessCount(f)), touch)
+		}
+	}
+	if ix.mru != nil && ix.mru.Has(id) {
+		ix.mru.Update(f, 0, touch)
+	}
+}
+
+func (ix *CandidateIndex) fileDeleted(f *dfs.File) {
+	id := f.ID()
+	for _, m := range storage.AllMedia {
+		if ix.recency[m] != nil {
+			ix.recency[m].Remove(id)
+		}
+		if ix.freq[m] != nil {
+			ix.freq[m].Remove(id)
+		}
+	}
+	if ix.mru != nil {
+		ix.mru.Remove(id)
+	}
+	for _, s := range ix.subs {
+		s.OnTrackedFileDeleted(f)
+	}
+}
+
+func (ix *CandidateIndex) residencyChanged(f *dfs.File, m storage.Media, resident bool) {
+	if resident {
+		touch := ix.ctx.LastTouch(f)
+		if ix.recency[m] != nil {
+			ix.recency[m].Update(f, 0, touch)
+		}
+		if ix.freq[m] != nil {
+			ix.freq[m].Update(f, float64(ix.ctx.AccessCount(f)), touch)
+		}
+		for _, s := range ix.subs {
+			s.OnTierResident(f, m)
+		}
+	} else {
+		if ix.recency[m] != nil {
+			ix.recency[m].Remove(f.ID())
+		}
+		if ix.freq[m] != nil {
+			ix.freq[m].Remove(f.ID())
+		}
+		for _, s := range ix.subs {
+			s.OnTierEvicted(f, m)
+		}
+	}
+	if ix.mru != nil && m == storage.Memory {
+		if resident {
+			ix.mru.Remove(f.ID())
+		} else if ix.upgradeIndexable(f) {
+			ix.mru.Update(f, 0, ix.ctx.LastTouch(f))
+		}
+	}
+}
+
+// --- selection API ---
+
+// SelectLRU returns the least recently touched selectable file on the tier
+// (the indexed equivalent of the LRU policy's linear min-scan).
+func (ix *CandidateIndex) SelectLRU(tier storage.Media) *dfs.File {
+	return ix.recency[tier].SelectMin(ix.ctx.eligFn)
+}
+
+// SelectLFU returns the least frequently used selectable file on the tier,
+// ties toward least recently touched.
+func (ix *CandidateIndex) SelectLFU(tier storage.Media) *dfs.File {
+	return ix.freq[tier].SelectMin(ix.ctx.eligFn)
+}
+
+// LRUTopK appends up to k selectable files on the tier in least-recent
+// order to out.
+func (ix *CandidateIndex) LRUTopK(tier storage.Media, k int, out []*dfs.File) []*dfs.File {
+	return ix.recency[tier].TopK(k, ix.ctx.eligFn, out)
+}
+
+// UpgradeTopK appends up to k selectable non-memory-resident files in
+// most-recent order to out.
+func (ix *CandidateIndex) UpgradeTopK(k int, out []*dfs.File) []*dfs.File {
+	return ix.mru.TopK(k, ix.ctx.eligFn, out)
+}
+
+// HasRecency/HasFrequency/HasUpgradeMRU report which structures are live.
+func (ix *CandidateIndex) HasRecency() bool    { return ix.recency[0] != nil }
+func (ix *CandidateIndex) HasFrequency() bool  { return ix.freq[0] != nil }
+func (ix *CandidateIndex) HasUpgradeMRU() bool { return ix.mru != nil }
+
+// Audit validates every enabled structure against a from-scratch recompute
+// of membership and keys: each tier structure must contain exactly the
+// complete, live, fully resident files with their current tracker keys,
+// and the MRU heap exactly the non-memory-resident candidates. The
+// scenario replayer runs it with the deep invariant checks so node churn
+// and re-replication cannot silently leak or strand indexed entries.
+func (ix *CandidateIndex) Audit() error {
+	want := make(map[dfs.FileID]*dfs.File)
+	for _, m := range storage.AllMedia {
+		for k := range want {
+			delete(want, k)
+		}
+		for _, f := range ix.ctx.FS.LiveFiles() {
+			if !f.Deleted() && ix.ctx.FS.Complete(f) && f.HasReplicaOn(m) {
+				want[f.ID()] = f
+			}
+		}
+		for _, h := range []*FileHeap{ix.recency[m], ix.freq[m]} {
+			if h == nil {
+				continue
+			}
+			if h.Len() != len(want) {
+				return fmt.Errorf("core: index tier %v holds %d files, want %d", m, h.Len(), len(want))
+			}
+			var err error
+			h.Each(func(f *dfs.File, key HeapKey) {
+				if err != nil {
+					return
+				}
+				if _, ok := want[f.ID()]; !ok {
+					err = fmt.Errorf("core: index tier %v holds stray file %q", m, f.Path())
+					return
+				}
+				if !key.T.Equal(ix.ctx.LastTouch(f)) {
+					err = fmt.Errorf("core: index tier %v key time stale for %q", m, f.Path())
+				}
+			})
+			if err != nil {
+				return err
+			}
+		}
+		if h := ix.freq[m]; h != nil {
+			var err error
+			h.Each(func(f *dfs.File, key HeapKey) {
+				if err == nil && key.W != float64(ix.ctx.AccessCount(f)) {
+					err = fmt.Errorf("core: index tier %v count stale for %q", m, f.Path())
+				}
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if ix.mru != nil {
+		for k := range want {
+			delete(want, k)
+		}
+		for _, f := range ix.ctx.FS.LiveFiles() {
+			if ix.ctx.FS.Complete(f) && ix.upgradeIndexable(f) {
+				want[f.ID()] = f
+			}
+		}
+		if ix.mru.Len() != len(want) {
+			return fmt.Errorf("core: upgrade MRU holds %d files, want %d", ix.mru.Len(), len(want))
+		}
+		var err error
+		ix.mru.Each(func(f *dfs.File, key HeapKey) {
+			if err != nil {
+				return
+			}
+			if _, ok := want[f.ID()]; !ok {
+				err = fmt.Errorf("core: upgrade MRU holds stray file %q", f.Path())
+				return
+			}
+			if !key.T.Equal(ix.ctx.LastTouch(f)) {
+				err = fmt.Errorf("core: upgrade MRU key time stale for %q", f.Path())
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -20,19 +20,71 @@ type Context struct {
 	Tracker *ml.Tracker
 	Cfg     Config
 
-	mgr *Manager // set when a Manager adopts the context
+	mgr    *Manager // set when a Manager adopts the context
+	index  *CandidateIndex
+	eligFn func(*dfs.File) bool
 }
 
-// NewContext builds a policy context over a file system.
+// NewContext builds a policy context over a file system. The context
+// registers itself as a file-system listener: it maintains the per-file
+// statistics and the incremental candidate indexes from notifications, so
+// they stay current whether or not a Manager is attached.
 func NewContext(fs *dfs.FileSystem, cfg Config) *Context {
 	cfg.applyDefaults()
-	return &Context{
+	c := &Context{
 		Clock:   fs.Engine(),
 		FS:      fs,
 		Tracker: ml.NewTracker(cfg.TrackerK),
 		Cfg:     cfg,
 	}
+	c.index = newCandidateIndex(c)
+	c.eligFn = c.Selectable
+	fs.AddListener(ctxListener{c})
+	return c
 }
+
+// Index returns the context's incremental candidate index.
+func (c *Context) Index() *CandidateIndex { return c.index }
+
+// Selectable reports whether a policy may pick the file right now: not
+// busy with an in-flight operation and not in a failure cooldown. It is
+// the dynamic part of the eligibility predicate; static properties
+// (deleted, incomplete, tier residency) are maintained as index
+// membership.
+func (c *Context) Selectable(f *dfs.File) bool {
+	return c.mgr == nil || (!c.mgr.isBusy(f) && !c.mgr.inCooldown(f))
+}
+
+// ctxListener feeds file-system notifications into the context's tracker
+// and candidate index. It is registered in NewContext, before any Manager,
+// so statistics are already updated when policies observe the same event.
+type ctxListener struct{ ctx *Context }
+
+// FileCreated implements dfs.Listener.
+func (l ctxListener) FileCreated(f *dfs.File) {
+	l.ctx.Tracker.OnCreate(int64(f.ID()), f.Size(), f.Created())
+	l.ctx.index.fileCreated(f)
+}
+
+// FileAccessed implements dfs.Listener.
+func (l ctxListener) FileAccessed(f *dfs.File) {
+	l.ctx.Tracker.OnAccess(int64(f.ID()), l.ctx.Clock.Now())
+	l.ctx.index.fileAccessed(f)
+}
+
+// FileDeleted implements dfs.Listener.
+func (l ctxListener) FileDeleted(f *dfs.File) {
+	l.ctx.Tracker.OnDelete(int64(f.ID()))
+	l.ctx.index.fileDeleted(f)
+}
+
+// FileTierChanged implements dfs.Listener.
+func (l ctxListener) FileTierChanged(f *dfs.File, media storage.Media, resident bool) {
+	l.ctx.index.residencyChanged(f, media, resident)
+}
+
+// TierDataAdded implements dfs.Listener.
+func (ctxListener) TierDataAdded(storage.Media) {}
 
 // Record returns (creating on demand) the statistics record of a file.
 func (c *Context) Record(f *dfs.File) *ml.FileRecord {
@@ -65,7 +117,15 @@ func (c *Context) IsBusy(f *dfs.File) bool {
 // holding a replica of every block on the tier (the all-or-nothing
 // property).
 func (c *Context) EligibleFiles(tier storage.Media) []*dfs.File {
-	var out []*dfs.File
+	return c.EligibleFilesInto(nil, tier)
+}
+
+// EligibleFilesInto is EligibleFiles appending into a caller-provided
+// buffer (pass buf[:0] to reuse its capacity), so per-decision scans stop
+// allocating. Policies with an order-independent or windowed selection
+// rule (LIFE, LFU-F, EXD admission) use it; the indexed policies avoid the
+// scan entirely.
+func (c *Context) EligibleFilesInto(buf []*dfs.File, tier storage.Media) []*dfs.File {
 	// LiveFiles avoids the sorted namespace walk; HasReplicaOn is O(1) via
 	// the residency counters. Selection policies impose their own ordering.
 	for _, f := range c.FS.LiveFiles() {
@@ -78,17 +138,35 @@ func (c *Context) EligibleFiles(tier storage.Media) []*dfs.File {
 		if !f.HasReplicaOn(tier) {
 			continue
 		}
-		out = append(out, f)
+		buf = append(buf, f)
 	}
-	return out
+	return buf
 }
 
 // UpgradeCandidates returns files not fully resident in memory, excluding
 // busy/cooldown files, sorted by most-recent touch first and truncated to
 // k (the XGB upgrade policy scores "the k most recently used files",
-// Section 6.1).
+// Section 6.1). With the upgrade MRU index enabled (RequireUpgradeMRU) the
+// collection is a bounded-heap top-k instead of a full sort.
 func (c *Context) UpgradeCandidates(k int) []*dfs.File {
-	var out []*dfs.File
+	return c.UpgradeCandidatesInto(nil, k)
+}
+
+// UpgradeCandidatesInto is UpgradeCandidates appending into a reusable
+// buffer.
+func (c *Context) UpgradeCandidatesInto(buf []*dfs.File, k int) []*dfs.File {
+	if c.index.HasUpgradeMRU() {
+		return c.index.UpgradeTopK(k, buf)
+	}
+	return c.UpgradeCandidatesLinear(buf, k)
+}
+
+// UpgradeCandidatesLinear is the full-scan implementation of
+// UpgradeCandidates, kept as the fallback when no index is enabled and as
+// the oracle the differential equivalence tests compare the indexed path
+// against.
+func (c *Context) UpgradeCandidatesLinear(buf []*dfs.File, k int) []*dfs.File {
+	start := len(buf)
 	for _, f := range c.FS.LiveFiles() {
 		if f.Deleted() || !c.FS.Complete(f) || c.IsBusy(f) || len(f.Blocks()) == 0 {
 			continue
@@ -99,8 +177,9 @@ func (c *Context) UpgradeCandidates(k int) []*dfs.File {
 		if f.HasReplicaOn(storage.Memory) {
 			continue
 		}
-		out = append(out, f)
+		buf = append(buf, f)
 	}
+	out := buf[start:]
 	sort.Slice(out, func(i, j int) bool {
 		ti, tj := c.LastTouch(out[i]), c.LastTouch(out[j])
 		if !ti.Equal(tj) {
@@ -109,16 +188,33 @@ func (c *Context) UpgradeCandidates(k int) []*dfs.File {
 		return out[i].ID() < out[j].ID()
 	})
 	if k > 0 && len(out) > k {
-		out = out[:k]
+		buf = buf[:start+k]
 	}
-	return out
+	return buf
 }
 
 // LRUFiles returns up to k eligible files on the tier ordered by least
 // recent touch first (the XGB downgrade policy scores "the k least
-// recently used files", Section 5.2).
+// recently used files", Section 5.2). With the recency index enabled
+// (RequireRecency) the collection is a bounded-heap top-k.
 func (c *Context) LRUFiles(tier storage.Media, k int) []*dfs.File {
-	files := c.EligibleFiles(tier)
+	return c.LRUFilesInto(nil, tier, k)
+}
+
+// LRUFilesInto is LRUFiles appending into a reusable buffer.
+func (c *Context) LRUFilesInto(buf []*dfs.File, tier storage.Media, k int) []*dfs.File {
+	if c.index.HasRecency() {
+		return c.index.LRUTopK(tier, k, buf)
+	}
+	return c.LRUFilesLinear(buf, tier, k)
+}
+
+// LRUFilesLinear is the scan-and-sort implementation of LRUFiles, kept as
+// the no-index fallback and the differential-test oracle.
+func (c *Context) LRUFilesLinear(buf []*dfs.File, tier storage.Media, k int) []*dfs.File {
+	start := len(buf)
+	buf = c.EligibleFilesInto(buf, tier)
+	files := buf[start:]
 	sort.Slice(files, func(i, j int) bool {
 		ti, tj := c.LastTouch(files[i]), c.LastTouch(files[j])
 		if !ti.Equal(tj) {
@@ -127,9 +223,9 @@ func (c *Context) LRUFiles(tier storage.Media, k int) []*dfs.File {
 		return files[i].ID() < files[j].ID()
 	})
 	if k > 0 && len(files) > k {
-		files = files[:k]
+		buf = buf[:start+k]
 	}
-	return files
+	return buf
 }
 
 // EffectiveUtilization is the tier's used fraction minus space already

@@ -128,9 +128,10 @@ func (m *Manager) setCooldown(f *dfs.File) {
 
 // --- dfs.Listener ---
 
-// FileCreated implements dfs.Listener.
+// FileCreated implements dfs.Listener. The context's own listener, which
+// registered first, has already recorded the file in the tracker and the
+// candidate index by the time the policies hear about it.
 func (m *Manager) FileCreated(f *dfs.File) {
-	m.ctx.Tracker.OnCreate(int64(f.ID()), f.Size(), f.Created())
 	if m.down != nil {
 		m.down.OnFileCreated(f)
 	}
@@ -143,7 +144,6 @@ func (m *Manager) FileCreated(f *dfs.File) {
 // and triggers the upgrade process (Algorithm 2 "invoked every time a file
 // is accessed, before it is actually read").
 func (m *Manager) FileAccessed(f *dfs.File) {
-	m.ctx.Tracker.OnAccess(int64(f.ID()), m.ctx.Clock.Now())
 	if m.down != nil {
 		m.down.OnFileAccessed(f)
 	}
@@ -155,7 +155,6 @@ func (m *Manager) FileAccessed(f *dfs.File) {
 
 // FileDeleted implements dfs.Listener.
 func (m *Manager) FileDeleted(f *dfs.File) {
-	m.ctx.Tracker.OnDelete(int64(f.ID()))
 	delete(m.busy, f.ID())
 	delete(m.cooldown, f.ID())
 	if m.down != nil {
@@ -165,6 +164,11 @@ func (m *Manager) FileDeleted(f *dfs.File) {
 		m.up.OnFileDeleted(f)
 	}
 }
+
+// FileTierChanged implements dfs.Listener. Residency flips feed the
+// context's candidate index (and, through it, subscribed policies); the
+// manager itself reacts to tier pressure via TierDataAdded.
+func (m *Manager) FileTierChanged(*dfs.File, storage.Media, bool) {}
 
 // TierDataAdded implements dfs.Listener; data arriving on a tier is the
 // trigger for the downgrade process (Algorithm 1 "invoked every time some

@@ -146,7 +146,8 @@ func (b *Block) hasReplica(r *Replica) bool {
 // noteReadable updates the owning file's per-tier residency counter after r
 // became readable: the counter gains the block when r is its first readable
 // replica on that media. Call it after the state (and, for moves, device)
-// change has been applied.
+// change has been applied. Crossing into full residency (every block on the
+// media) fires the FileTierChanged notification.
 func (b *Block) noteReadable(r *Replica) {
 	m := r.Media()
 	for _, other := range b.replicas {
@@ -154,24 +155,35 @@ func (b *Block) noteReadable(r *Replica) {
 			return
 		}
 	}
-	b.file.tierBlocks[m]++
+	f := b.file
+	f.tierBlocks[m]++
+	if int(f.tierBlocks[m]) == len(f.blocks) {
+		f.fs.notifyResidency(f, m, true)
+	}
 }
 
 // noteUnreadable is the inverse of noteReadable: call it after r stopped
 // being readable on `media` (state change, device repoint, or detachment),
-// passing the media it was readable on.
+// passing the media it was readable on. Dropping out of full residency
+// fires the FileTierChanged notification.
 func (b *Block) noteUnreadable(r *Replica, media storage.Media) {
 	for _, other := range b.replicas {
 		if other != r && other.Readable() && other.Media() == media {
 			return
 		}
 	}
-	b.file.tierBlocks[media]--
+	f := b.file
+	wasFull := len(f.blocks) > 0 && int(f.tierBlocks[media]) == len(f.blocks)
+	f.tierBlocks[media]--
+	if wasFull {
+		f.fs.notifyResidency(f, media, false)
+	}
 }
 
 // File is a stored file: an ordered list of blocks plus metadata.
 type File struct {
 	id          FileID
+	fs          *FileSystem // owner; carries residency-flip notifications
 	path        string
 	size        int64
 	created     time.Time

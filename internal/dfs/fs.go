@@ -83,6 +83,12 @@ type Listener interface {
 	FileAccessed(f *File)
 	// FileDeleted fires when a file is removed.
 	FileDeleted(f *File)
+	// FileTierChanged fires when a complete file's all-or-nothing residency
+	// on a tier flips: resident=true when the last block gained a readable
+	// replica on the media, false when the first block lost its last one.
+	// Candidate indexes maintain per-tier membership from these flips
+	// instead of rescanning every live file per decision.
+	FileTierChanged(f *File, media storage.Media, resident bool)
 	// TierDataAdded fires after data lands on a tier (block creation or an
 	// upgrade/downgrade arrival), the trigger for the downgrade process.
 	TierDataAdded(media storage.Media)
@@ -307,6 +313,7 @@ func (fs *FileSystem) Create(path string, size int64, done func(*File, error)) {
 	}
 	f := &File{
 		id:          fs.nextFileID,
+		fs:          fs,
 		path:        clean,
 		size:        size,
 		created:     fs.engine.Now(),
@@ -403,6 +410,19 @@ func (fs *FileSystem) writeBlock(b *Block, onDone func()) error {
 		r.device.StartWrite(b.size, barrier)
 	}
 	return nil
+}
+
+// notifyResidency fires FileTierChanged for a residency flip on a complete,
+// live file. Flips during the initial write are suppressed: FileCreated
+// carries the full starting residency once the write commits, and aborted
+// writes tear down replicas that no listener ever saw.
+func (fs *FileSystem) notifyResidency(f *File, media storage.Media, resident bool) {
+	if f.deleted || fs.creating[f.id] {
+		return
+	}
+	for _, l := range fs.listeners {
+		l.FileTierChanged(f, media, resident)
+	}
 }
 
 // notifyTiers fires TierDataAdded once per distinct media the file landed

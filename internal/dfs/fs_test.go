@@ -316,13 +316,14 @@ func TestDeleteNotifiesListeners(t *testing.T) {
 }
 
 type recordingListener struct {
-	created, accessed, deleted, tierAdds int
+	created, accessed, deleted, tierAdds, tierFlips int
 }
 
-func (r *recordingListener) FileCreated(*File)           { r.created++ }
-func (r *recordingListener) FileAccessed(*File)          { r.accessed++ }
-func (r *recordingListener) FileDeleted(*File)           { r.deleted++ }
-func (r *recordingListener) TierDataAdded(storage.Media) { r.tierAdds++ }
+func (r *recordingListener) FileCreated(*File)                          { r.created++ }
+func (r *recordingListener) FileAccessed(*File)                         { r.accessed++ }
+func (r *recordingListener) FileDeleted(*File)                          { r.deleted++ }
+func (r *recordingListener) FileTierChanged(*File, storage.Media, bool) { r.tierFlips++ }
+func (r *recordingListener) TierDataAdded(storage.Media)                { r.tierAdds++ }
 
 func TestReadDeletedBlockErrors(t *testing.T) {
 	e, fs := testFS(t, ModeHDFS)

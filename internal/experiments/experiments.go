@@ -27,6 +27,11 @@ type Options struct {
 	// Scenario restricts the "scenarios" experiment to one named catalog
 	// scenario; empty replays the whole catalog.
 	Scenario string
+	// Parallel is how many experiment cells (independent simulations) run
+	// concurrently: 0 or 1 sequential, negative all cores, otherwise the
+	// given worker count. Results are identical at any level because each
+	// cell is deterministic and isolated (see parallel.go).
+	Parallel int
 }
 
 // DefaultOptions reproduces the paper's testbed scale.

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
 
+	"octostore/internal/eval"
 	"octostore/internal/ml"
 	"octostore/internal/workload"
 )
@@ -70,6 +72,36 @@ func TestAllExperimentsRunFast(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestParallelRunsAreDeterministic is the harness-parallelism acceptance
+// check: every experiment cell is an isolated deterministic simulation, so
+// the assembled tables must be byte-identical whether the cells ran
+// sequentially or fanned out across a worker pool.
+func TestParallelRunsAreDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario replays in non-short mode only")
+	}
+	runTables := func(parallel int) []*eval.Table {
+		o := fastOpts()
+		o.Parallel = parallel
+		tables, err := Scenarios(o)
+		if err != nil {
+			t.Fatalf("scenarios with parallel=%d: %v", parallel, err)
+		}
+		return tables
+	}
+	sequential := runTables(1)
+	parallel := runTables(4)
+	if len(sequential) != len(parallel) {
+		t.Fatalf("table count diverged: %d sequential vs %d parallel", len(sequential), len(parallel))
+	}
+	for i := range sequential {
+		if !reflect.DeepEqual(sequential[i], parallel[i]) {
+			t.Errorf("table %s diverged between sequential and parallel runs:\nsequential: %+v\nparallel:   %+v",
+				sequential[i].ID, sequential[i], parallel[i])
+		}
 	}
 }
 

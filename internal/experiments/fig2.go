@@ -64,14 +64,18 @@ func Fig2DFSIO(o Options) ([]*eval.Table, error) {
 		Title:  "DFSIO average read throughput per node (MB/s) vs data read (GB)",
 		Header: []string{"Data (GB)", "HDFS", "HDFS+Cache", "OctopusFS", "Octopus++"},
 	}
-	var writeSeries, readSeries [][]float64
-	for _, sys := range systems {
-		w, r, err := runDFSIO(sys, o, cfg)
+	writeSeries := make([][]float64, len(systems))
+	readSeries := make([][]float64, len(systems))
+	err := runCells(o.parallelism(), len(systems), func(i int) error {
+		w, r, err := runDFSIO(systems[i], o, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		writeSeries = append(writeSeries, w)
-		readSeries = append(readSeries, r)
+		writeSeries[i], readSeries[i] = w, r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	bucketGB := float64(cfg.totalBytes) / float64(cfg.buckets) / float64(storage.GB)
 	for i := 0; i < cfg.buckets; i++ {

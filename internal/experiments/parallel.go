@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Every experiment cell — one (system, policy, workload) or (scenario,
+// system) execution — is an independent deterministic simulation: it builds
+// its own engine, cluster, file system, and seeded RNGs, and shares only
+// read-only inputs (a pre-generated trace, a scenario descriptor) with its
+// siblings. runCells fans such cells out across a bounded worker pool;
+// because each cell writes only its own slot of a pre-sized result slice,
+// the assembled tables are byte-identical to a sequential run regardless
+// of the parallelism level.
+
+// parallelism resolves Options.Parallel to a worker count: 0 and 1 run
+// sequentially (the zero value preserves the historical behaviour),
+// negative values mean "all cores" (bounded by GOMAXPROCS), and positive
+// values are taken as given.
+func (o Options) parallelism() int {
+	switch {
+	case o.Parallel < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Parallel == 0:
+		return 1
+	default:
+		return o.Parallel
+	}
+}
+
+// runCells executes run(0..n-1) on up to `parallel` goroutines and returns
+// the error of the lowest-indexed failing cell (matching the error a
+// sequential run would surface first). With parallel <= 1 it degrades to a
+// plain loop with early exit.
+func runCells(parallel, n int, run func(i int) error) error {
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				errs[i] = run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"octostore/internal/cluster"
 	"octostore/internal/dfs"
 	"octostore/internal/eval"
 	"octostore/internal/workload"
@@ -28,6 +29,15 @@ func Fig13Scalability(o Options) ([]*eval.Table, error) {
 		Title:  "XGB vs HDFS: percent improvement in cluster efficiency by cluster size (FB)",
 		Header: append([]string{"Workers"}, binHeaders()...),
 	}
+	// Each (scale, system) execution is an isolated simulation; the two
+	// systems of a scale share that scale's pre-generated read-only trace.
+	// Fan the grid out and assemble rows in scale order.
+	type cell struct {
+		ccfg cluster.Config
+		tr   *workload.Trace
+		sys  System
+	}
+	cells := make([]cell, 0, 2*len(scales))
 	for _, scale := range scales {
 		ccfg := o.clusterConfig()
 		ccfg.Workers *= scale
@@ -40,20 +50,30 @@ func Fig13Scalability(o Options) ([]*eval.Table, error) {
 		// per-bin distinct-file factors already tie files to job counts).
 		p.NumJobs *= scale
 		tr := workload.Generate(p, o.Seed)
-		base, err := runSystem(System{Name: "HDFS", Mode: dfs.ModeHDFS}, tr, ccfg, o.Seed)
+		cells = append(cells,
+			cell{ccfg: ccfg, tr: tr, sys: System{Name: "HDFS", Mode: dfs.ModeHDFS}},
+			cell{ccfg: ccfg, tr: tr, sys: System{Name: "XGB", Mode: dfs.ModeOctopus, Down: "xgb", Up: "xgb"}})
+	}
+	arts := make([]*runArtifacts, len(cells))
+	err := runCells(o.parallelism(), len(cells), func(i int) error {
+		a, err := runSystem(cells[i].sys, cells[i].tr, cells[i].ccfg, o.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		xgb, err := runSystem(System{Name: "XGB", Mode: dfs.ModeOctopus, Down: "xgb", Up: "xgb"}, tr, ccfg, o.Seed)
-		if err != nil {
-			return nil, err
-		}
+		arts[i] = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(cells); i += 2 {
+		base, xgb := arts[i], arts[i+1]
 		baseMean := base.stats.MeanCompletionByBin()
 		xgbMean := xgb.stats.MeanCompletionByBin()
 		baseTask := base.stats.TaskSecondsByBin()
 		xgbTask := xgb.stats.TaskSecondsByBin()
-		rowC := []string{fmt.Sprintf("%d", ccfg.Workers)}
-		rowE := []string{fmt.Sprintf("%d", ccfg.Workers)}
+		rowC := []string{fmt.Sprintf("%d", cells[i].ccfg.Workers)}
+		rowE := []string{fmt.Sprintf("%d", cells[i].ccfg.Workers)}
 		for b := workload.Bin(0); b < workload.NumBins; b++ {
 			rowC = append(rowC, eval.Pct(eval.Reduction(baseMean[b].Seconds(), xgbMean[b].Seconds())))
 			rowE = append(rowE, eval.Pct(eval.Reduction(baseTask[b], xgbTask[b])))

@@ -52,33 +52,54 @@ func Scenarios(o Options) ([]*eval.Table, error) {
 		// Options.clusterConfig does for every other experiment.
 		opts.Workers = o.Workers
 	}
+	// Each (scenario, system) replay is an isolated deterministic
+	// simulation; fan the grid out and assemble rows in grid order so the
+	// tables are identical at any parallelism level.
+	systems := scenarioSystems()
+	type cell struct {
+		sc  scenario.Scenario
+		sys scenario.System
+	}
+	var cells []cell
 	for _, sc := range catalog {
-		for _, sys := range scenarioSystems() {
-			res, err := scenario.Run(sc, sys, opts)
-			if err != nil {
-				return nil, fmt.Errorf("scenarios: %w", err)
-			}
-			if len(res.Violations) > 0 {
-				return nil, fmt.Errorf("scenarios: %s on %s violated invariants: %v",
-					sc.Name, sys.Name, res.Violations)
-			}
-			perf.AddRow(sc.Name, sys.Name,
-				fmt.Sprintf("%d", res.Jobs),
-				durationMinutes(res.MeanCompletion),
-				durationMinutes(res.P95Completion),
-				gb(res.BytesRead),
-				fmt.Sprintf("%.1f", res.ThroughputMBps),
-				eval.Pct(res.MemHitRatio))
-			activity.AddRow(sc.Name, sys.Name,
-				fmt.Sprintf("%d", res.Upgrades),
-				fmt.Sprintf("%d", res.Downgrades),
-				fmt.Sprintf("%d", res.ReplicaDeletes),
-				fmt.Sprintf("%d", res.Repairs),
-				fmt.Sprintf("%d", res.Events),
-				fmt.Sprintf("%d", res.AccountingChecks+res.DeepChecks),
-				fmt.Sprintf("%d", len(res.Violations)),
-				fmt.Sprintf("%d", res.DataLossBlocks))
+		for _, sys := range systems {
+			cells = append(cells, cell{sc: sc, sys: sys})
 		}
+	}
+	results := make([]*scenario.Result, len(cells))
+	err := runCells(o.parallelism(), len(cells), func(i int) error {
+		res, err := scenario.Run(cells[i].sc, cells[i].sys, opts)
+		if err != nil {
+			return fmt.Errorf("scenarios: %w", err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		sc, sys := cells[i].sc, cells[i].sys
+		if len(res.Violations) > 0 {
+			return nil, fmt.Errorf("scenarios: %s on %s violated invariants: %v",
+				sc.Name, sys.Name, res.Violations)
+		}
+		perf.AddRow(sc.Name, sys.Name,
+			fmt.Sprintf("%d", res.Jobs),
+			durationMinutes(res.MeanCompletion),
+			durationMinutes(res.P95Completion),
+			gb(res.BytesRead),
+			fmt.Sprintf("%.1f", res.ThroughputMBps),
+			eval.Pct(res.MemHitRatio))
+		activity.AddRow(sc.Name, sys.Name,
+			fmt.Sprintf("%d", res.Upgrades),
+			fmt.Sprintf("%d", res.Downgrades),
+			fmt.Sprintf("%d", res.ReplicaDeletes),
+			fmt.Sprintf("%d", res.Repairs),
+			fmt.Sprintf("%d", res.Events),
+			fmt.Sprintf("%d", res.AccountingChecks+res.DeepChecks),
+			fmt.Sprintf("%d", len(res.Violations)),
+			fmt.Sprintf("%d", res.DataLossBlocks))
 	}
 	return []*eval.Table{perf, activity}, nil
 }

@@ -111,6 +111,9 @@ type endToEndRun struct {
 
 // runEndToEnd executes all end-to-end systems over a workload. Results are
 // memoised per (options, workload) because Figures 6-9 share the same runs.
+// Each system is an isolated deterministic simulation over the shared
+// read-only trace, so the cells fan out across Options.Parallel workers
+// with byte-identical results.
 func runEndToEnd(o Options, workloadName string, systems []System) ([]endToEndRun, error) {
 	o.applyDefaults()
 	p, err := o.profile(workloadName)
@@ -118,13 +121,17 @@ func runEndToEnd(o Options, workloadName string, systems []System) ([]endToEndRu
 		return nil, err
 	}
 	tr := workload.Generate(p, o.Seed)
-	var runs []endToEndRun
-	for _, sys := range systems {
-		arts, err := runSystem(sys, tr, o.clusterConfig(), o.Seed)
+	runs := make([]endToEndRun, len(systems))
+	err = runCells(o.parallelism(), len(systems), func(i int) error {
+		arts, err := runSystem(systems[i], tr, o.clusterConfig(), o.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		runs = append(runs, endToEndRun{system: sys, stats: arts.stats, arts: arts})
+		runs[i] = endToEndRun{system: systems[i], stats: arts.stats, arts: arts}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return runs, nil
 }

@@ -11,6 +11,7 @@ package jobs
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"time"
 
 	"octostore/internal/cluster"
@@ -356,8 +357,14 @@ func (r *runner) start(spec workload.Job, arrival time.Time, file *dfs.File) {
 			r.finishJob(jr)
 			return
 		}
-		for _, b := range file.Blocks() {
-			r.taskQueue = append(r.taskQueue, &task{job: jr, block: b})
+		// One task per block: grow the queue once and allocate the task
+		// records in a single batch instead of per block.
+		blocks := file.Blocks()
+		r.taskQueue = slices.Grow(r.taskQueue, len(blocks))
+		tasks := make([]task, len(blocks))
+		for i, b := range blocks {
+			tasks[i] = task{job: jr, block: b}
+			r.taskQueue = append(r.taskQueue, &tasks[i])
 		}
 		r.trySchedule()
 	})

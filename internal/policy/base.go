@@ -6,6 +6,7 @@
 package policy
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -47,6 +48,148 @@ func (d defaultTargetTier) SelectTargetTier(f *dfs.File, from storage.Media) (st
 type weightBook struct {
 	weights map[dfs.FileID]float64
 	touched map[dfs.FileID]time.Time
+}
+
+// weightHorizonWindow is how far ahead of the clock the lazy weight heaps
+// evaluate their keys. Both decay formulas are monotonically decreasing in
+// idle time, so a weight evaluated at a future horizon is a lower bound of
+// the weight at any earlier selection instant; a min-selection can
+// therefore stop popping the heap as soon as the best exact weight found
+// beats the next stored bound. When the clock passes the horizon the heaps
+// re-key in O(N), amortized to nothing over the window.
+const weightHorizonWindow = time.Hour
+
+// weightIndex maintains per-tier heaps of decayed-weight candidates for the
+// LRFU and EXD downgrade policies, replacing their per-selection full scans.
+// Membership follows tier residency via the context's candidate-index
+// subscription feed; keys are weight lower bounds evaluated at a sliding
+// horizon (see weightHorizonWindow); exact weights are computed only for
+// the handful of entries whose bound could win a given selection.
+type weightIndex struct {
+	ctx   *core.Context
+	book  *weightBook
+	decay func(stored float64, sinceLast time.Duration) float64
+	tiers [3]*core.FileHeap
+
+	horizon   time.Time
+	selectNow time.Time
+	elig      func(*dfs.File) bool
+	trueFn    func(*dfs.File) float64
+}
+
+// newWeightIndex builds the index over the policy's weight book and
+// subscribes it to residency events (replaying current membership).
+func newWeightIndex(ctx *core.Context, book *weightBook, decay func(float64, time.Duration) float64) *weightIndex {
+	wi := &weightIndex{ctx: ctx, book: book, decay: decay}
+	for _, m := range storage.AllMedia {
+		wi.tiers[m] = core.NewFileHeap(nil)
+	}
+	wi.elig = ctx.Selectable
+	wi.trueFn = func(f *dfs.File) float64 { return wi.weightAt(f, wi.selectNow) }
+	ctx.Index().Subscribe(wi)
+	return wi
+}
+
+// state returns the stored weight and last-touch of a file, defaulting
+// exactly like the linear scans: weight 0 and the creation time for files
+// the policy has not seen.
+func (wi *weightIndex) state(f *dfs.File) (float64, time.Time) {
+	stored := wi.book.weights[f.ID()]
+	touched, ok := wi.book.touched[f.ID()]
+	if !ok {
+		touched = f.Created()
+	}
+	return stored, touched
+}
+
+// weightAt is the decayed weight of the file at the given instant, using
+// the same arithmetic as the linear oracle.
+func (wi *weightIndex) weightAt(f *dfs.File, at time.Time) float64 {
+	stored, touched := wi.state(f)
+	return wi.decay(stored, at.Sub(touched))
+}
+
+// ensureHorizon advances the evaluation horizon (re-keying all entries)
+// when the clock has caught up with it.
+func (wi *weightIndex) ensureHorizon() {
+	now := wi.ctx.Clock.Now()
+	if now.Before(wi.horizon) {
+		return
+	}
+	wi.horizon = now.Add(weightHorizonWindow)
+	for _, h := range wi.tiers {
+		h.Rekey(func(f *dfs.File) (float64, time.Time) {
+			return wi.weightAt(f, wi.horizon), time.Time{}
+		})
+	}
+}
+
+// refresh re-keys the file wherever it is indexed; policies call it after
+// updating the file's stored weight.
+func (wi *weightIndex) refresh(f *dfs.File) {
+	wi.ensureHorizon()
+	for _, h := range wi.tiers {
+		if h.Has(f.ID()) {
+			h.Update(f, wi.weightAt(f, wi.horizon), time.Time{})
+		}
+	}
+}
+
+// selectMin returns the selectable file with the lowest decayed weight on
+// the tier (ties toward the lowest file id), or nil.
+func (wi *weightIndex) selectMin(tier storage.Media) *dfs.File {
+	wi.ensureHorizon()
+	wi.selectNow = wi.ctx.Clock.Now()
+	return wi.tiers[tier].SelectMinLazy(wi.elig, wi.trueFn)
+}
+
+// selectMinLinear is the retired full-scan selection, kept as the
+// differential-test oracle and the benchmark baseline.
+func (wi *weightIndex) selectMinLinear(tier storage.Media) *dfs.File {
+	now := wi.ctx.Clock.Now()
+	var best *dfs.File
+	bestW := 0.0
+	for _, f := range wi.ctx.EligibleFiles(tier) {
+		w := wi.weightAt(f, now)
+		if best == nil || w < bestW || (w == bestW && f.ID() < best.ID()) {
+			best, bestW = f, w
+		}
+	}
+	return best
+}
+
+// OnTierResident implements core.ResidencySubscriber.
+func (wi *weightIndex) OnTierResident(f *dfs.File, tier storage.Media) {
+	wi.ensureHorizon()
+	wi.tiers[tier].Update(f, wi.weightAt(f, wi.horizon), time.Time{})
+}
+
+// OnTierEvicted implements core.ResidencySubscriber.
+func (wi *weightIndex) OnTierEvicted(f *dfs.File, tier storage.Media) {
+	wi.tiers[tier].Remove(f.ID())
+}
+
+// OnTrackedFileDeleted implements core.ResidencySubscriber.
+func (wi *weightIndex) OnTrackedFileDeleted(f *dfs.File) {
+	for _, h := range wi.tiers {
+		h.Remove(f.ID())
+	}
+}
+
+// audit validates the index tiers against a residency recompute.
+func (wi *weightIndex) audit() error {
+	for _, m := range storage.AllMedia {
+		want := 0
+		for _, f := range wi.ctx.FS.LiveFiles() {
+			if !f.Deleted() && wi.ctx.FS.Complete(f) && f.HasReplicaOn(m) {
+				want++
+			}
+		}
+		if got := wi.tiers[m].Len(); got != want {
+			return fmt.Errorf("policy: weight index tier %v holds %d files, want %d", m, got, want)
+		}
+	}
+	return nil
 }
 
 func newWeightBook() weightBook {

@@ -8,7 +8,9 @@ import (
 	"octostore/internal/storage"
 )
 
-// LRU downgrades the file accessed least recently (Table 1).
+// LRU downgrades the file accessed least recently (Table 1). Selection
+// reads the context's per-tier recency index: O(log N) per pick instead of
+// a full scan over the live files.
 type LRU struct {
 	core.NopCallbacks
 	thresholdStartStop
@@ -18,6 +20,7 @@ type LRU struct {
 
 // NewLRU builds the LRU downgrade policy.
 func NewLRU(ctx *core.Context) *LRU {
+	ctx.Index().RequireRecency()
 	return &LRU{thresholdStartStop: thresholdStartStop{ctx}, defaultTargetTier: defaultTargetTier{ctx}, ctx: ctx}
 }
 
@@ -26,17 +29,27 @@ func (p *LRU) Name() string { return "LRU" }
 
 // SelectFile implements core.DowngradePolicy.
 func (p *LRU) SelectFile(tier storage.Media) *dfs.File {
+	return p.ctx.Index().SelectLRU(tier)
+}
+
+// SelectFileLinear is the retired full-scan selection (least recent touch,
+// ties toward the lowest file id), kept as the differential-test oracle
+// and benchmark baseline.
+func (p *LRU) SelectFileLinear(tier storage.Media) *dfs.File {
 	var best *dfs.File
+	var bestT time.Time
 	for _, f := range p.ctx.EligibleFiles(tier) {
-		if best == nil || p.ctx.LastTouch(f).Before(p.ctx.LastTouch(best)) {
-			best = f
+		t := p.ctx.LastTouch(f)
+		if best == nil || t.Before(bestT) || (t.Equal(bestT) && f.ID() < best.ID()) {
+			best, bestT = f, t
 		}
 	}
 	return best
 }
 
 // LFU downgrades the file used least often (Table 1); ties break toward
-// the least recently used.
+// the least recently used, then the lowest file id. Selection reads the
+// per-tier frequency index.
 type LFU struct {
 	core.NopCallbacks
 	thresholdStartStop
@@ -46,6 +59,7 @@ type LFU struct {
 
 // NewLFU builds the LFU downgrade policy.
 func NewLFU(ctx *core.Context) *LFU {
+	ctx.Index().RequireFrequency()
 	return &LFU{thresholdStartStop: thresholdStartStop{ctx}, defaultTargetTier: defaultTargetTier{ctx}, ctx: ctx}
 }
 
@@ -54,6 +68,12 @@ func (p *LFU) Name() string { return "LFU" }
 
 // SelectFile implements core.DowngradePolicy.
 func (p *LFU) SelectFile(tier storage.Media) *dfs.File {
+	return p.ctx.Index().SelectLFU(tier)
+}
+
+// SelectFileLinear is the retired full-scan selection, kept as the
+// differential-test oracle and benchmark baseline.
+func (p *LFU) SelectFileLinear(tier storage.Media) *dfs.File {
 	var best *dfs.File
 	for _, f := range p.ctx.EligibleFiles(tier) {
 		if best == nil {
@@ -61,7 +81,15 @@ func (p *LFU) SelectFile(tier storage.Media) *dfs.File {
 			continue
 		}
 		cf, cb := p.ctx.AccessCount(f), p.ctx.AccessCount(best)
-		if cf < cb || (cf == cb && p.ctx.LastTouch(f).Before(p.ctx.LastTouch(best))) {
+		if cf > cb {
+			continue
+		}
+		if cf < cb {
+			best = f
+			continue
+		}
+		tf, tb := p.ctx.LastTouch(f), p.ctx.LastTouch(best)
+		if tf.Before(tb) || (tf.Equal(tb) && f.ID() < best.ID()) {
 			best = f
 		}
 	}
@@ -69,7 +97,9 @@ func (p *LFU) SelectFile(tier storage.Media) *dfs.File {
 }
 
 // LRFUDown downgrades the file with the lowest recency+frequency weight
-// (Formula 1).
+// (Formula 1). Candidates live in a per-tier lazy weight heap: keys are
+// weight lower bounds at a sliding horizon, so a selection inspects only
+// the entries whose bound could win instead of decaying every file.
 type LRFUDown struct {
 	core.NopCallbacks
 	thresholdStartStop
@@ -77,6 +107,7 @@ type LRFUDown struct {
 	ctx      *core.Context
 	halfLife time.Duration
 	book     weightBook
+	wi       *weightIndex
 }
 
 // NewLRFUDown builds the LRFU downgrade policy with the given half-life H.
@@ -84,13 +115,17 @@ func NewLRFUDown(ctx *core.Context, halfLife time.Duration) *LRFUDown {
 	if halfLife <= 0 {
 		halfLife = DefaultLRFUHalfLife
 	}
-	return &LRFUDown{
+	p := &LRFUDown{
 		thresholdStartStop: thresholdStartStop{ctx},
 		defaultTargetTier:  defaultTargetTier{ctx},
 		ctx:                ctx,
 		halfLife:           halfLife,
 		book:               newWeightBook(),
 	}
+	p.wi = newWeightIndex(ctx, &p.book, func(stored float64, since time.Duration) float64 {
+		return lrfuDecayed(stored, since, p.halfLife)
+	})
+	return p
 }
 
 // Name implements core.DowngradePolicy.
@@ -100,6 +135,7 @@ func (p *LRFUDown) Name() string { return "LRFU" }
 func (p *LRFUDown) OnFileCreated(f *dfs.File) {
 	p.book.weights[f.ID()] = 1
 	p.book.touched[f.ID()] = p.ctx.Clock.Now()
+	p.wi.refresh(f)
 }
 
 // OnFileAccessed applies Formula 1.
@@ -112,39 +148,40 @@ func (p *LRFUDown) OnFileAccessed(f *dfs.File) {
 	}
 	p.book.weights[f.ID()] = lrfuWeight(old, now.Sub(last), p.halfLife)
 	p.book.touched[f.ID()] = now
+	p.wi.refresh(f)
 }
 
 // OnFileDeleted drops the weight entry.
 func (p *LRFUDown) OnFileDeleted(f *dfs.File) { p.book.forget(f.ID()) }
 
-// SelectFile picks the lowest decayed weight.
+// SelectFile picks the lowest decayed weight through the lazy heap.
 func (p *LRFUDown) SelectFile(tier storage.Media) *dfs.File {
-	now := p.ctx.Clock.Now()
-	var best *dfs.File
-	bestW := 0.0
-	for _, f := range p.ctx.EligibleFiles(tier) {
-		last, ok := p.book.touched[f.ID()]
-		if !ok {
-			last = f.Created()
-		}
-		w := lrfuDecayed(p.book.weights[f.ID()], now.Sub(last), p.halfLife)
-		if best == nil || w < bestW {
-			best, bestW = f, w
-		}
-	}
-	return best
+	return p.wi.selectMin(tier)
 }
+
+// SelectFileLinear is the retired full-scan selection, kept as the
+// differential-test oracle and benchmark baseline.
+func (p *LRFUDown) SelectFileLinear(tier storage.Media) *dfs.File {
+	return p.wi.selectMinLinear(tier)
+}
+
+// AuditIndex validates the weight index membership against the file
+// system; the churn tests call it after node failures and repairs.
+func (p *LRFUDown) AuditIndex() error { return p.wi.audit() }
 
 // LIFE reproduces PACMan's LIFE policy (Table 1): if files older than the
 // window exist, evict the least frequently used among them; otherwise evict
 // the largest recent file, which minimises average job completion time by
-// favouring small inputs.
+// favouring small inputs. The time-windowed partition changes shape with
+// the clock, so selection stays a scan; the candidate buffer is reused
+// across invocations.
 type LIFE struct {
 	core.NopCallbacks
 	thresholdStartStop
 	defaultTargetTier
 	ctx    *core.Context
 	window time.Duration
+	buf    []*dfs.File
 }
 
 // NewLIFE builds the LIFE downgrade policy.
@@ -163,7 +200,8 @@ func (p *LIFE) SelectFile(tier storage.Media) *dfs.File {
 	oldCut := p.ctx.Clock.Now().Add(-p.window)
 	var lfuOld *dfs.File
 	var largestNew *dfs.File
-	for _, f := range p.ctx.EligibleFiles(tier) {
+	p.buf = p.ctx.EligibleFilesInto(p.buf[:0], tier)
+	for _, f := range p.buf {
 		if p.ctx.LastTouch(f).Before(oldCut) {
 			if lfuOld == nil || p.ctx.AccessCount(f) < p.ctx.AccessCount(lfuOld) {
 				lfuOld = f
@@ -188,6 +226,7 @@ type LFUF struct {
 	defaultTargetTier
 	ctx    *core.Context
 	window time.Duration
+	buf    []*dfs.File
 }
 
 // NewLFUF builds the LFU-F downgrade policy.
@@ -205,7 +244,8 @@ func (p *LFUF) Name() string { return "LFU-F" }
 func (p *LFUF) SelectFile(tier storage.Media) *dfs.File {
 	oldCut := p.ctx.Clock.Now().Add(-p.window)
 	var lfuOld, lfuNew *dfs.File
-	for _, f := range p.ctx.EligibleFiles(tier) {
+	p.buf = p.ctx.EligibleFilesInto(p.buf[:0], tier)
+	for _, f := range p.buf {
 		if p.ctx.LastTouch(f).Before(oldCut) {
 			if lfuOld == nil || p.ctx.AccessCount(f) < p.ctx.AccessCount(lfuOld) {
 				lfuOld = f
@@ -223,7 +263,8 @@ func (p *LFUF) SelectFile(tier storage.Media) *dfs.File {
 }
 
 // EXDDown downgrades the file with the lowest exponentially decayed weight
-// (Formula 2, Big SQL).
+// (Formula 2, Big SQL), selected through the same lazy weight-heap
+// machinery as LRFU.
 type EXDDown struct {
 	core.NopCallbacks
 	thresholdStartStop
@@ -231,6 +272,7 @@ type EXDDown struct {
 	ctx   *core.Context
 	alpha float64
 	book  weightBook
+	wi    *weightIndex
 }
 
 // NewEXDDown builds the EXD downgrade policy.
@@ -238,13 +280,17 @@ func NewEXDDown(ctx *core.Context, alpha float64) *EXDDown {
 	if alpha <= 0 {
 		alpha = DefaultEXDAlpha
 	}
-	return &EXDDown{
+	p := &EXDDown{
 		thresholdStartStop: thresholdStartStop{ctx},
 		defaultTargetTier:  defaultTargetTier{ctx},
 		ctx:                ctx,
 		alpha:              alpha,
 		book:               newWeightBook(),
 	}
+	p.wi = newWeightIndex(ctx, &p.book, func(stored float64, since time.Duration) float64 {
+		return exdDecayed(stored, since, p.alpha)
+	})
+	return p
 }
 
 // Name implements core.DowngradePolicy.
@@ -254,6 +300,7 @@ func (p *EXDDown) Name() string { return "EXD" }
 func (p *EXDDown) OnFileCreated(f *dfs.File) {
 	p.book.weights[f.ID()] = 1
 	p.book.touched[f.ID()] = p.ctx.Clock.Now()
+	p.wi.refresh(f)
 }
 
 // OnFileAccessed applies Formula 2.
@@ -266,25 +313,23 @@ func (p *EXDDown) OnFileAccessed(f *dfs.File) {
 	}
 	p.book.weights[f.ID()] = exdWeight(old, now.Sub(last), p.alpha)
 	p.book.touched[f.ID()] = now
+	p.wi.refresh(f)
 }
 
 // OnFileDeleted drops the weight entry.
 func (p *EXDDown) OnFileDeleted(f *dfs.File) { p.book.forget(f.ID()) }
 
-// SelectFile picks the lowest decayed weight.
+// SelectFile picks the lowest decayed weight through the lazy heap.
 func (p *EXDDown) SelectFile(tier storage.Media) *dfs.File {
-	now := p.ctx.Clock.Now()
-	var best *dfs.File
-	bestW := 0.0
-	for _, f := range p.ctx.EligibleFiles(tier) {
-		last, ok := p.book.touched[f.ID()]
-		if !ok {
-			last = f.Created()
-		}
-		w := exdDecayed(p.book.weights[f.ID()], now.Sub(last), p.alpha)
-		if best == nil || w < bestW {
-			best, bestW = f, w
-		}
-	}
-	return best
+	return p.wi.selectMin(tier)
 }
+
+// SelectFileLinear is the retired full-scan selection, kept as the
+// differential-test oracle and benchmark baseline.
+func (p *EXDDown) SelectFileLinear(tier storage.Media) *dfs.File {
+	return p.wi.selectMinLinear(tier)
+}
+
+// AuditIndex validates the weight index membership against the file
+// system.
+func (p *EXDDown) AuditIndex() error { return p.wi.audit() }

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"sort"
 	"time"
 
 	"octostore/internal/core"
@@ -125,6 +126,16 @@ type EXDUp struct {
 	ctx   *core.Context
 	alpha float64
 	book  weightBook
+
+	// Reused buffers for the victim-sum admission test.
+	eligBuf []*dfs.File
+	scored  []scoredFile
+}
+
+// scoredFile pairs a candidate with its decayed weight for victim sorting.
+type scoredFile struct {
+	f *dfs.File
+	w float64
 }
 
 // NewEXDUp builds the EXD upgrade policy.
@@ -186,26 +197,22 @@ func (p *EXDUp) weightOf(f *dfs.File) float64 {
 }
 
 // victimWeightSum sums the decayed weights of the lowest-weight memory
-// files whose eviction would free `need` bytes.
+// files whose eviction would free `need` bytes. Candidates are collected
+// into reused buffers and sorted in O(n log n) (the previous selection
+// sort was quadratic in the memory-tier population).
 func (p *EXDUp) victimWeightSum(need int64) float64 {
-	type scored struct {
-		f *dfs.File
-		w float64
+	p.eligBuf = p.ctx.EligibleFilesInto(p.eligBuf[:0], storage.Memory)
+	p.scored = p.scored[:0]
+	for _, f := range p.eligBuf {
+		p.scored = append(p.scored, scoredFile{f, p.weightOf(f)})
 	}
-	var candidates []scored
-	for _, f := range p.ctx.EligibleFiles(storage.Memory) {
-		candidates = append(candidates, scored{f, p.weightOf(f)})
-	}
-	// Selection by ascending weight.
-	for i := 0; i < len(candidates); i++ {
-		minIdx := i
-		for j := i + 1; j < len(candidates); j++ {
-			if candidates[j].w < candidates[minIdx].w {
-				minIdx = j
-			}
+	candidates := p.scored
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].w != candidates[j].w {
+			return candidates[i].w < candidates[j].w
 		}
-		candidates[i], candidates[minIdx] = candidates[minIdx], candidates[i]
-	}
+		return candidates[i].f.ID() < candidates[j].f.ID()
+	})
 	var freed int64
 	var sum float64
 	for _, c := range candidates {

@@ -21,11 +21,13 @@ type XGBDown struct {
 	ctx      *core.Context
 	pipeline *ml.Pipeline
 	rng      *rand.Rand
+	cands    []*dfs.File // reused candidate buffer
 }
 
 // NewXGBDown builds the XGB downgrade policy with its own incremental
 // model (class window = Config.DowngradeWindow).
 func NewXGBDown(ctx *core.Context, learnerCfg ml.LearnerConfig) *XGBDown {
+	ctx.Index().RequireRecency()
 	spec := ml.DefaultFeatureSpec()
 	spec.K = ctx.Cfg.TrackerK
 	return &XGBDown{
@@ -68,10 +70,12 @@ func (p *XGBDown) Tick() {
 	}
 }
 
-// SelectFile scores the k least recently used files and picks the one
+// SelectFile scores the k least recently used files — collected from the
+// recency index as a bounded top-k, not a full sort — and picks the one
 // least likely to be accessed in the distant future.
 func (p *XGBDown) SelectFile(tier storage.Media) *dfs.File {
-	candidates := p.ctx.LRUFiles(tier, p.ctx.Cfg.CandidateK)
+	p.cands = p.ctx.LRUFilesInto(p.cands[:0], tier, p.ctx.Cfg.CandidateK)
+	candidates := p.cands
 	if len(candidates) == 0 {
 		return nil
 	}
@@ -103,12 +107,14 @@ type XGBUp struct {
 	rng      *rand.Rand
 
 	queue          []*dfs.File
+	cands          []*dfs.File // reused proactive candidate buffer
 	scheduledBytes int64
 }
 
 // NewXGBUp builds the XGB upgrade policy with its own incremental model
 // (class window = Config.UpgradeWindow).
 func NewXGBUp(ctx *core.Context, learnerCfg ml.LearnerConfig) *XGBUp {
+	ctx.Index().RequireUpgradeMRU()
 	spec := ml.DefaultFeatureSpec()
 	spec.K = ctx.Cfg.TrackerK
 	return &XGBUp{
@@ -163,8 +169,10 @@ func (p *XGBUp) StartUpgrade(accessed *dfs.File) bool {
 		p.queue = append(p.queue, accessed)
 		return true
 	}
-	// Proactive path: score the most recently used non-memory files.
-	for _, f := range p.ctx.UpgradeCandidates(p.ctx.Cfg.CandidateK) {
+	// Proactive path: score the most recently used non-memory files,
+	// collected from the upgrade MRU index as a bounded top-k.
+	p.cands = p.ctx.UpgradeCandidatesInto(p.cands[:0], p.ctx.Cfg.CandidateK)
+	for _, f := range p.cands {
 		prob, ok := p.pipeline.Score(p.ctx.Record(f), now)
 		if !ok {
 			return false // model not ready; nothing proactive to do

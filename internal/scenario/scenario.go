@@ -205,7 +205,17 @@ func Run(sc Scenario, sys System, o Options) (*Result, error) {
 		}
 	}
 	// The always-on invariant checker: sampled accounting checks after
-	// every event, deep structural checks on a coarser cadence.
+	// every event, deep structural checks on a coarser cadence. The deep
+	// pass also audits the manager's incremental candidate indexes against
+	// a from-scratch membership recompute, so node churn, re-replication,
+	// and tier movement cannot silently leak or strand indexed entries.
+	deepCheck := func() {
+		res.DeepChecks++
+		record(fs.CheckInvariants())
+		if rp.Manager != nil {
+			record(rp.Manager.Context().Index().Audit())
+		}
+	}
 	var sinceLight, sinceDeep int
 	engine.SetEventHook(func() {
 		sinceLight++
@@ -218,8 +228,7 @@ func Run(sc Scenario, sys System, o Options) (*Result, error) {
 			sinceDeep++
 			if sinceDeep >= o.DeepCheckEvery {
 				sinceDeep = 0
-				res.DeepChecks++
-				record(fs.CheckInvariants())
+				deepCheck()
 			}
 		}
 	})
@@ -237,8 +246,7 @@ func Run(sc Scenario, sys System, o Options) (*Result, error) {
 		return nil, fmt.Errorf("scenario %s on %s: %w", sc.Name, sys.Name, err)
 	}
 	// The final deep check runs regardless of cadence.
-	res.DeepChecks++
-	record(fs.CheckInvariants())
+	deepCheck()
 
 	res.Jobs = len(stats.Jobs)
 	res.Events = engine.Fired()
