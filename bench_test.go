@@ -3,19 +3,42 @@
 // artifact. Benchmarks default to Fast scale so `go test -bench=.` stays
 // minutes-cheap; set OCTOSTORE_BENCH_FULL=1 to run at the paper's testbed
 // scale (11 workers, 6-hour traces).
+//
+// Harness parallelism threads through as well: pass -exp.parallel=N (or set
+// OCTOSTORE_BENCH_PARALLEL=N; 0 sequential, -1 all cores) to fan each
+// benchmark's experiment cells out across a worker pool — results are
+// byte-identical at any level, so this benchmarks the harness speedup, not
+// a different computation:
+//
+//	go test -bench BenchmarkFig6 -exp.parallel=-1 .
 package repro_test
 
 import (
+	"flag"
 	"os"
+	"strconv"
 	"testing"
 
 	"octostore/internal/eval"
 	"octostore/internal/experiments"
 )
 
+var expParallel = flag.Int("exp.parallel", envInt("OCTOSTORE_BENCH_PARALLEL", 0),
+	"concurrent experiment cells per benchmark (0 sequential, -1 all cores)")
+
+func envInt(key string, fallback int) int {
+	if v := os.Getenv(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return fallback
+}
+
 func benchOptions() experiments.Options {
 	o := experiments.DefaultOptions()
 	o.Fast = os.Getenv("OCTOSTORE_BENCH_FULL") == ""
+	o.Parallel = *expParallel
 	return o
 }
 

@@ -1,0 +1,144 @@
+// Command benchgate turns benchmark artifacts into a regression gate: it
+// compares two `go test -json -bench` outputs (a baseline from the previous
+// CI run and the current run) and fails when any benchmark slowed down by
+// more than the threshold.
+//
+//	benchgate -old BENCH_policy.baseline.json -new BENCH_policy.json -threshold 1.25
+//
+// Multiple samples of the same benchmark are reduced with min (the least
+// noisy estimator for "how fast can this go"), and benchmarks under
+// -floor-ns are ignored — at CI's short benchtimes, nanosecond-scale
+// results are dominated by jitter, not code.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// testEvent is the subset of the `go test -json` event stream we read.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches e.g. "BenchmarkSelectFile/lru-8   20   59143 ns/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse extracts benchmark -> min ns/op from a go test -json stream.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise in the stream
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		m := benchLine.FindStringSubmatch(ev.Output)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline go test -json bench output")
+		newPath   = flag.String("new", "", "current go test -json bench output")
+		threshold = flag.Float64("threshold", 1.25, "fail when new > old * threshold")
+		floorNS   = flag.Float64("floor-ns", 1000, "ignore benchmarks faster than this baseline (jitter floor)")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+	oldNS, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: baseline:", err)
+		os.Exit(2)
+	}
+	newNS, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: current:", err)
+		os.Exit(2)
+	}
+	if len(newNS) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results in", *newPath)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newNS))
+	for name := range newNS {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Benchmarks present in the baseline but absent from the current run
+	// must not vanish silently: a rename or pattern change that stops a
+	// benchmark from running is itself a gate escape.
+	var gone []string
+	for name := range oldNS {
+		if _, ok := newNS[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Printf("GONE  %-60s baseline %.0f ns/op, missing from current run\n", name, oldNS[name])
+	}
+
+	regressions := 0
+	for _, name := range names {
+		cur := newNS[name]
+		base, ok := oldNS[name]
+		switch {
+		case !ok:
+			fmt.Printf("NEW   %-60s %12.0f ns/op (no baseline)\n", name, cur)
+		case base < *floorNS:
+			fmt.Printf("SKIP  %-60s %12.0f ns/op (baseline %.0f ns under jitter floor)\n", name, cur, base)
+		case cur > base*(*threshold):
+			fmt.Printf("SLOW  %-60s %12.0f ns/op vs baseline %.0f (%.2fx > %.2fx gate)\n",
+				name, cur, base, cur/base, *threshold)
+			regressions++
+		default:
+			fmt.Printf("OK    %-60s %12.0f ns/op vs baseline %.0f (%.2fx)\n", name, cur, base, cur/base)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchgate: %d benchmark(s) regressed beyond %.0f%%\n", regressions, (*threshold-1)*100)
+		os.Exit(1)
+	}
+	if len(gone) > 0 {
+		// Disappearance is reported loudly but does not fail the gate: the
+		// baseline refreshes from this run, so an intentional removal
+		// clears itself, while the GONE lines make an accidental one
+		// visible in the job log.
+		fmt.Printf("benchgate: no regressions (%d baseline benchmark(s) disappeared; see GONE lines)\n", len(gone))
+		return
+	}
+	fmt.Println("benchgate: no regressions")
+}

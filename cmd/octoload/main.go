@@ -1,0 +1,351 @@
+// Command octoload is the closed-loop traffic driver for the concurrent
+// serving layer: it stands up a managed tiered DFS behind internal/server,
+// stages a file population drawn from the internal/workload generators,
+// then hammers the service with N concurrent clients issuing a configurable
+// mix of zipf-skewed accesses, stats, creates, and deletes while the
+// movement executor shuffles replicas between tiers underneath.
+//
+// At the end it fences the server, runs the full invariant suite
+// (capacity accounting, deep structural checks, candidate-index audit),
+// and reports ops/s plus p50/p99 latency histograms, written as JSON to
+// -out (BENCH_serve.json by default) for CI trend tracking. The process
+// exits non-zero if any invariant was violated — a load run is a
+// correctness artifact, not just a throughput number.
+//
+// Examples:
+//
+//	octoload                                   # 8 clients, 5s, FB-shaped files
+//	octoload -clients 32 -dur 10s -zipf 1.3
+//	octoload -down xgb -up xgb -timescale 300
+//	octoload -budget-mem 128 -move-queue 16    # stress shedding
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octostore/internal/cluster"
+	"octostore/internal/core"
+	"octostore/internal/dfs"
+	"octostore/internal/ml"
+	"octostore/internal/policy"
+	"octostore/internal/server"
+	"octostore/internal/sim"
+	"octostore/internal/storage"
+	"octostore/internal/workload"
+)
+
+type config struct {
+	clients   int
+	dur       time.Duration
+	files     int
+	workloadN string
+	zipfS     float64
+	readFrac  float64
+	statFrac  float64
+	muteFrac  float64 // create+delete combined; split evenly
+	workers   int
+	memCapMB  int64
+	down, up  string
+	timeScale float64
+	seed      int64
+	out       string
+
+	moveWorkers int
+	moveQueue   int
+	budgetMB    [3]int64
+}
+
+func parseFlags() config {
+	var c config
+	flag.IntVar(&c.clients, "clients", 8, "concurrent closed-loop clients")
+	flag.DurationVar(&c.dur, "dur", 5*time.Second, "load duration (wall clock)")
+	flag.IntVar(&c.files, "files", 150, "approximate staged file population (scales the workload generator)")
+	flag.StringVar(&c.workloadN, "workload", "fb", "file population shape: fb or cmu (internal/workload profiles)")
+	flag.Float64Var(&c.zipfS, "zipf", 1.1, "zipf skew of the access key distribution (>1)")
+	flag.Float64Var(&c.readFrac, "readfrac", 0.82, "fraction of ops that are accesses")
+	flag.Float64Var(&c.statFrac, "statfrac", 0.10, "fraction of ops that are stats/lists")
+	flag.IntVar(&c.workers, "workers", 5, "cluster worker count")
+	flag.Int64Var(&c.memCapMB, "memcap", 256, "memory-tier capacity per worker in MB (small keeps movement busy)")
+	flag.StringVar(&c.down, "down", "lru", "downgrade policy")
+	flag.StringVar(&c.up, "up", "osa", "upgrade policy")
+	flag.Float64Var(&c.timeScale, "timescale", 120, "virtual seconds advanced per wall second")
+	flag.Int64Var(&c.seed, "seed", 1, "population/placement/client seed")
+	flag.StringVar(&c.out, "out", "BENCH_serve.json", "JSON report path (empty disables)")
+	flag.IntVar(&c.moveWorkers, "move-workers", 2, "movement executor slots per destination tier")
+	flag.IntVar(&c.moveQueue, "move-queue", 64, "movement executor queue depth per tier")
+	flag.Int64Var(&c.budgetMB[0], "budget-mem", 512, "memory-tier in-flight movement budget (MB)")
+	flag.Int64Var(&c.budgetMB[1], "budget-ssd", 1024, "SSD-tier in-flight movement budget (MB)")
+	flag.Int64Var(&c.budgetMB[2], "budget-hdd", 2048, "HDD-tier in-flight movement budget (MB)")
+	flag.Parse()
+	c.muteFrac = 1 - c.readFrac - c.statFrac
+	if c.muteFrac < 0 {
+		fmt.Fprintln(os.Stderr, "octoload: readfrac + statfrac exceed 1")
+		os.Exit(2)
+	}
+	if c.zipfS <= 1 {
+		fmt.Fprintln(os.Stderr, "octoload: -zipf must be > 1 (rand.NewZipf requirement)")
+		os.Exit(2)
+	}
+	if c.files < 2 {
+		fmt.Fprintln(os.Stderr, "octoload: -files must be at least 2")
+		os.Exit(2)
+	}
+	if c.clients < 1 {
+		fmt.Fprintln(os.Stderr, "octoload: -clients must be at least 1")
+		os.Exit(2)
+	}
+	return c
+}
+
+// population stages file specs from the workload generators: the profile's
+// heavy-tailed bin distribution supplies realistic path/size shapes without
+// re-inventing a generator here.
+func population(c config) []workload.FileSpec {
+	var p workload.Profile
+	switch c.workloadN {
+	case "fb", "FB":
+		p = workload.FB()
+	case "cmu", "CMU":
+		p = workload.CMU()
+	default:
+		fmt.Fprintf(os.Stderr, "octoload: unknown workload %q\n", c.workloadN)
+		os.Exit(2)
+	}
+	p.NumJobs = c.files
+	// Cap at bin D so single files fit the load cluster's SSD tier.
+	p = workload.CapProfile(p, workload.BinD)
+	return workload.Generate(p, c.seed).Files
+}
+
+func workerSpec(memCapMB int64) storage.NodeSpec {
+	return storage.NodeSpec{
+		{Media: storage.Memory, Capacity: memCapMB * storage.MB, ReadBW: 4000e6, WriteBW: 3000e6, Count: 1},
+		{Media: storage.SSD, Capacity: 16 * storage.GB, ReadBW: 500e6, WriteBW: 400e6, Count: 1},
+		{Media: storage.HDD, Capacity: 128 * storage.GB, ReadBW: 160e6, WriteBW: 140e6, Count: 2},
+	}
+}
+
+// report is the BENCH_serve.json schema.
+type report struct {
+	Config         map[string]any    `json:"config"`
+	ElapsedSeconds float64           `json:"elapsed_seconds"`
+	Ops            int64             `json:"ops"`
+	OpsPerSec      float64           `json:"ops_per_sec"`
+	Access         latencyBlock      `json:"access"`
+	Mutate         latencyBlock      `json:"mutate"`
+	Serve          server.ServeStats `json:"serve"`
+	Executor       []tierReport      `json:"executor"`
+	Violations     []string          `json:"violations"`
+}
+
+type latencyBlock struct {
+	Count int64   `json:"count"`
+	P50us float64 `json:"p50_us"`
+	P99us float64 `json:"p99_us"`
+}
+
+type tierReport struct {
+	Tier string `json:"tier"`
+	server.TierMoveStats
+}
+
+func main() {
+	c := parseFlags()
+
+	engine := sim.NewEngine()
+	cl, err := cluster.New(engine, cluster.Config{Workers: c.workers, SlotsPerNode: 4, Spec: workerSpec(c.memCapMB)})
+	if err != nil {
+		fatal(err)
+	}
+	fs, err := dfs.New(cl, dfs.Config{Mode: dfs.ModeOctopus, Seed: c.seed, ClientRate: 2000e6})
+	if err != nil {
+		fatal(err)
+	}
+	ctx := core.NewContext(fs, core.DefaultConfig())
+	lcfg := ml.DefaultLearnerConfig()
+	lcfg.Seed = c.seed
+	down, err := policy.NewDowngrade(c.down, ctx, lcfg)
+	if err != nil {
+		fatal(err)
+	}
+	up, err := policy.NewUpgrade(c.up, ctx, lcfg)
+	if err != nil {
+		fatal(err)
+	}
+	mgr := core.NewManager(ctx, down, up)
+	mgr.Start()
+
+	srv := server.New(fs, mgr, server.Config{
+		TimeScale: c.timeScale,
+		Executor: server.ExecutorConfig{
+			WorkersPerTier: c.moveWorkers,
+			QueueDepth:     c.moveQueue,
+			BudgetBytes: [3]int64{
+				c.budgetMB[0] * storage.MB, c.budgetMB[1] * storage.MB, c.budgetMB[2] * storage.MB,
+			},
+		},
+	})
+	srv.Start()
+
+	// Stage the population through the serving layer, concurrently.
+	files := population(c)
+	paths := make([]string, len(files))
+	var wg sync.WaitGroup
+	for cli := 0; cli < c.clients; cli++ {
+		wg.Add(1)
+		go func(cli int) {
+			defer wg.Done()
+			for i := cli; i < len(files); i += c.clients {
+				paths[i] = files[i].Path
+				if err := srv.Create(files[i].Path, files[i].Size); err != nil {
+					fmt.Fprintf(os.Stderr, "octoload: preload %s: %v\n", files[i].Path, err)
+				}
+			}
+		}(cli)
+	}
+	wg.Wait()
+
+	// Closed-loop load phase.
+	stop := make(chan struct{})
+	var ops atomic.Int64
+	start := time.Now()
+	for cli := 0; cli < c.clients; cli++ {
+		wg.Add(1)
+		go func(cli int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(c.seed*1000 + int64(cli)))
+			zipf := rand.NewZipf(rng, c.zipfS, 1, uint64(len(paths)-1))
+			var own []string
+			scratch := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch r := rng.Float64(); {
+				case r < c.readFrac:
+					srv.Access(paths[zipf.Uint64()])
+				case r < c.readFrac+c.statFrac:
+					srv.Stat(paths[rng.Intn(len(paths))])
+				case rng.Float64() < 0.5 || len(own) == 0:
+					path := fmt.Sprintf("/scratch/c%d/f%06d", cli, scratch)
+					scratch++
+					if err := srv.Create(path, (4+rng.Int63n(60))*storage.MB); err == nil {
+						own = append(own, path)
+					}
+				default:
+					path := own[len(own)-1]
+					own = own[:len(own)-1]
+					srv.Delete(path) // busy under movement is an expected outcome
+				}
+				ops.Add(1)
+			}
+		}(cli)
+	}
+	time.Sleep(c.dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	srv.Flush()
+	var violations []string
+	srv.Exec(func(fs *dfs.FileSystem) {
+		if err := fs.CheckAccounting(); err != nil {
+			violations = append(violations, err.Error())
+		}
+		if err := fs.CheckInvariants(); err != nil {
+			violations = append(violations, err.Error())
+		}
+		if err := mgr.Context().Index().Audit(); err != nil {
+			violations = append(violations, err.Error())
+		}
+	})
+	exStats := srv.Executor().Stats()
+	for _, m := range storage.AllMedia {
+		ts := exStats.PerTier[m]
+		if ts.MaxInFlightBytes > ts.BudgetBytes {
+			violations = append(violations,
+				fmt.Sprintf("executor exceeded %s budget: %d > %d", m, ts.MaxInFlightBytes, ts.BudgetBytes))
+		}
+	}
+	srv.Close()
+	mgr.Stop()
+
+	rep := report{
+		Config: map[string]any{
+			"clients": c.clients, "dur": c.dur.String(), "files": len(files),
+			"workload": c.workloadN, "zipf": c.zipfS, "readfrac": c.readFrac,
+			"workers": c.workers, "down": c.down, "up": c.up,
+			"timescale": c.timeScale, "seed": c.seed,
+			"move_workers": c.moveWorkers, "move_queue": c.moveQueue,
+		},
+		ElapsedSeconds: elapsed.Seconds(),
+		Ops:            ops.Load(),
+		OpsPerSec:      float64(ops.Load()) / elapsed.Seconds(),
+		Access: latencyBlock{
+			Count: srv.AccessLatency().Count(),
+			P50us: float64(srv.AccessLatency().Quantile(0.50).Nanoseconds()) / 1e3,
+			P99us: float64(srv.AccessLatency().Quantile(0.99).Nanoseconds()) / 1e3,
+		},
+		Mutate: latencyBlock{
+			Count: srv.MutateLatency().Count(),
+			P50us: float64(srv.MutateLatency().Quantile(0.50).Nanoseconds()) / 1e3,
+			P99us: float64(srv.MutateLatency().Quantile(0.99).Nanoseconds()) / 1e3,
+		},
+		Serve:      srv.Stats(),
+		Violations: violations,
+	}
+	for _, m := range storage.AllMedia {
+		rep.Executor = append(rep.Executor, tierReport{Tier: m.String(), TierMoveStats: exStats.PerTier[m]})
+	}
+
+	fmt.Printf("octoload: %d clients, %d files, %.1fs wall (%.0fx virtual)\n",
+		c.clients, len(files), elapsed.Seconds(), c.timeScale)
+	fmt.Printf("  ops        %d (%.0f ops/s)\n", rep.Ops, rep.OpsPerSec)
+	fmt.Printf("  access     p50 %.1fµs  p99 %.1fµs  (%d samples)\n", rep.Access.P50us, rep.Access.P99us, rep.Access.Count)
+	fmt.Printf("  mutate     p50 %.1fµs  p99 %.1fµs  (%d samples)\n", rep.Mutate.P50us, rep.Mutate.P99us, rep.Mutate.Count)
+	st := rep.Serve
+	fmt.Printf("  served     MEM %d  SSD %d  HDD %d  (miss %d, no-replica %d)\n",
+		st.ServedByTier[0], st.ServedByTier[1], st.ServedByTier[2], st.AccessMisses, st.NoReplica)
+	fmt.Printf("  ring       %d events in %d batches, %d dropped\n", st.EventsDrained, st.DrainBatches, st.EventsDropped)
+	for _, tr := range rep.Executor {
+		fmt.Printf("  moves %s  sched %d done %d fail %d shed %d  in-flight max %dMB / budget %dMB\n",
+			tr.Tier, tr.Scheduled, tr.Completed, tr.Failed, tr.Shed,
+			tr.MaxInFlightBytes/storage.MB, tr.BudgetBytes/storage.MB)
+	}
+	if len(violations) > 0 {
+		fmt.Printf("  VIOLATIONS (%d):\n", len(violations))
+		for _, v := range violations {
+			fmt.Println("   ", v)
+		}
+	} else {
+		fmt.Println("  invariants OK (accounting, deep structural, index audit)")
+	}
+
+	if c.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(c.out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  report written to %s\n", c.out)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "octoload:", err)
+	os.Exit(1)
+}

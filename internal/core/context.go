@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"sort"
 	"time"
 
@@ -226,6 +227,35 @@ func (c *Context) LRUFilesLinear(buf []*dfs.File, tier storage.Media, k int) []*
 		buf = buf[:start+k]
 	}
 	return buf
+}
+
+// SampleLiveFiles visits a deterministic stride sample of the live-file
+// index: roughly fraction*N files, each at most once, chosen by stepping
+// through the index with stride ~1/fraction from a random phase. The live
+// index is insertion-ordered with swap-removal perturbation, so a strided
+// walk is an unbiased sample while costing O(fraction*N) — one RNG draw per
+// tick instead of one per live file. The XGB policies use it for periodic
+// training-sample collection (Section 4.2 samples "a fraction of the
+// files"; nothing there requires touching every file to decide).
+func (c *Context) SampleLiveFiles(rng *rand.Rand, fraction float64, fn func(*dfs.File)) {
+	live := c.FS.LiveFiles()
+	n := len(live)
+	if n == 0 || fraction <= 0 {
+		return
+	}
+	if fraction >= 1 {
+		for _, f := range live {
+			fn(f)
+		}
+		return
+	}
+	stride := int(1/fraction + 0.5)
+	if stride < 1 {
+		stride = 1
+	}
+	for i := rng.Intn(stride); i < n; i += stride {
+		fn(live[i])
+	}
 }
 
 // EffectiveUtilization is the tier's used fraction minus space already

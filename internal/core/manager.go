@@ -26,16 +26,28 @@ type Metrics struct {
 	Ticks               int64
 }
 
+// Mover executes the manager's data-movement requests. The Replication
+// Monitor is the default implementation (inline, engine-scheduled, global
+// concurrency bound); the concurrent serving layer substitutes its async
+// movement executor (per-tier pools with bounded queues and bandwidth
+// budgets) via SetMover. Enqueue must not block: implementations shed or
+// fail requests they cannot accept and report the outcome through
+// MoveRequest.Done.
+type Mover interface {
+	Enqueue(MoveRequest)
+}
+
 // Manager is the Replication Manager (Section 3.3): it listens to file
 // system notifications, maintains per-file statistics, and orchestrates the
 // downgrade (Algorithm 1) and upgrade (Algorithm 2) processes through the
 // configured policies. Movement requests execute asynchronously on the
-// Replication Monitor.
+// configured Mover (the Replication Monitor by default).
 type Manager struct {
 	ctx     *Context
 	down    DowngradePolicy
 	up      UpgradePolicy
 	monitor *Monitor
+	mover   Mover
 	engine  *sim.Engine
 
 	busy           map[dfs.FileID]bool
@@ -59,6 +71,7 @@ func NewManager(ctx *Context, down DowngradePolicy, up UpgradePolicy) *Manager {
 		busy:     make(map[dfs.FileID]bool),
 		cooldown: make(map[dfs.FileID]time.Time),
 	}
+	m.mover = m.monitor
 	ctx.mgr = m
 	ctx.FS.AddListener(m)
 	return m
@@ -67,8 +80,20 @@ func NewManager(ctx *Context, down DowngradePolicy, up UpgradePolicy) *Manager {
 // Context returns the policy context.
 func (m *Manager) Context() *Context { return m.ctx }
 
-// Monitor returns the replication monitor.
+// Monitor returns the replication monitor. It keeps executing replication
+// repairs even when a custom Mover handles tier movements.
 func (m *Manager) Monitor() *Monitor { return m.monitor }
+
+// SetMover routes subsequent movement requests through mv instead of the
+// inline Replication Monitor; nil restores the monitor. In-flight requests
+// are unaffected.
+func (m *Manager) SetMover(mv Mover) {
+	if mv == nil {
+		m.mover = m.monitor
+		return
+	}
+	m.mover = mv
+}
 
 // Metrics returns a snapshot of the manager's counters.
 func (m *Manager) Metrics() Metrics { return m.metrics }
@@ -216,7 +241,7 @@ func (m *Manager) scheduleDowngrade(f *dfs.File, from, to storage.Media) {
 	released := f.BytesOn(from)
 	m.busy[f.ID()] = true
 	m.pendingRelease[from] += released
-	m.monitor.Enqueue(MoveRequest{
+	m.mover.Enqueue(MoveRequest{
 		File: f,
 		From: from,
 		To:   to,
@@ -270,7 +295,7 @@ func (m *Manager) tryUpgrade(f *dfs.File) {
 		return
 	}
 	m.busy[f.ID()] = true
-	m.monitor.Enqueue(MoveRequest{
+	m.mover.Enqueue(MoveRequest{
 		File: f,
 		From: from,
 		To:   to,

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"octostore/internal/cluster"
+	"octostore/internal/dfs"
+	"octostore/internal/sim"
+	"octostore/internal/storage"
+)
+
+func sampleFixture(t *testing.T, files int) (*Context, *dfs.FileSystem) {
+	t.Helper()
+	engine := sim.NewEngine()
+	spec := storage.NodeSpec{
+		{Media: storage.HDD, Capacity: 1 * storage.TB, ReadBW: 160e6, WriteBW: 140e6, Count: 2},
+	}
+	cl, err := cluster.New(engine, cluster.Config{Workers: 4, SlotsPerNode: 4, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := dfs.New(cl, dfs.Config{Mode: dfs.ModeHDFS, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(fs, DefaultConfig())
+	for i := 0; i < files; i++ {
+		fs.Create(fmt.Sprintf("/s/f%04d", i), 8*storage.MB, nil)
+	}
+	engine.Run()
+	return ctx, fs
+}
+
+func TestSampleLiveFilesStride(t *testing.T) {
+	const n = 1000
+	ctx, fs := sampleFixture(t, n)
+	rng := rand.New(rand.NewSource(42))
+
+	for _, fraction := range []float64{0.05, 0.10, 0.25} {
+		seen := make(map[dfs.FileID]int)
+		ctx.SampleLiveFiles(rng, fraction, func(f *dfs.File) { seen[f.ID()]++ })
+		for id, count := range seen {
+			if count != 1 {
+				t.Fatalf("fraction %v: file %d sampled %d times", fraction, id, count)
+			}
+		}
+		want := int(fraction * n)
+		// The stride walk yields n/stride ± 1 samples.
+		if len(seen) < want-want/2 || len(seen) > want+want/2+1 {
+			t.Fatalf("fraction %v: sampled %d files, want ~%d", fraction, len(seen), want)
+		}
+	}
+
+	// Full-fraction sampling must visit every live file exactly once.
+	seen := make(map[dfs.FileID]bool)
+	ctx.SampleLiveFiles(rng, 1.0, func(f *dfs.File) { seen[f.ID()] = true })
+	if len(seen) != len(fs.LiveFiles()) {
+		t.Fatalf("fraction 1: sampled %d of %d files", len(seen), len(fs.LiveFiles()))
+	}
+
+	// Phases rotate: across many ticks every file must eventually be seen.
+	all := make(map[dfs.FileID]bool)
+	for tick := 0; tick < 200; tick++ {
+		ctx.SampleLiveFiles(rng, 0.10, func(f *dfs.File) { all[f.ID()] = true })
+	}
+	if len(all) != len(fs.LiveFiles()) {
+		t.Fatalf("200 ticks at 10%% covered %d of %d files", len(all), len(fs.LiveFiles()))
+	}
+
+	// Degenerate inputs must not panic or call fn.
+	ctx.SampleLiveFiles(rng, 0, func(*dfs.File) { t.Fatal("fraction 0 sampled a file") })
+}

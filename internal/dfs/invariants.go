@@ -40,6 +40,29 @@ func (fs *FileSystem) CheckAccounting() error {
 	return nil
 }
 
+// TierResidency snapshots, for every live complete file, which tiers hold a
+// full (all-or-nothing) replica set, keyed by path. The differential tests
+// use it to assert that the sequential sim path and the concurrent serving
+// layer leave the system in the same final state.
+func (fs *FileSystem) TierResidency() map[string][3]bool {
+	out := make(map[string][3]bool, len(fs.fileList))
+	for _, f := range fs.fileList {
+		if fs.creating[f.id] {
+			continue
+		}
+		var res [3]bool
+		for _, m := range storage.AllMedia {
+			res[m] = f.HasReplicaOn(m)
+		}
+		out[f.path] = res
+	}
+	return out
+}
+
+// LiveReplicaBytes returns the tracked bytes of all attached, non-deleting
+// replicas — one side of the capacity-conservation equation.
+func (fs *FileSystem) LiveReplicaBytes() int64 { return fs.liveBytes }
+
 // CheckInvariants runs the deep consistency checks: CheckAccounting, a full
 // recount of live replica bytes, namespace/path coherence, replica backrefs
 // and state sanity, and validation of the incrementally maintained per-tier

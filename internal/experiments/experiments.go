@@ -84,16 +84,7 @@ func (o Options) profile(name string) (workload.Profile, error) {
 		p.NumJobs /= 5
 		p.Duration = 2 * time.Hour
 		// Cap job sizes at bin D so files fit the shrunken cluster.
-		var capped [workload.NumBins]float64
-		total := 0.0
-		for b := workload.BinA; b <= workload.BinD; b++ {
-			capped[b] = p.BinFractions[b]
-			total += p.BinFractions[b]
-		}
-		for b := workload.BinA; b <= workload.BinD; b++ {
-			capped[b] /= total
-		}
-		p.BinFractions = capped
+		p = workload.CapProfile(p, workload.BinD)
 	}
 	return p, nil
 }

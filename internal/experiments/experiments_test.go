@@ -105,6 +105,35 @@ func TestParallelRunsAreDeterministic(t *testing.T) {
 	}
 }
 
+// TestModelSweepsParallelDeterministic extends the parallelism acceptance
+// check to the fig14-17 model sweeps: the train-and-score cells share only
+// read-only traces, so fanning them out must not change a byte of output.
+func TestModelSweepsParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model training in non-short mode only")
+	}
+	for _, id := range []string{"fig14", "fig15", "fig16", "fig17"} {
+		runner, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(parallel int) []*eval.Table {
+			o := fastOpts()
+			o.Parallel = parallel
+			tables, err := runner(o)
+			if err != nil {
+				t.Fatalf("%s with parallel=%d: %v", id, parallel, err)
+			}
+			return tables
+		}
+		sequential := run(1)
+		parallel := run(4)
+		if !reflect.DeepEqual(sequential, parallel) {
+			t.Errorf("%s diverged between sequential and parallel runs", id)
+		}
+	}
+}
+
 func TestFig6XGBBeatsBaselineOnAverage(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end comparison in non-short mode only")

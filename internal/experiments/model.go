@@ -169,40 +169,55 @@ func (o Options) modelWindows() (down, up time.Duration) {
 
 // Fig14ROC regenerates Figure 14: ROC/AUC for the XGB downgrade and
 // upgrade models on both workloads, with a 4h/1h/1h-style
-// train/validation/test split (Section 7.6).
+// train/validation/test split (Section 7.6). The four (workload, model)
+// sweeps are independent train-and-score cells, fanned out across
+// Options.Parallel workers with byte-identical tables at any level.
 func Fig14ROC(o Options) ([]*eval.Table, error) {
 	o.applyDefaults()
 	downW, upW := o.modelWindows()
+	type cell struct {
+		wl     string
+		model  string
+		window time.Duration
+	}
+	var cells []cell
+	for _, wl := range []string{"fb", "cmu"} {
+		cells = append(cells, cell{wl, "downgrade", downW}, cell{wl, "upgrade", upW})
+	}
+	rows := make([][]string, len(cells))
+	err := runCells(o.parallelism(), len(cells), func(i int) error {
+		c := cells[i]
+		p, err := o.profile(c.wl)
+		if err != nil {
+			return err
+		}
+		tr := workload.Generate(p, o.Seed)
+		spec := ml.DefaultFeatureSpec()
+		samples := collectSamples(tr, defaultSampleParams(spec, c.window, o))
+		train, val, test := splitSamples(samples, tr.Duration, 4.0/6, 1.0/6)
+		train = append(train, val...) // validation folded into training after tuning
+		if len(train) == 0 || len(test) == 0 {
+			return fmt.Errorf("fig14: empty split (%s/%s)", c.wl, c.model)
+		}
+		scores, labels, err := trainAndScore(train, test, spec.Width())
+		if err != nil {
+			return err
+		}
+		rows[i] = []string{tr.Name, c.model, fmt.Sprintf("%d", len(samples)),
+			eval.F2(eval.AUC(scores, labels)),
+			eval.Pct(eval.Accuracy(scores, labels, 0.5))}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := &eval.Table{
 		ID:     "fig14",
 		Title:  "XGB model ROC evaluation (train 4/6, validate 1/6, test 1/6)",
 		Header: []string{"Workload", "Model", "Samples", "Test AUC", "Accuracy@0.5"},
 	}
-	for _, wl := range []string{"fb", "cmu"} {
-		p, err := o.profile(wl)
-		if err != nil {
-			return nil, err
-		}
-		tr := workload.Generate(p, o.Seed)
-		for _, m := range []struct {
-			name   string
-			window time.Duration
-		}{{"downgrade", downW}, {"upgrade", upW}} {
-			spec := ml.DefaultFeatureSpec()
-			samples := collectSamples(tr, defaultSampleParams(spec, m.window, o))
-			train, val, test := splitSamples(samples, tr.Duration, 4.0/6, 1.0/6)
-			train = append(train, val...) // validation folded into training after tuning
-			if len(train) == 0 || len(test) == 0 {
-				return nil, fmt.Errorf("fig14: empty split (%s/%s)", wl, m.name)
-			}
-			scores, labels, err := trainAndScore(train, test, spec.Width())
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(tr.Name, m.name, fmt.Sprintf("%d", len(samples)),
-				eval.F2(eval.AUC(scores, labels)),
-				eval.Pct(eval.Accuracy(scores, labels, 0.5)))
-		}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*eval.Table{t}, nil
 }
@@ -227,23 +242,34 @@ func Fig15FeatureAblation(o Options) ([]*eval.Table, error) {
 		{"with 6 accesses", func() ml.FeatureSpec { s := ml.DefaultFeatureSpec(); s.K = 6; return s }()},
 		{"with 18 accesses", func() ml.FeatureSpec { s := ml.DefaultFeatureSpec(); s.K = 18; return s }()},
 	}
+	// Each ablation variant re-collects and re-trains over the shared
+	// read-only trace: independent cells, fanned out.
+	rows := make([][]string, len(variants))
+	err = runCells(o.parallelism(), len(variants), func(i int) error {
+		v := variants[i]
+		samples := collectSamples(tr, defaultSampleParams(v.spec, downW, o))
+		train, val, test := splitSamples(samples, tr.Duration, 4.0/6, 1.0/6)
+		train = append(train, val...)
+		if len(train) == 0 || len(test) == 0 {
+			return fmt.Errorf("fig15: empty split for %q", v.name)
+		}
+		scores, labels, err := trainAndScore(train, test, v.spec.Width())
+		if err != nil {
+			return err
+		}
+		rows[i] = []string{v.name, eval.F2(eval.AUC(scores, labels)), eval.Pct(eval.Accuracy(scores, labels, 0.5))}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := &eval.Table{
 		ID:     "fig15",
 		Title:  "Feature ablation for the FB downgrade model",
 		Header: []string{"Variant", "Test AUC", "Accuracy@0.5"},
 	}
-	for _, v := range variants {
-		samples := collectSamples(tr, defaultSampleParams(v.spec, downW, o))
-		train, val, test := splitSamples(samples, tr.Duration, 4.0/6, 1.0/6)
-		train = append(train, val...)
-		if len(train) == 0 || len(test) == 0 {
-			return nil, fmt.Errorf("fig15: empty split for %q", v.name)
-		}
-		scores, labels, err := trainAndScore(train, test, v.spec.Width())
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(v.name, eval.F2(eval.AUC(scores, labels)), eval.Pct(eval.Accuracy(scores, labels, 0.5)))
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*eval.Table{t}, nil
 }
@@ -309,16 +335,46 @@ func Fig16LearningModes(o Options) ([]*eval.Table, error) {
 
 	params := gbt.PaperParams()
 	params.MaxTrees = 300
-	x0, y0 := toMatrix(buckets[0], spec.Width())
-	oneShot, err := gbt.Train(x0, y0, params)
+	// The three learning modes are independent model sweeps over the shared
+	// read-only buckets: each trains its own hour-1 model (gbt.Train is
+	// deterministic, so the incremental and one-shot starting points are
+	// identical to the sequential formulation) and walks the segments
+	// measure-then-train. Fan them out as cells.
+	accs := make([][]float64, 3) // [mode][hour-1] accuracy; NaN-free, gaps skipped below
+	err := runCells(o.parallelism(), 3, func(mode int) error {
+		x0, y0 := toMatrix(buckets[0], spec.Width())
+		model, err := gbt.Train(x0, y0, params)
+		if err != nil {
+			return err
+		}
+		acc := make([]float64, segments)
+		for h := 1; h < segments; h++ {
+			bucket := buckets[h]
+			if len(bucket) == 0 {
+				continue
+			}
+			// Accuracy is measured on fresh samples before they are trained
+			// on.
+			acc[h] = measure(model, bucket)
+			xb, yb := toMatrix(bucket, spec.Width())
+			switch mode {
+			case 0: // incremental: update with this segment's samples
+				if err := model.Update(xb, yb, 10); err != nil {
+					return err
+				}
+			case 1: // retrain: fresh model on this segment only
+				if m, err := gbt.Train(xb, yb, params); err == nil {
+					model = m
+				}
+			case 2: // one-shot: hour-1 model used unchanged
+			}
+		}
+		accs[mode] = acc
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	incremental, err := gbt.Train(x0, y0, params)
-	if err != nil {
-		return nil, err
-	}
-	retrained := oneShot // hour 1: same model
 
 	t := &eval.Table{
 		ID:     "fig16",
@@ -326,24 +382,11 @@ func Fig16LearningModes(o Options) ([]*eval.Table, error) {
 		Header: []string{"Hour", "Incremental", "Retrain hourly", "One-shot"},
 	}
 	for h := 1; h < segments; h++ {
-		bucket := buckets[h]
-		if len(bucket) == 0 {
+		if len(buckets[h]) == 0 {
 			continue
 		}
-		// Accuracy is measured on fresh samples before they are trained on.
-		accInc := measure(incremental, bucket)
-		accRet := measure(retrained, bucket)
-		accOne := measure(oneShot, bucket)
-		t.AddRow(fmt.Sprintf("%d", h+1), eval.Pct(accInc), eval.Pct(accRet), eval.Pct(accOne))
-		// Incremental: update with this segment's samples.
-		xb, yb := toMatrix(bucket, spec.Width())
-		if err := incremental.Update(xb, yb, 10); err != nil {
-			return nil, err
-		}
-		// Retrain: fresh model on this segment only.
-		if m, err := gbt.Train(xb, yb, params); err == nil {
-			retrained = m
-		}
+		t.AddRow(fmt.Sprintf("%d", h+1),
+			eval.Pct(accs[0][h]), eval.Pct(accs[1][h]), eval.Pct(accs[2][h]))
 	}
 	return []*eval.Table{t}, nil
 }
@@ -378,13 +421,12 @@ func Fig17WorkloadSwitch(o Options) ([]*eval.Table, error) {
 	}
 	sort.Strings(names)
 
-	t := &eval.Table{
-		ID:     "fig17",
-		Title:  "Incremental accuracy while alternating FB and CMU workloads",
-		Header: []string{"Variation", "Window", "Accuracy"},
-	}
+	// Each switching frequency is an independent generate-sample-train
+	// sweep; fan them out and assemble rows in the stable name order.
 	spec := ml.DefaultFeatureSpec()
-	for _, name := range names {
+	rowsByName := make([][][]string, len(names))
+	err := runCells(o.parallelism(), len(names), func(i int) error {
+		name := names[i]
 		cfg := totalSegments[name]
 		tr := workload.GenerateEvolving(
 			[]workload.Profile{workload.FB(), workload.CMU()}, cfg.segLen, cfg.segments, o.Seed)
@@ -397,6 +439,7 @@ func Fig17WorkloadSwitch(o Options) ([]*eval.Table, error) {
 		params := gbt.PaperParams()
 		params.MaxTrees = 300
 		cursor := 0
+		var rows [][]string
 		for w := 0; w < nWindows; w++ {
 			hi := cursor
 			limit := time.Duration(w+1) * window
@@ -414,8 +457,9 @@ func Fig17WorkloadSwitch(o Options) ([]*eval.Table, error) {
 					scores = append(scores, model.Predict(s.x))
 					labels = append(labels, s.y)
 				}
-				t.AddRow(name, fmt.Sprintf("%5.1fh", (time.Duration(w+1)*window).Hours()),
-					eval.Pct(eval.Accuracy(scores, labels, 0.5)))
+				rows = append(rows, []string{name,
+					fmt.Sprintf("%5.1fh", (time.Duration(w+1) * window).Hours()),
+					eval.Pct(eval.Accuracy(scores, labels, 0.5))})
 			}
 			xb, yb := toMatrix(bucket, spec.Width())
 			if model == nil {
@@ -423,8 +467,23 @@ func Fig17WorkloadSwitch(o Options) ([]*eval.Table, error) {
 					model = m
 				}
 			} else if err := model.Update(xb, yb, 6); err != nil {
-				return nil, err
+				return err
 			}
+		}
+		rowsByName[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &eval.Table{
+		ID:     "fig17",
+		Title:  "Incremental accuracy while alternating FB and CMU workloads",
+		Header: []string{"Variation", "Window", "Accuracy"},
+	}
+	for _, rows := range rowsByName {
+		for _, row := range rows {
+			t.AddRow(row...)
 		}
 	}
 	return []*eval.Table{t}, nil

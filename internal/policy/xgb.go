@@ -60,14 +60,13 @@ func (p *XGBDown) OnFileDeleted(*dfs.File) {}
 
 // Tick periodically samples a fraction of all files for training
 // (Section 4.2: "repeating the above three steps periodically for a sample
-// of the files").
+// of the files"). The stride sampler costs O(fraction*N) per tick instead
+// of walking (and drawing an RNG value for) every live file.
 func (p *XGBDown) Tick() {
 	now := p.ctx.Clock.Now()
-	for _, f := range p.ctx.FS.LiveFiles() {
-		if p.rng.Float64() < p.ctx.Cfg.SampleFraction {
-			p.pipeline.Sample(p.ctx.Record(f), now)
-		}
-	}
+	p.ctx.SampleLiveFiles(p.rng, p.ctx.Cfg.SampleFraction, func(f *dfs.File) {
+		p.pipeline.Sample(p.ctx.Record(f), now)
+	})
 }
 
 // SelectFile scores the k least recently used files — collected from the
@@ -141,14 +140,13 @@ func (p *XGBUp) OnFileAccessed(f *dfs.File) {
 // OnFileDeleted implements core.FileCallbacks.
 func (p *XGBUp) OnFileDeleted(*dfs.File) {}
 
-// Tick periodically samples files for training.
+// Tick periodically samples files for training via the O(fraction*N)
+// stride sampler over the live index.
 func (p *XGBUp) Tick() {
 	now := p.ctx.Clock.Now()
-	for _, f := range p.ctx.FS.LiveFiles() {
-		if p.rng.Float64() < p.ctx.Cfg.SampleFraction {
-			p.pipeline.Sample(p.ctx.Record(f), now)
-		}
-	}
+	p.ctx.SampleLiveFiles(p.rng, p.ctx.Cfg.SampleFraction, func(f *dfs.File) {
+		p.pipeline.Sample(p.ctx.Record(f), now)
+	})
 }
 
 // StartUpgrade implements core.UpgradePolicy. With an accessed file it

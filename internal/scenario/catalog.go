@@ -103,6 +103,33 @@ func TierCrunch() Scenario {
 	}
 }
 
+// ConcurrentClients overlays the FB batch workload with a surge of
+// interactive read clients: the extra access stream heats the upgrade path
+// and the read load contends with movement transfers on the same devices —
+// the scenario-DSL counterpart of the octoload driver's concurrent serving
+// traffic.
+func ConcurrentClients() Scenario {
+	return Scenario{
+		Name:        "client-surge",
+		Description: "interactive read clients surge alongside the batch workload",
+		Cluster:     DefaultCluster,
+		Trace: func(o Options) *workload.Trace {
+			p := workload.FB()
+			if o.Fast {
+				p = FastProfile(p)
+			}
+			return workload.Generate(p, o.Seed)
+		},
+		Perturb: []Perturbation{
+			ClientSurge{
+				Offset:   20 * time.Minute,
+				Duration: 60 * time.Minute,
+				Clients:  24,
+			},
+		},
+	}
+}
+
 // NodeJoinLeave exercises membership churn: a worker is lost a third of the
 // way in (its replicas must be re-replicated) and a fresh empty worker joins
 // later (placement must discover and fill it).
@@ -163,6 +190,7 @@ func Catalog() []Scenario {
 		MultiTenant(),
 		TierCrunch(),
 		NodeJoinLeave(),
+		ConcurrentClients(),
 	}
 }
 

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"octostore/internal/dfs"
@@ -56,6 +57,73 @@ func (c CapacityCrunch) Install(rp *Replay) {
 		}
 		for i := 0; i < parallel; i++ {
 			launch()
+		}
+	})
+}
+
+// ClientSurge models a population of interactive clients hammering the
+// file system with reads alongside the batch workload: Clients closed-loop
+// virtual clients each repeatedly pick a random live file, record the
+// access (firing the upgrade hook, exactly like the serving layer's access
+// path), read one random block from a random node, and think for a random
+// interval. The surge runs from Offset for Duration. Everything is
+// engine-scheduled from a seeded RNG, so the "concurrency" is virtual-time
+// interleaving and the replay stays deterministic — the scenario-DSL mirror
+// of what cmd/octoload does with real goroutines against internal/server.
+type ClientSurge struct {
+	Offset   time.Duration
+	Duration time.Duration
+	Clients  int
+	// ThinkMin/Max bound each client's pause between requests (defaults
+	// 1s/15s).
+	ThinkMin, ThinkMax time.Duration
+	// Seed offsets the per-client RNG streams (0 uses the replay seed).
+	Seed int64
+}
+
+// Name implements Perturbation.
+func (c ClientSurge) Name() string { return "client-surge" }
+
+// Install implements Perturbation.
+func (c ClientSurge) Install(rp *Replay) {
+	clients := c.Clients
+	if clients <= 0 {
+		clients = 16
+	}
+	thinkMin, thinkMax := c.ThinkMin, c.ThinkMax
+	if thinkMin <= 0 {
+		thinkMin = time.Second
+	}
+	if thinkMax <= thinkMin {
+		thinkMax = thinkMin + 14*time.Second
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = rp.Opts.Seed
+	}
+	rp.Engine.Schedule(c.Offset, func() {
+		end := rp.Engine.Now().Add(c.Duration)
+		for i := 0; i < clients; i++ {
+			rng := rand.New(rand.NewSource(seed + int64(i)*9176 + 311))
+			var loop func()
+			loop = func() {
+				if rp.Engine.Now().After(end) {
+					return
+				}
+				if files := rp.FS.LiveFiles(); len(files) > 0 {
+					f := files[rng.Intn(len(files))]
+					if !f.Deleted() && rp.FS.Complete(f) && len(f.Blocks()) > 0 {
+						rp.FS.RecordAccess(f)
+						b := f.Blocks()[rng.Intn(len(f.Blocks()))]
+						nodes := rp.Cluster.Nodes()
+						rp.FS.ReadBlock(b, nodes[rng.Intn(len(nodes))], nil)
+					}
+				}
+				think := thinkMin + time.Duration(rng.Int63n(int64(thinkMax-thinkMin)+1))
+				rp.Engine.Schedule(think, loop)
+			}
+			// Stagger client starts across the first think window.
+			rp.Engine.Schedule(time.Duration(rng.Int63n(int64(thinkMin))+1), loop)
 		}
 	})
 }

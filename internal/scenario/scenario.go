@@ -330,15 +330,5 @@ func fastWorkerSpec() storage.NodeSpec {
 func FastProfile(p workload.Profile) workload.Profile {
 	p.NumJobs /= 5
 	p.Duration = 2 * time.Hour
-	var capped [workload.NumBins]float64
-	total := 0.0
-	for b := workload.BinA; b <= workload.BinD; b++ {
-		capped[b] = p.BinFractions[b]
-		total += p.BinFractions[b]
-	}
-	for b := workload.BinA; b <= workload.BinD; b++ {
-		capped[b] /= total
-	}
-	p.BinFractions = capped
-	return p
+	return workload.CapProfile(p, workload.BinD)
 }

@@ -148,8 +148,8 @@ func TestPerturbationsScheduleOnly(t *testing.T) {
 
 func TestCatalogLookup(t *testing.T) {
 	names := Names()
-	if len(names) != 5 {
-		t.Fatalf("catalog has %d scenarios, want 5: %v", len(names), names)
+	if len(names) != 6 {
+		t.Fatalf("catalog has %d scenarios, want 6: %v", len(names), names)
 	}
 	for _, name := range names {
 		sc, err := Get(name)

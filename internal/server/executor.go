@@ -1,0 +1,225 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"octostore/internal/core"
+	"octostore/internal/dfs"
+	"octostore/internal/sim"
+	"octostore/internal/storage"
+)
+
+// ErrMovementShed reports that the movement executor refused a request
+// because the destination tier's queue was full (or a single request was
+// larger than the tier's whole budget). Shedding is the correct overload
+// response for tier movement: the request is advisory — the policy will
+// re-select the file on a later trigger once the backlog drains.
+var ErrMovementShed = errors.New("server: movement executor shed request (tier queue full)")
+
+// ExecutorConfig tunes the async movement executor.
+type ExecutorConfig struct {
+	// WorkersPerTier bounds how many moves execute concurrently into each
+	// destination tier (default 2).
+	WorkersPerTier int
+	// QueueDepth bounds each destination tier's waiting queue; requests
+	// beyond it are shed (default 128).
+	QueueDepth int
+	// BudgetBytes caps the bytes in flight into each destination tier — the
+	// executor's bandwidth budget expressed as a bandwidth-delay product.
+	// The executor never admits a move that would push a tier's in-flight
+	// bytes over its budget (defaults: 1 GB memory, 2 GB SSD, 4 GB HDD).
+	BudgetBytes [3]int64
+	// MoveLatency delays each admitted transfer's start, modelling the
+	// command path through worker heartbeats. server.New defaults it to
+	// the manager's core.Config.MoveLatency so serving-path movement
+	// timing matches the sequential path; a bare executor falls back to
+	// the paper's 5 s.
+	MoveLatency time.Duration
+}
+
+func (c *ExecutorConfig) applyDefaults() {
+	if c.WorkersPerTier <= 0 {
+		c.WorkersPerTier = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	defaults := [3]int64{1 * storage.GB, 2 * storage.GB, 4 * storage.GB}
+	for i := range c.BudgetBytes {
+		if c.BudgetBytes[i] <= 0 {
+			c.BudgetBytes[i] = defaults[i]
+		}
+	}
+	if c.MoveLatency <= 0 {
+		c.MoveLatency = 5 * time.Second
+	}
+}
+
+// TierMoveStats is the per-destination-tier executor activity record.
+type TierMoveStats struct {
+	Scheduled        int64 // admitted into the tier pool
+	Completed        int64 // committed moves
+	Failed           int64 // moves that errored (placement, capacity, churn)
+	Shed             int64 // rejected at admission (queue full / oversized)
+	MaxInFlightBytes int64 // high-water mark of concurrently moving bytes
+	BudgetBytes      int64 // the configured budget, for reporting
+}
+
+// ExecutorStats snapshots the executor's counters.
+type ExecutorStats struct {
+	PerTier [3]TierMoveStats
+}
+
+// Queued sums admitted requests across tiers.
+func (s ExecutorStats) Queued() int64 {
+	var n int64
+	for _, t := range s.PerTier {
+		n += t.Scheduled
+	}
+	return n
+}
+
+// MovementExecutor is the serving layer's async replica-movement engine: a
+// per-destination-tier pool of movement slots with a bounded FIFO queue and
+// an in-flight byte budget per tier. It implements core.Mover, so a
+// core.Manager routes its upgrade/downgrade requests here instead of the
+// inline Replication Monitor; transfers then overlap with serving — they
+// execute as engine events while the core loop keeps absorbing client
+// commands and access batches.
+//
+// All mutable pool state is owned by the core loop (Enqueue must only be
+// called from it — the Manager's callbacks already run there); the counters
+// are atomics so load drivers and tests read them from other goroutines.
+type MovementExecutor struct {
+	fs     *dfs.FileSystem
+	engine *sim.Engine
+	cfg    ExecutorConfig
+
+	tiers [3]tierPool
+	// busy counts admitted-but-unfinished requests across all tiers; the
+	// quiesce loop uses it to decide whether movement work is outstanding.
+	busy atomic.Int64
+}
+
+type tierPool struct {
+	queue         []pendingMove // core-loop-owned FIFO
+	active        int           // moves currently executing
+	inFlightBytes int64
+
+	scheduled   atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	shed        atomic.Int64
+	maxInFlight atomic.Int64
+}
+
+type pendingMove struct {
+	req  core.MoveRequest
+	size int64
+}
+
+// NewMovementExecutor builds an executor over the file system.
+func NewMovementExecutor(fs *dfs.FileSystem, cfg ExecutorConfig) *MovementExecutor {
+	cfg.applyDefaults()
+	return &MovementExecutor{fs: fs, engine: fs.Engine(), cfg: cfg}
+}
+
+// Config returns the resolved configuration.
+func (e *MovementExecutor) Config() ExecutorConfig { return e.cfg }
+
+// Enqueue implements core.Mover. Core loop only.
+func (e *MovementExecutor) Enqueue(r core.MoveRequest) {
+	if r.Done == nil {
+		r.Done = func(error) {}
+	}
+	if !r.To.Valid() {
+		r.Done(ErrMovementShed)
+		return
+	}
+	pool := &e.tiers[r.To]
+	size := moveBytes(r.File)
+	if size > e.cfg.BudgetBytes[r.To] || len(pool.queue) >= e.cfg.QueueDepth {
+		pool.shed.Add(1)
+		r.Done(ErrMovementShed)
+		return
+	}
+	pool.queue = append(pool.queue, pendingMove{req: r, size: size})
+	pool.scheduled.Add(1)
+	e.busy.Add(1)
+	e.pump(r.To)
+}
+
+// pump starts queued moves while the tier has both a free slot and budget
+// headroom. The queue stays FIFO: a large move at the head waits for budget
+// rather than being bypassed, so sustained small moves cannot starve it.
+func (e *MovementExecutor) pump(tier storage.Media) {
+	pool := &e.tiers[tier]
+	for pool.active < e.cfg.WorkersPerTier && len(pool.queue) > 0 {
+		head := pool.queue[0]
+		if pool.inFlightBytes+head.size > e.cfg.BudgetBytes[tier] {
+			return // budget exhausted; completions re-pump
+		}
+		pool.queue = pool.queue[1:]
+		e.start(tier, head)
+	}
+}
+
+func (e *MovementExecutor) start(tier storage.Media, pm pendingMove) {
+	pool := &e.tiers[tier]
+	pool.active++
+	pool.inFlightBytes += pm.size
+	if pool.inFlightBytes > pool.maxInFlight.Load() {
+		pool.maxInFlight.Store(pool.inFlightBytes)
+	}
+	finish := func(err error) {
+		pool.active--
+		pool.inFlightBytes -= pm.size
+		if err != nil {
+			pool.failed.Add(1)
+		} else {
+			pool.completed.Add(1)
+		}
+		pm.req.Done(err)
+		e.busy.Add(-1)
+		e.pump(tier)
+	}
+	e.engine.Schedule(e.cfg.MoveLatency, func() {
+		err := e.fs.MoveFileReplicas(pm.req.File, pm.req.From, pm.req.To, finish)
+		if err != nil {
+			finish(err)
+		}
+	})
+}
+
+// moveBytes is the destination-tier footprint of moving a file: one replica
+// per block (MoveFileReplicas relocates exactly the `from`-tier replica of
+// each block).
+func moveBytes(f *dfs.File) int64 {
+	var total int64
+	for _, b := range f.Blocks() {
+		total += b.Size()
+	}
+	return total
+}
+
+// Idle reports whether no request is queued or in flight.
+func (e *MovementExecutor) Idle() bool { return e.busy.Load() == 0 }
+
+// Stats snapshots the executor counters. Safe from any goroutine.
+func (e *MovementExecutor) Stats() ExecutorStats {
+	var out ExecutorStats
+	for i := range e.tiers {
+		p := &e.tiers[i]
+		out.PerTier[i] = TierMoveStats{
+			Scheduled:        p.scheduled.Load(),
+			Completed:        p.completed.Load(),
+			Failed:           p.failed.Load(),
+			Shed:             p.shed.Load(),
+			MaxInFlightBytes: p.maxInFlight.Load(),
+			BudgetBytes:      e.cfg.BudgetBytes[i],
+		}
+	}
+	return out
+}

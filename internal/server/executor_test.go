@@ -1,0 +1,130 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"octostore/internal/cluster"
+	"octostore/internal/core"
+	"octostore/internal/dfs"
+	"octostore/internal/sim"
+	"octostore/internal/storage"
+)
+
+// executorFixture builds a single-threaded fs with n files pinned to HDD so
+// tests can drive the executor directly (no server, no goroutines).
+func executorFixture(t *testing.T, n int, size int64) (*sim.Engine, *dfs.FileSystem, []*dfs.File) {
+	t.Helper()
+	engine := sim.NewEngine()
+	cl, err := cluster.New(engine, cluster.Config{Workers: 4, SlotsPerNode: 4, Spec: diffWorkerSpecInternal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := dfs.New(cl, dfs.Config{Mode: dfs.ModePinnedHDD, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([]*dfs.File, 0, n)
+	for i := 0; i < n; i++ {
+		fs.Create(fmt.Sprintf("/f/%03d", i), size, func(f *dfs.File, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			files = append(files, f)
+		})
+	}
+	engine.Run()
+	if len(files) != n {
+		t.Fatalf("created %d files, want %d", len(files), n)
+	}
+	return engine, fs, files
+}
+
+func diffWorkerSpecInternal() storage.NodeSpec {
+	return storage.NodeSpec{
+		{Media: storage.Memory, Capacity: 2 * storage.GB, ReadBW: 4000e6, WriteBW: 3000e6, Count: 1},
+		{Media: storage.SSD, Capacity: 8 * storage.GB, ReadBW: 500e6, WriteBW: 400e6, Count: 1},
+		{Media: storage.HDD, Capacity: 64 * storage.GB, ReadBW: 160e6, WriteBW: 140e6, Count: 2},
+	}
+}
+
+func TestExecutorShedsWhenQueueFull(t *testing.T) {
+	engine, fs, files := executorFixture(t, 6, 64*storage.MB)
+	ex := NewMovementExecutor(fs, ExecutorConfig{WorkersPerTier: 1, QueueDepth: 2})
+	var outcomes []error
+	for _, f := range files {
+		f := f
+		ex.Enqueue(core.MoveRequest{File: f, From: storage.HDD, To: storage.SSD,
+			Done: func(err error) { outcomes = append(outcomes, err) }})
+	}
+	// Slots: 1 active + 2 queued admitted; the remaining 3 shed immediately.
+	sheds := 0
+	for _, err := range outcomes {
+		if errors.Is(err, ErrMovementShed) {
+			sheds++
+		} else if err != nil {
+			t.Fatalf("unexpected immediate outcome: %v", err)
+		}
+	}
+	if sheds != 3 {
+		t.Fatalf("immediate sheds = %d, want 3 (outcomes %v)", sheds, outcomes)
+	}
+	engine.Run()
+	if !ex.Idle() {
+		t.Fatal("executor not idle after drain")
+	}
+	st := ex.Stats().PerTier[storage.SSD]
+	if st.Completed != 3 || st.Shed != 3 || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want 3 completed / 3 shed", st)
+	}
+	if len(outcomes) != 6 {
+		t.Fatalf("outcomes = %d, want 6", len(outcomes))
+	}
+	if err := fs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecutorRespectsBudget(t *testing.T) {
+	engine, fs, files := executorFixture(t, 8, 64*storage.MB)
+	budget := [3]int64{1 << 40, 100 * storage.MB, 1 << 40} // SSD: one 64 MB move at a time
+	ex := NewMovementExecutor(fs, ExecutorConfig{WorkersPerTier: 4, QueueDepth: 64, BudgetBytes: budget})
+	done := 0
+	for _, f := range files {
+		ex.Enqueue(core.MoveRequest{File: f, From: storage.HDD, To: storage.SSD,
+			Done: func(err error) {
+				if err != nil {
+					t.Errorf("move failed: %v", err)
+				}
+				done++
+			}})
+	}
+	engine.Run()
+	st := ex.Stats().PerTier[storage.SSD]
+	if done != 8 || st.Completed != 8 {
+		t.Fatalf("completed %d/%d moves (%+v)", done, 8, st)
+	}
+	if st.MaxInFlightBytes > budget[storage.SSD] {
+		t.Fatalf("budget exceeded: max in-flight %d > %d", st.MaxInFlightBytes, budget[storage.SSD])
+	}
+	// The budget, not the 4 slots, must have been the binding constraint:
+	// 2 concurrent 64 MB moves would need 128 MB > 100 MB.
+	if st.MaxInFlightBytes != 64*storage.MB {
+		t.Fatalf("max in-flight = %d, want exactly one 64 MB move", st.MaxInFlightBytes)
+	}
+}
+
+func TestExecutorShedsOversizedRequest(t *testing.T) {
+	_, fs, files := executorFixture(t, 1, 256*storage.MB)
+	ex := NewMovementExecutor(fs, ExecutorConfig{BudgetBytes: [3]int64{1, 100 * storage.MB, 1}})
+	var got error
+	ex.Enqueue(core.MoveRequest{File: files[0], From: storage.HDD, To: storage.SSD,
+		Done: func(err error) { got = err }})
+	if !errors.Is(got, ErrMovementShed) {
+		t.Fatalf("oversized request outcome = %v, want ErrMovementShed", got)
+	}
+	if st := ex.Stats().PerTier[storage.SSD]; st.Shed != 1 || st.Scheduled != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free log2-bucketed latency histogram: bucket i counts
+// observations with ceil(log2(ns)) == i, giving ~2x resolution from 1 ns to
+// ~9 years in 64 fixed buckets. Concurrent Observe calls are a single
+// atomic add, so every client goroutine records into one shared histogram
+// without coordination; quantiles are answered from the bucket counts using
+// each bucket's geometric midpoint.
+type Histogram struct {
+	buckets [64]atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		ns = 1
+	}
+	h.buckets[bits.Len64(ns)-1].Add(1)
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Quantile returns the q-quantile (0..1) as a duration, approximated by the
+// geometric midpoint of the bucket containing the rank. Zero when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total-1))
+	var seen int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			lo := int64(1) << uint(i)
+			// Geometric midpoint of [2^i, 2^(i+1)): lo * sqrt(2).
+			return time.Duration(float64(lo) * 1.41421356)
+		}
+	}
+	return 0
+}
+
+// ServeStats is the serving layer's atomic counter set; every field is
+// updated from client goroutines or the core loop without locks and may be
+// snapshotted at any time via Server.Stats.
+type serveCounters struct {
+	accesses     atomic.Int64
+	accessMisses atomic.Int64 // path not found / not yet complete
+	noReplica    atomic.Int64 // found, but no fully resident tier (churn window)
+	servedByTier [3]atomic.Int64
+	bytesServed  atomic.Int64
+	creates      atomic.Int64
+	createErrors atomic.Int64
+	deletes      atomic.Int64
+	deleteErrors atomic.Int64
+	stats        atomic.Int64
+	lists        atomic.Int64
+	batches      atomic.Int64 // ring drain batches applied by the core loop
+	drained      atomic.Int64 // access events replayed into the policy layer
+}
+
+// ServeStats is a point-in-time snapshot of the serving counters.
+type ServeStats struct {
+	Accesses      int64
+	AccessMisses  int64
+	NoReplica     int64
+	ServedByTier  [3]int64
+	BytesServed   int64
+	Creates       int64
+	CreateErrors  int64
+	Deletes       int64
+	DeleteErrors  int64
+	Stats         int64
+	Lists         int64
+	DrainBatches  int64
+	EventsDrained int64
+	EventsDropped int64
+}
+
+func (c *serveCounters) snapshot(dropped int64) ServeStats {
+	return ServeStats{
+		Accesses:     c.accesses.Load(),
+		AccessMisses: c.accessMisses.Load(),
+		NoReplica:    c.noReplica.Load(),
+		ServedByTier: [3]int64{
+			c.servedByTier[0].Load(), c.servedByTier[1].Load(), c.servedByTier[2].Load(),
+		},
+		BytesServed:   c.bytesServed.Load(),
+		Creates:       c.creates.Load(),
+		CreateErrors:  c.createErrors.Load(),
+		Deletes:       c.deletes.Load(),
+		DeleteErrors:  c.deleteErrors.Load(),
+		Stats:         c.stats.Load(),
+		Lists:         c.lists.Load(),
+		DrainBatches:  c.batches.Load(),
+		EventsDrained: c.drained.Load(),
+		EventsDropped: dropped,
+	}
+}

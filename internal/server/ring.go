@@ -1,0 +1,115 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"octostore/internal/dfs"
+)
+
+// accessEvent is one client access waiting to be fed into the policy layer:
+// the file it touched and the virtual time it happened at.
+type accessEvent struct {
+	id dfs.FileID
+	at time.Time
+}
+
+// eventRing is the bounded MPSC ring that decouples the client access hot
+// path from the statistics/policy machinery: any number of client
+// goroutines push (lock-free, never blocking), and the core loop drains in
+// batches, replaying each event into the tracker, the candidate index, and
+// the upgrade hook. The design is the classic bounded sequence-number queue
+// (Vyukov): every slot carries a sequence counter that encodes whether it
+// is free for the enqueue position or holds a published event for the
+// dequeue position, so producers claim slots with a single CAS and the
+// consumer observes only fully published events.
+//
+// When the ring is full the event is dropped and counted rather than
+// blocking the client: access events are advisory statistics, and shedding
+// them under overload degrades policy freshness, not correctness.
+type eventRing struct {
+	mask    uint64
+	slots   []ringSlot
+	enq     atomic.Uint64
+	deq     atomic.Uint64 // consumed only by the core loop
+	dropped atomic.Int64
+	// wake is the consumer doorbell: producers try-send after a push so the
+	// core loop drains promptly, and the buffered capacity of one collapses
+	// any number of concurrent pushes into a single wakeup (batching).
+	wake chan struct{}
+}
+
+// newEventRing builds a ring with capacity rounded up to a power of two.
+func newEventRing(capacity int) *eventRing {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	r := &eventRing{
+		mask:  uint64(size - 1),
+		slots: make([]ringSlot, size),
+		wake:  make(chan struct{}, 1),
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	ev  accessEvent
+}
+
+// push publishes an event; it reports false (and counts a drop) when the
+// ring is full. Safe for any number of concurrent producers.
+func (r *eventRing) push(ev accessEvent) bool {
+	pos := r.enq.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.ev = ev
+				slot.seq.Store(pos + 1)
+				select {
+				case r.wake <- struct{}{}:
+				default:
+				}
+				return true
+			}
+			pos = r.enq.Load()
+		case seq < pos:
+			// The slot still holds an unconsumed event one lap behind: full.
+			r.dropped.Add(1)
+			return false
+		default:
+			// Another producer claimed pos; reload and retry.
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// pop removes the oldest published event. Single consumer only.
+func (r *eventRing) pop() (accessEvent, bool) {
+	pos := r.deq.Load()
+	slot := &r.slots[pos&r.mask]
+	if slot.seq.Load() != pos+1 {
+		return accessEvent{}, false
+	}
+	ev := slot.ev
+	slot.ev = accessEvent{}
+	slot.seq.Store(pos + r.mask + 1)
+	r.deq.Store(pos + 1)
+	return ev, true
+}
+
+// empty reports whether no published event is currently available.
+func (r *eventRing) empty() bool {
+	pos := r.deq.Load()
+	return r.slots[pos&r.mask].seq.Load() != pos+1
+}
+
+// Dropped returns how many events were shed because the ring was full.
+func (r *eventRing) Dropped() int64 { return r.dropped.Load() }

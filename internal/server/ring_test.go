@@ -1,0 +1,180 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"octostore/internal/dfs"
+)
+
+func TestEventRingFIFO(t *testing.T) {
+	r := newEventRing(8)
+	if !r.empty() {
+		t.Fatal("fresh ring not empty")
+	}
+	for i := 0; i < 8; i++ {
+		if !r.push(accessEvent{id: dfs.FileID(i)}) {
+			t.Fatalf("push %d failed on non-full ring", i)
+		}
+	}
+	if r.push(accessEvent{id: 99}) {
+		t.Fatal("push succeeded on full ring")
+	}
+	if r.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", r.Dropped())
+	}
+	for i := 0; i < 8; i++ {
+		ev, ok := r.pop()
+		if !ok || ev.id != dfs.FileID(i) {
+			t.Fatalf("pop %d: got (%v, %v)", i, ev.id, ok)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop succeeded on empty ring")
+	}
+	// Wrap-around: slots must be reusable after a full lap.
+	for lap := 0; lap < 3; lap++ {
+		for i := 0; i < 5; i++ {
+			if !r.push(accessEvent{id: dfs.FileID(lap*10 + i)}) {
+				t.Fatalf("lap %d push %d failed", lap, i)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			ev, ok := r.pop()
+			if !ok || ev.id != dfs.FileID(lap*10+i) {
+				t.Fatalf("lap %d pop %d: got (%v, %v)", lap, i, ev.id, ok)
+			}
+		}
+	}
+}
+
+// TestEventRingConcurrentProducers hammers the ring from many producers
+// while a single consumer drains; pushed-minus-dropped must equal consumed,
+// with no duplicates (run under -race in CI).
+func TestEventRingConcurrentProducers(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 5000
+	)
+	r := newEventRing(1024)
+	var wg sync.WaitGroup
+	pushed := make([]int64, producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				// Encode producer and sequence so duplicates are detectable.
+				if r.push(accessEvent{id: dfs.FileID(p*perProd + i)}) {
+					pushed[p]++
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	seen := make(map[dfs.FileID]bool, producers*perProd)
+	var consumed int64
+	go func() {
+		defer close(done)
+		idle := 0
+		for idle < 250 {
+			ev, ok := r.pop()
+			if !ok {
+				select {
+				case <-r.wake:
+					idle = 0
+				case <-time.After(time.Millisecond):
+					idle++
+				}
+				continue
+			}
+			if seen[ev.id] {
+				t.Errorf("duplicate event %d", ev.id)
+				return
+			}
+			seen[ev.id] = true
+			consumed++
+			idle = 0
+		}
+	}()
+	wg.Wait()
+	<-done
+	var total int64
+	for _, n := range pushed {
+		total += n
+	}
+	if consumed != total {
+		t.Fatalf("consumed %d events, producers recorded %d successful pushes (dropped %d)",
+			consumed, total, r.Dropped())
+	}
+	if r.Dropped()+total != producers*perProd {
+		t.Fatalf("dropped %d + pushed %d != offered %d", r.Dropped(), total, producers*perProd)
+	}
+}
+
+func TestNSShardsBasics(t *testing.T) {
+	s := newNSShards(16)
+	cases := []struct{ path, dir, name string }{
+		{"/a/b/c", "/a/b", "c"},
+		{"/top", "/", "top"},
+		{"/x/y", "/x", "y"},
+	}
+	for _, c := range cases {
+		dir, name := parentOf(c.path)
+		if dir != c.dir || name != c.name {
+			t.Fatalf("parentOf(%q) = (%q, %q), want (%q, %q)", c.path, dir, name, c.dir, c.name)
+		}
+	}
+	h1 := &handle{id: 1, path: "/a/b/c", size: 10}
+	h2 := &handle{id: 2, path: "/a/b/d", size: 20}
+	s.put(h1)
+	s.put(h2)
+	if got, ok := s.get("/a/b/c"); !ok || got != h1 {
+		t.Fatal("get after put failed")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if got := s.list("/a/b"); len(got) != 2 || got[0] != "c" || got[1] != "d" {
+		t.Fatalf("list = %v", got)
+	}
+	s.remove("/a/b/c")
+	if _, ok := s.get("/a/b/c"); ok {
+		t.Fatal("get after remove succeeded")
+	}
+	if got := s.list("/a/b"); len(got) != 1 || got[0] != "d" {
+		t.Fatalf("list after remove = %v", got)
+	}
+	// Re-put of the same path must not double-count.
+	s.put(h2)
+	if s.Len() != 1 {
+		t.Fatalf("Len after re-put = %d, want 1", s.Len())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not zero")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(1 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < 500*time.Nanosecond || p50 > 2*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1µs", p50)
+	}
+	if p99 < 500*time.Microsecond || p99 > 2*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~1ms", p99)
+	}
+	if p99 <= p50 {
+		t.Fatalf("p99 %v <= p50 %v", p99, p50)
+	}
+}

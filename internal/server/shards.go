@@ -1,0 +1,192 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"octostore/internal/dfs"
+	"octostore/internal/storage"
+)
+
+// handle is the client-visible view of one served file. Clients read only
+// the immutable identity fields and the atomically published residency
+// mask; the *dfs.File pointer is owned by the core loop and must never be
+// dereferenced on a client goroutine.
+type handle struct {
+	id   dfs.FileID
+	path string
+	size int64
+	file *dfs.File // core-loop-owned
+	// res is a bitmask of tiers holding a full all-or-nothing replica set
+	// (bit i = storage.Media(i)), published by the core loop on every
+	// residency flip so the client read path picks its serving tier without
+	// entering the core.
+	res atomic.Uint32
+}
+
+// setResident publishes one tier's residency flip.
+func (h *handle) setResident(m storage.Media, resident bool) {
+	for {
+		old := h.res.Load()
+		var next uint32
+		if resident {
+			next = old | 1<<uint(m)
+		} else {
+			next = old &^ (1 << uint(m))
+		}
+		if old == next || h.res.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// bestTier returns the highest (fastest) tier with full residency.
+func (h *handle) bestTier() (storage.Media, bool) {
+	mask := h.res.Load()
+	for _, m := range storage.AllMedia {
+		if mask&(1<<uint(m)) != 0 {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// residency decodes the published mask.
+func (h *handle) residency() [3]bool {
+	mask := h.res.Load()
+	var out [3]bool
+	for _, m := range storage.AllMedia {
+		out[m] = mask&(1<<uint(m)) != 0
+	}
+	return out
+}
+
+// nsShards is the striped namespace service: a read-mostly path index
+// sharded by a hash of the file's parent directory, so metadata operations
+// from clients working in independent directories take independent locks
+// (and a directory listing stays a single-shard operation, because every
+// child of a directory hashes to the same stripe). Writes come only from
+// the core loop (create/delete commits); the client hot path takes shard
+// read locks only.
+type nsShards struct {
+	shards []nsShard
+	mask   uint32
+	count  atomic.Int64
+}
+
+type nsShard struct {
+	mu sync.RWMutex
+	// files maps full (clean) path -> handle.
+	files map[string]*handle
+	// children maps a directory path -> the set of file names in it, for
+	// shard-local directory listings.
+	children map[string]map[string]struct{}
+	_        [32]byte // pad shards apart to keep lock words off shared lines
+}
+
+// newNSShards builds a stripe set with n rounded up to a power of two.
+func newNSShards(n int) *nsShards {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &nsShards{shards: make([]nsShard, size), mask: uint32(size - 1)}
+	for i := range s.shards {
+		s.shards[i].files = make(map[string]*handle)
+		s.shards[i].children = make(map[string]map[string]struct{})
+	}
+	return s
+}
+
+// parentOf splits a clean absolute path into its parent directory and leaf
+// name ("/a/b/c" -> "/a/b", "c"; "/c" -> "/", "c").
+func parentOf(path string) (dir, name string) {
+	last := 0
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			last = i
+		}
+	}
+	if last == 0 {
+		return "/", path[1:]
+	}
+	return path[:last], path[last+1:]
+}
+
+// fnv32 is inline FNV-1a so shard selection does not allocate.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (s *nsShards) shardFor(dir string) *nsShard {
+	return &s.shards[fnv32(dir)&s.mask]
+}
+
+// get resolves a clean path to its handle under the stripe's read lock.
+func (s *nsShards) get(path string) (*handle, bool) {
+	dir, _ := parentOf(path)
+	sh := s.shardFor(dir)
+	sh.mu.RLock()
+	h, ok := sh.files[path]
+	sh.mu.RUnlock()
+	return h, ok
+}
+
+// put indexes a handle (core loop only).
+func (s *nsShards) put(h *handle) {
+	dir, name := parentOf(h.path)
+	sh := s.shardFor(dir)
+	sh.mu.Lock()
+	if _, existed := sh.files[h.path]; !existed {
+		s.count.Add(1)
+	}
+	sh.files[h.path] = h
+	kids := sh.children[dir]
+	if kids == nil {
+		kids = make(map[string]struct{})
+		sh.children[dir] = kids
+	}
+	kids[name] = struct{}{}
+	sh.mu.Unlock()
+}
+
+// remove unindexes a path (core loop only).
+func (s *nsShards) remove(path string) {
+	dir, name := parentOf(path)
+	sh := s.shardFor(dir)
+	sh.mu.Lock()
+	if _, ok := sh.files[path]; ok {
+		delete(sh.files, path)
+		s.count.Add(-1)
+		if kids := sh.children[dir]; kids != nil {
+			delete(kids, name)
+			if len(kids) == 0 {
+				delete(sh.children, dir)
+			}
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// list returns the sorted file names directly under dir.
+func (s *nsShards) list(dir string) []string {
+	sh := s.shardFor(dir)
+	sh.mu.RLock()
+	kids := sh.children[dir]
+	out := make([]string, 0, len(kids))
+	for name := range kids {
+		out = append(out, name)
+	}
+	sh.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of indexed files.
+func (s *nsShards) Len() int64 { return s.count.Load() }

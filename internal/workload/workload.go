@@ -217,6 +217,28 @@ func CMU() Profile {
 	}
 }
 
+// CapProfile truncates a profile's job-size distribution at the given bin:
+// fractions above max are zeroed and the remainder renormalized to sum to
+// one. Shrunken test clusters use it so single files still fit a tier.
+func CapProfile(p Profile, max Bin) Profile {
+	if max >= NumBins-1 {
+		return p
+	}
+	var capped [NumBins]float64
+	total := 0.0
+	for b := BinA; b <= max; b++ {
+		total += p.BinFractions[b]
+	}
+	if total <= 0 {
+		return p
+	}
+	for b := BinA; b <= max; b++ {
+		capped[b] = p.BinFractions[b] / total
+	}
+	p.BinFractions = capped
+	return p
+}
+
 // binFile is generation-time state for one input file.
 type binFile struct {
 	spec       FileSpec
