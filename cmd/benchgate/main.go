@@ -9,6 +9,15 @@
 // noisy estimator for "how fast can this go"), and benchmarks under
 // -floor-ns are ignored — at CI's short benchtimes, nanosecond-scale
 // results are dominated by jitter, not code.
+//
+// It also gates the serving-layer load reports (cmd/octoload's
+// BENCH_serve.json): ops/s is a bigger-is-better metric, so the gate fails
+// when the current run's throughput drops below baseline/threshold.
+//
+//	benchgate -serve-old BENCH_serve.baseline.json -serve-new BENCH_serve.json -threshold 1.25
+//
+// Both gates may run in one invocation; each pair of flags is optional but
+// at least one pair is required.
 package main
 
 import (
@@ -64,17 +73,95 @@ func parse(path string) (map[string]float64, error) {
 	return out, sc.Err()
 }
 
+// serveReport is the subset of cmd/octoload's BENCH_serve.json we gate.
+type serveReport struct {
+	OpsPerSec  float64  `json:"ops_per_sec"`
+	Violations []string `json:"violations"`
+}
+
+// parseServe reads a load report's throughput.
+func parseServe(path string) (serveReport, error) {
+	var rep serveReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// gateServe compares serving throughput (bigger is better) against the
+// baseline; returns the number of regressions (0 or 1).
+func gateServe(oldPath, newPath string, threshold float64) int {
+	base, err := parseServe(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: serve baseline:", err)
+		os.Exit(2)
+	}
+	cur, err := parseServe(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: serve current:", err)
+		os.Exit(2)
+	}
+	if cur.OpsPerSec <= 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: current serve report has no throughput")
+		os.Exit(2)
+	}
+	if base.OpsPerSec <= 0 {
+		// A zero baseline would make the floor vacuous and silently disarm
+		// the gate forever; skip loudly instead (the baseline refreshes from
+		// this run).
+		fmt.Printf("SKIP  %-60s baseline has no throughput; serve gate skipped\n", "serve:ops_per_sec")
+		return 0
+	}
+	if len(cur.Violations) > 0 {
+		// octoload already exits non-zero on violations; belt and braces.
+		fmt.Printf("SLOW  %-60s current run recorded %d invariant violations\n", "serve:ops_per_sec", len(cur.Violations))
+		return 1
+	}
+	floor := base.OpsPerSec / threshold
+	if cur.OpsPerSec < floor {
+		fmt.Printf("SLOW  %-60s %12.0f ops/s vs baseline %.0f (%.2fx < 1/%.2fx gate)\n",
+			"serve:ops_per_sec", cur.OpsPerSec, base.OpsPerSec, cur.OpsPerSec/base.OpsPerSec, threshold)
+		return 1
+	}
+	fmt.Printf("OK    %-60s %12.0f ops/s vs baseline %.0f (%.2fx)\n",
+		"serve:ops_per_sec", cur.OpsPerSec, base.OpsPerSec, cur.OpsPerSec/base.OpsPerSec)
+	return 0
+}
+
 func main() {
 	var (
 		oldPath   = flag.String("old", "", "baseline go test -json bench output")
 		newPath   = flag.String("new", "", "current go test -json bench output")
-		threshold = flag.Float64("threshold", 1.25, "fail when new > old * threshold")
+		serveOld  = flag.String("serve-old", "", "baseline BENCH_serve.json load report")
+		serveNew  = flag.String("serve-new", "", "current BENCH_serve.json load report")
+		threshold = flag.Float64("threshold", 1.25, "fail when new > old * threshold (ns/op) or new < old / threshold (ops/s)")
 		floorNS   = flag.Float64("floor-ns", 1000, "ignore benchmarks faster than this baseline (jitter floor)")
 	)
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+	haveBench := *oldPath != "" && *newPath != ""
+	haveServe := *serveOld != "" && *serveNew != ""
+	if !haveBench && !haveServe {
+		fmt.Fprintln(os.Stderr, "benchgate: need -old/-new and/or -serve-old/-serve-new")
 		os.Exit(2)
+	}
+	// Run every configured gate before deciding the exit status, so a serve
+	// regression does not hide simultaneous benchmark regressions (or vice
+	// versa) from the CI log.
+	serveRegressions := 0
+	if haveServe {
+		serveRegressions = gateServe(*serveOld, *serveNew, *threshold)
+		if !haveBench {
+			if serveRegressions > 0 {
+				fmt.Printf("benchgate: serving throughput regressed beyond %.0f%%\n", (*threshold-1)*100)
+				os.Exit(1)
+			}
+			fmt.Println("benchgate: no regressions")
+			return
+		}
 	}
 	oldNS, err := parse(*oldPath)
 	if err != nil {
@@ -128,8 +215,13 @@ func main() {
 			fmt.Printf("OK    %-60s %12.0f ns/op vs baseline %.0f (%.2fx)\n", name, cur, base, cur/base)
 		}
 	}
-	if regressions > 0 {
-		fmt.Printf("benchgate: %d benchmark(s) regressed beyond %.0f%%\n", regressions, (*threshold-1)*100)
+	if regressions > 0 || serveRegressions > 0 {
+		if regressions > 0 {
+			fmt.Printf("benchgate: %d benchmark(s) regressed beyond %.0f%%\n", regressions, (*threshold-1)*100)
+		}
+		if serveRegressions > 0 {
+			fmt.Printf("benchgate: serving throughput regressed beyond %.0f%%\n", (*threshold-1)*100)
+		}
 		os.Exit(1)
 	}
 	if len(gone) > 0 {

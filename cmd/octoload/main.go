@@ -5,16 +5,29 @@
 // mix of zipf-skewed accesses, stats, creates, and deletes while the
 // movement executor shuffles replicas between tiers underneath.
 //
+// With -shards > 1 the service is the sharded simulation core: one engine,
+// manager, candidate index, and shard loop per namespace shard, with
+// per-shard capacity quotas reconciled against the global tier ledger
+// through the two-phase borrow protocol. With -scenario the driver attaches
+// to a scenario catalog entry instead of building its own world: the
+// scenario supplies the cluster topology and file population, and its
+// perturbations (ballast floods, node churn, client surges) run against the
+// served system while the clients drive load — surge traffic and
+// perturbations compose into one BENCH_serve report.
+//
 // At the end it fences the server, runs the full invariant suite
-// (capacity accounting, deep structural checks, candidate-index audit),
-// and reports ops/s plus p50/p99 latency histograms, written as JSON to
-// -out (BENCH_serve.json by default) for CI trend tracking. The process
-// exits non-zero if any invariant was violated — a load run is a
-// correctness artifact, not just a throughput number.
+// (capacity accounting, deep structural checks, candidate-index audit,
+// ledger conservation, movement budgets), and reports ops/s plus p50/p99
+// latency histograms, written as JSON to -out (BENCH_serve.json by default)
+// for CI trend tracking. The process exits non-zero if any invariant was
+// violated — a load run is a correctness artifact, not just a throughput
+// number.
 //
 // Examples:
 //
 //	octoload                                   # 8 clients, 5s, FB-shaped files
+//	octoload -shards 4                         # sharded core, 4 shard loops
+//	octoload -scenario node-churn -dur 8s      # compose load with churn
 //	octoload -clients 32 -dur 10s -zipf 1.3
 //	octoload -down xgb -up xgb -timescale 300
 //	octoload -budget-mem 128 -move-queue 16    # stress shedding
@@ -35,6 +48,7 @@ import (
 	"octostore/internal/dfs"
 	"octostore/internal/ml"
 	"octostore/internal/policy"
+	"octostore/internal/scenario"
 	"octostore/internal/server"
 	"octostore/internal/sim"
 	"octostore/internal/storage"
@@ -46,6 +60,7 @@ type config struct {
 	dur       time.Duration
 	files     int
 	workloadN string
+	scenarioN string
 	zipfS     float64
 	readFrac  float64
 	statFrac  float64
@@ -57,9 +72,12 @@ type config struct {
 	seed      int64
 	out       string
 
+	shards      int
+	quotaFrac   float64
 	moveWorkers int
 	moveQueue   int
 	budgetMB    [3]int64
+	rateMBps    [3]int64
 }
 
 func parseFlags() config {
@@ -68,6 +86,7 @@ func parseFlags() config {
 	flag.DurationVar(&c.dur, "dur", 5*time.Second, "load duration (wall clock)")
 	flag.IntVar(&c.files, "files", 150, "approximate staged file population (scales the workload generator)")
 	flag.StringVar(&c.workloadN, "workload", "fb", "file population shape: fb or cmu (internal/workload profiles)")
+	flag.StringVar(&c.scenarioN, "scenario", "", "attach to a scenario catalog entry: its cluster, population, and perturbations compose with the client load (see internal/scenario)")
 	flag.Float64Var(&c.zipfS, "zipf", 1.1, "zipf skew of the access key distribution (>1)")
 	flag.Float64Var(&c.readFrac, "readfrac", 0.82, "fraction of ops that are accesses")
 	flag.Float64Var(&c.statFrac, "statfrac", 0.10, "fraction of ops that are stats/lists")
@@ -78,11 +97,16 @@ func parseFlags() config {
 	flag.Float64Var(&c.timeScale, "timescale", 120, "virtual seconds advanced per wall second")
 	flag.Int64Var(&c.seed, "seed", 1, "population/placement/client seed")
 	flag.StringVar(&c.out, "out", "BENCH_serve.json", "JSON report path (empty disables)")
+	flag.IntVar(&c.shards, "shards", 1, "namespace shards (each with its own engine, manager, and shard loop)")
+	flag.Float64Var(&c.quotaFrac, "quota-frac", 0.5, "fraction of tier capacity granted to shard quotas up front (rest is borrowable pool)")
 	flag.IntVar(&c.moveWorkers, "move-workers", 2, "movement executor slots per destination tier")
 	flag.IntVar(&c.moveQueue, "move-queue", 64, "movement executor queue depth per tier")
-	flag.Int64Var(&c.budgetMB[0], "budget-mem", 512, "memory-tier in-flight movement budget (MB)")
-	flag.Int64Var(&c.budgetMB[1], "budget-ssd", 1024, "SSD-tier in-flight movement budget (MB)")
-	flag.Int64Var(&c.budgetMB[2], "budget-hdd", 2048, "HDD-tier in-flight movement budget (MB)")
+	flag.Int64Var(&c.budgetMB[0], "budget-mem", 512, "memory-tier movement token bucket (MB, burst)")
+	flag.Int64Var(&c.budgetMB[1], "budget-ssd", 1024, "SSD-tier movement token bucket (MB, burst)")
+	flag.Int64Var(&c.budgetMB[2], "budget-hdd", 2048, "HDD-tier movement token bucket (MB, burst)")
+	flag.Int64Var(&c.rateMBps[0], "rate-mem", 0, "memory-tier movement refill rate (MB per virtual second, 0 = default)")
+	flag.Int64Var(&c.rateMBps[1], "rate-ssd", 0, "SSD-tier movement refill rate (MB per virtual second, 0 = default)")
+	flag.Int64Var(&c.rateMBps[2], "rate-hdd", 0, "HDD-tier movement refill rate (MB per virtual second, 0 = default)")
 	flag.Parse()
 	c.muteFrac = 1 - c.readFrac - c.statFrac
 	if c.muteFrac < 0 {
@@ -99,6 +123,17 @@ func parseFlags() config {
 	}
 	if c.clients < 1 {
 		fmt.Fprintln(os.Stderr, "octoload: -clients must be at least 1")
+		os.Exit(2)
+	}
+	if c.shards < 1 {
+		fmt.Fprintln(os.Stderr, "octoload: -shards must be at least 1")
+		os.Exit(2)
+	}
+	if c.scenarioN != "" && c.shards != 1 {
+		// Scenario perturbations mutate one replay's engine/fs; the sharded
+		// core would need the fan-out churn API instead. Keep the
+		// composition single-shard until scenarios learn to shard.
+		fmt.Fprintln(os.Stderr, "octoload: -scenario requires -shards 1")
 		os.Exit(2)
 	}
 	return c
@@ -142,6 +177,7 @@ type report struct {
 	Mutate         latencyBlock      `json:"mutate"`
 	Serve          server.ServeStats `json:"serve"`
 	Executor       []tierReport      `json:"executor"`
+	Quota          server.QuotaStats `json:"quota"`
 	Violations     []string          `json:"violations"`
 }
 
@@ -156,11 +192,59 @@ type tierReport struct {
 	server.TierMoveStats
 }
 
-func main() {
-	c := parseFlags()
+// system abstracts over the single-writer and sharded serving layers.
+// finish shuts the service down and returns the invariant violations: the
+// single-writer path verifies through the live core loop then closes, the
+// sharded path closes first so Verify sees fully quiescent shards (no
+// pacer, reconcile tick, or policy-tick borrow can move capacity between
+// per-shard snapshots).
+type system struct {
+	svc    server.Service
+	finish func() []string
+	exec   func() server.ExecutorStats
+	stats  func() server.ServeStats
+	access func() *server.Histogram
+	mutate func() *server.Histogram
+	quota  func() server.QuotaStats
+}
 
+func buildPolicies(c config, fs *dfs.FileSystem) (*core.Manager, error) {
+	ctx := core.NewContext(fs, core.DefaultConfig())
+	lcfg := ml.DefaultLearnerConfig()
+	lcfg.Seed = c.seed
+	down, err := policy.NewDowngrade(c.down, ctx, lcfg)
+	if err != nil {
+		return nil, err
+	}
+	up, err := policy.NewUpgrade(c.up, ctx, lcfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewManager(ctx, down, up), nil
+}
+
+func executorConfig(c config) server.ExecutorConfig {
+	var rates [3]float64
+	for i, r := range c.rateMBps {
+		if r > 0 {
+			rates[i] = float64(r * storage.MB)
+		}
+	}
+	return server.ExecutorConfig{
+		WorkersPerTier: c.moveWorkers,
+		QueueDepth:     c.moveQueue,
+		BudgetBytes: [3]int64{
+			c.budgetMB[0] * storage.MB, c.budgetMB[1] * storage.MB, c.budgetMB[2] * storage.MB,
+		},
+		RateBytesPerSec: rates,
+	}
+}
+
+// buildSingle wires the single-writer serving layer, optionally attaching
+// to a scenario catalog entry for topology and perturbations.
+func buildSingle(c config, clCfg cluster.Config, sc *scenario.Scenario) (*system, func()) {
 	engine := sim.NewEngine()
-	cl, err := cluster.New(engine, cluster.Config{Workers: c.workers, SlotsPerNode: 4, Spec: workerSpec(c.memCapMB)})
+	cl, err := cluster.New(engine, clCfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -168,34 +252,127 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ctx := core.NewContext(fs, core.DefaultConfig())
-	lcfg := ml.DefaultLearnerConfig()
-	lcfg.Seed = c.seed
-	down, err := policy.NewDowngrade(c.down, ctx, lcfg)
+	mgr, err := buildPolicies(c, fs)
 	if err != nil {
 		fatal(err)
 	}
-	up, err := policy.NewUpgrade(c.up, ctx, lcfg)
-	if err != nil {
-		fatal(err)
-	}
-	mgr := core.NewManager(ctx, down, up)
 	mgr.Start()
-
-	srv := server.New(fs, mgr, server.Config{
-		TimeScale: c.timeScale,
-		Executor: server.ExecutorConfig{
-			WorkersPerTier: c.moveWorkers,
-			QueueDepth:     c.moveQueue,
-			BudgetBytes: [3]int64{
-				c.budgetMB[0] * storage.MB, c.budgetMB[1] * storage.MB, c.budgetMB[2] * storage.MB,
-			},
-		},
-	})
+	srv := server.New(fs, mgr, server.Config{TimeScale: c.timeScale, Executor: executorConfig(c)})
 	srv.Start()
 
+	// The perturbation installer: runs on the core loop once the preload
+	// finished, so scenario callbacks interleave with serving commands on
+	// the engine they expect to own.
+	attach := func() {}
+	if sc != nil {
+		attach = func() {
+			srv.Exec(func(fs *dfs.FileSystem) {
+				scenario.Attach(*sc, &scenario.Replay{
+					System:  scenario.System{Name: c.down + "/" + c.up, Mode: dfs.ModeOctopus, Down: c.down, Up: c.up},
+					Opts:    scenario.Options{Seed: c.seed, Fast: true, Workers: c.workers},
+					Engine:  fs.Engine(),
+					Cluster: fs.Cluster(),
+					FS:      fs,
+					Manager: mgr,
+				})
+			})
+		}
+	}
+	return &system{
+		svc: srv,
+		finish: func() []string {
+			var violations []string
+			srv.Exec(func(fs *dfs.FileSystem) {
+				if err := fs.CheckAccounting(); err != nil {
+					violations = append(violations, err.Error())
+				}
+				if err := fs.CheckInvariants(); err != nil {
+					violations = append(violations, err.Error())
+				}
+				if err := mgr.Context().Index().Audit(); err != nil {
+					violations = append(violations, err.Error())
+				}
+			})
+			if v := srv.Executor().Stats().CheckBudgets(); v != "" {
+				violations = append(violations, v)
+			}
+			srv.Close()
+			mgr.Stop()
+			return violations
+		},
+		exec:   srv.Executor().Stats,
+		stats:  srv.Stats,
+		access: srv.AccessLatency,
+		mutate: srv.MutateLatency,
+		quota:  func() server.QuotaStats { return server.QuotaStats{} },
+	}, attach
+}
+
+// buildSharded wires the partitioned core: one engine/manager/shard loop
+// per namespace shard over quota-sliced cluster views.
+func buildSharded(c config, clCfg cluster.Config) *system {
+	srv, err := server.NewSharded(server.ShardedConfig{
+		Shards:  c.shards,
+		Cluster: clCfg,
+		DFS:     dfs.Config{Mode: dfs.ModeOctopus, Seed: c.seed, ClientRate: 2000e6},
+		Build: func(_ int, fs *dfs.FileSystem) (*core.Manager, error) {
+			return buildPolicies(c, fs)
+		},
+		Quota: server.QuotaConfig{InitialFraction: c.quotaFrac},
+		Inner: server.Config{TimeScale: c.timeScale, Executor: executorConfig(c)},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	srv.Start()
+	return &system{
+		svc: srv,
+		finish: func() []string {
+			srv.Close()
+			return srv.Verify()
+		},
+		exec:   srv.ExecutorStats,
+		stats:  srv.Stats,
+		access: srv.AccessLatency,
+		mutate: srv.MutateLatency,
+		quota:  srv.QuotaStats,
+	}
+}
+
+func main() {
+	c := parseFlags()
+
+	// Resolve the world: either the driver's own cluster and generated
+	// population, or a scenario catalog entry's.
+	clCfg := cluster.Config{Workers: c.workers, SlotsPerNode: 4, Spec: workerSpec(c.memCapMB)}
+	var files []workload.FileSpec
+	var sc *scenario.Scenario
+	if c.scenarioN != "" {
+		got, err := scenario.Get(c.scenarioN)
+		if err != nil {
+			fatal(err)
+		}
+		sc = &got
+		opts := scenario.Options{Seed: c.seed, Fast: true, Workers: c.workers}
+		clCfg = sc.Cluster(opts)
+		files = sc.Trace(opts).Files
+		if len(files) < 2 {
+			fatal(fmt.Errorf("scenario %s stages %d files; need at least 2", sc.Name, len(files)))
+		}
+	} else {
+		files = population(c)
+	}
+
+	var sys *system
+	attach := func() {}
+	if c.shards > 1 {
+		sys = buildSharded(c, clCfg)
+	} else {
+		sys, attach = buildSingle(c, clCfg, sc)
+	}
+	svc := sys.svc
+
 	// Stage the population through the serving layer, concurrently.
-	files := population(c)
 	paths := make([]string, len(files))
 	var wg sync.WaitGroup
 	for cli := 0; cli < c.clients; cli++ {
@@ -204,13 +381,16 @@ func main() {
 			defer wg.Done()
 			for i := cli; i < len(files); i += c.clients {
 				paths[i] = files[i].Path
-				if err := srv.Create(files[i].Path, files[i].Size); err != nil {
+				if err := svc.Create(files[i].Path, files[i].Size); err != nil {
 					fmt.Fprintf(os.Stderr, "octoload: preload %s: %v\n", files[i].Path, err)
 				}
 			}
 		}(cli)
 	}
 	wg.Wait()
+
+	// Scenario perturbations start with the load phase, after preload.
+	attach()
 
 	// Closed-loop load phase.
 	stop := make(chan struct{})
@@ -232,19 +412,19 @@ func main() {
 				}
 				switch r := rng.Float64(); {
 				case r < c.readFrac:
-					srv.Access(paths[zipf.Uint64()])
+					svc.Access(paths[zipf.Uint64()])
 				case r < c.readFrac+c.statFrac:
-					srv.Stat(paths[rng.Intn(len(paths))])
+					svc.Stat(paths[rng.Intn(len(paths))])
 				case rng.Float64() < 0.5 || len(own) == 0:
 					path := fmt.Sprintf("/scratch/c%d/f%06d", cli, scratch)
 					scratch++
-					if err := srv.Create(path, (4+rng.Int63n(60))*storage.MB); err == nil {
+					if err := svc.Create(path, (4+rng.Int63n(60))*storage.MB); err == nil {
 						own = append(own, path)
 					}
 				default:
 					path := own[len(own)-1]
 					own = own[:len(own)-1]
-					srv.Delete(path) // busy under movement is an expected outcome
+					svc.Delete(path) // busy under movement is an expected outcome
 				}
 				ops.Add(1)
 			}
@@ -255,60 +435,47 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	srv.Flush()
-	var violations []string
-	srv.Exec(func(fs *dfs.FileSystem) {
-		if err := fs.CheckAccounting(); err != nil {
-			violations = append(violations, err.Error())
-		}
-		if err := fs.CheckInvariants(); err != nil {
-			violations = append(violations, err.Error())
-		}
-		if err := mgr.Context().Index().Audit(); err != nil {
-			violations = append(violations, err.Error())
-		}
-	})
-	exStats := srv.Executor().Stats()
-	for _, m := range storage.AllMedia {
-		ts := exStats.PerTier[m]
-		if ts.MaxInFlightBytes > ts.BudgetBytes {
-			violations = append(violations,
-				fmt.Sprintf("executor exceeded %s budget: %d > %d", m, ts.MaxInFlightBytes, ts.BudgetBytes))
-		}
-	}
-	srv.Close()
-	mgr.Stop()
+	svc.Flush()
+	violations := sys.finish()
+	exStats := sys.exec()
+	// Snapshot the histograms once: in sharded mode each accessor merges
+	// every per-shard histogram into a fresh allocation.
+	accessHist, mutateHist := sys.access(), sys.mutate()
 
 	rep := report{
 		Config: map[string]any{
 			"clients": c.clients, "dur": c.dur.String(), "files": len(files),
-			"workload": c.workloadN, "zipf": c.zipfS, "readfrac": c.readFrac,
-			"workers": c.workers, "down": c.down, "up": c.up,
-			"timescale": c.timeScale, "seed": c.seed,
+			"workload": c.workloadN, "scenario": c.scenarioN, "zipf": c.zipfS,
+			"readfrac": c.readFrac, "workers": clCfg.Workers, "down": c.down, "up": c.up,
+			"timescale": c.timeScale, "seed": c.seed, "shards": c.shards,
 			"move_workers": c.moveWorkers, "move_queue": c.moveQueue,
 		},
 		ElapsedSeconds: elapsed.Seconds(),
 		Ops:            ops.Load(),
 		OpsPerSec:      float64(ops.Load()) / elapsed.Seconds(),
 		Access: latencyBlock{
-			Count: srv.AccessLatency().Count(),
-			P50us: float64(srv.AccessLatency().Quantile(0.50).Nanoseconds()) / 1e3,
-			P99us: float64(srv.AccessLatency().Quantile(0.99).Nanoseconds()) / 1e3,
+			Count: accessHist.Count(),
+			P50us: float64(accessHist.Quantile(0.50).Nanoseconds()) / 1e3,
+			P99us: float64(accessHist.Quantile(0.99).Nanoseconds()) / 1e3,
 		},
 		Mutate: latencyBlock{
-			Count: srv.MutateLatency().Count(),
-			P50us: float64(srv.MutateLatency().Quantile(0.50).Nanoseconds()) / 1e3,
-			P99us: float64(srv.MutateLatency().Quantile(0.99).Nanoseconds()) / 1e3,
+			Count: mutateHist.Count(),
+			P50us: float64(mutateHist.Quantile(0.50).Nanoseconds()) / 1e3,
+			P99us: float64(mutateHist.Quantile(0.99).Nanoseconds()) / 1e3,
 		},
-		Serve:      srv.Stats(),
+		Serve:      sys.stats(),
+		Quota:      sys.quota(),
 		Violations: violations,
 	}
 	for _, m := range storage.AllMedia {
 		rep.Executor = append(rep.Executor, tierReport{Tier: m.String(), TierMoveStats: exStats.PerTier[m]})
 	}
 
-	fmt.Printf("octoload: %d clients, %d files, %.1fs wall (%.0fx virtual)\n",
-		c.clients, len(files), elapsed.Seconds(), c.timeScale)
+	fmt.Printf("octoload: %d clients, %d files, %d shard(s), %.1fs wall (%.0fx virtual)\n",
+		c.clients, len(files), c.shards, elapsed.Seconds(), c.timeScale)
+	if c.scenarioN != "" {
+		fmt.Printf("  scenario   %s (perturbations composed with client load)\n", c.scenarioN)
+	}
 	fmt.Printf("  ops        %d (%.0f ops/s)\n", rep.Ops, rep.OpsPerSec)
 	fmt.Printf("  access     p50 %.1fµs  p99 %.1fµs  (%d samples)\n", rep.Access.P50us, rep.Access.P99us, rep.Access.Count)
 	fmt.Printf("  mutate     p50 %.1fµs  p99 %.1fµs  (%d samples)\n", rep.Mutate.P50us, rep.Mutate.P99us, rep.Mutate.Count)
@@ -317,9 +484,13 @@ func main() {
 		st.ServedByTier[0], st.ServedByTier[1], st.ServedByTier[2], st.AccessMisses, st.NoReplica)
 	fmt.Printf("  ring       %d events in %d batches, %d dropped\n", st.EventsDrained, st.DrainBatches, st.EventsDropped)
 	for _, tr := range rep.Executor {
-		fmt.Printf("  moves %s  sched %d done %d fail %d shed %d  in-flight max %dMB / budget %dMB\n",
+		fmt.Printf("  moves %s  sched %d done %d fail %d shed %d  admitted %dMB (bucket %dMB @ %.0fMB/s)\n",
 			tr.Tier, tr.Scheduled, tr.Completed, tr.Failed, tr.Shed,
-			tr.MaxInFlightBytes/storage.MB, tr.BudgetBytes/storage.MB)
+			tr.AdmittedBytes/storage.MB, tr.BudgetBytes/storage.MB, tr.RateBytesPerSec/float64(storage.MB))
+	}
+	if q := rep.Quota; q.Borrows > 0 || q.ReturnedBytes > 0 {
+		fmt.Printf("  quota      %d borrows (%dMB), %d failures, %dMB returned\n",
+			q.Borrows, q.BorrowedBytes/storage.MB, q.BorrowFailures, q.ReturnedBytes/storage.MB)
 	}
 	if len(violations) > 0 {
 		fmt.Printf("  VIOLATIONS (%d):\n", len(violations))
@@ -327,7 +498,7 @@ func main() {
 			fmt.Println("   ", v)
 		}
 	} else {
-		fmt.Println("  invariants OK (accounting, deep structural, index audit)")
+		fmt.Println("  invariants OK (accounting, deep structural, index audit, ledger, budgets)")
 	}
 
 	if c.out != "" {

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"octostore/internal/storage"
+)
+
+// TierLedger is the sharded accounting layer for per-tier capacity: when the
+// simulation core is partitioned into namespace shards, each shard owns a
+// private cluster view whose device capacities are its soft quota, and the
+// ledger tracks the remainder of the physical tier capacity that no shard
+// has claimed yet. All fields are atomics, so shard loops reconcile their
+// quotas against the tier totals without any cross-shard locking.
+//
+// Capacity conservation is the ledger's contract. For every tier, at every
+// instant:
+//
+//	free + reserved + Σ(shard cluster capacity) == total
+//
+// where `free` is unclaimed pool capacity, `reserved` is capacity held by
+// in-flight two-phase reservations (claimed from the pool but not yet
+// applied to a shard's devices), and `total` shrinks only through node loss
+// (ShrinkTotal) and grows only through node joins (AddCapacity). Check
+// verifies the equation given the summed shard capacities.
+//
+// Cross-shard capacity movement is a two-phase reserve/commit protocol:
+//
+//  1. Reserve(tier, bytes) atomically moves bytes from the free pool into
+//     the reserved account (any goroutine may call it).
+//  2. The borrowing shard applies the bytes to its own cluster view
+//     (Device.Grow) on its shard loop, then calls Commit, which drops the
+//     reserved account — the bytes now live in the shard's capacity term.
+//     If the shard cannot apply them (e.g. the tier's devices vanished in a
+//     churn window), Abort returns the bytes to the free pool instead.
+//
+// A reservation that is never committed therefore never leaks capacity: the
+// bytes stay visible in the reserved term until Commit or Abort resolves
+// them, and the conservation equation holds at every step of the protocol.
+type TierLedger struct {
+	free     [3]atomic.Int64
+	reserved [3]atomic.Int64
+	total    [3]atomic.Int64
+	// deficit is physical capacity that died (node loss) while its bytes
+	// were out on loan as shard quota: it cannot be debited from the pool
+	// yet, so it is collected from future Returns — the first bytes a shard
+	// gives back retire against the deficit instead of re-entering the pool.
+	deficit [3]atomic.Int64
+
+	// Protocol counters for reports and tests.
+	reserves atomic.Int64
+	commits  atomic.Int64
+	aborts   atomic.Int64
+}
+
+// NewTierLedger builds an empty ledger; AddCapacity introduces tier totals.
+func NewTierLedger() *TierLedger { return &TierLedger{} }
+
+// AddCapacity grows a tier's total physical capacity by `total` bytes, of
+// which `pooled` bytes enter the free pool (the rest was granted directly to
+// shard quotas by the caller). Used at construction and on node joins.
+func (l *TierLedger) AddCapacity(m storage.Media, total, pooled int64) {
+	if pooled < 0 || pooled > total {
+		panic(fmt.Sprintf("cluster: pooled %d outside [0, %d]", pooled, total))
+	}
+	l.total[m].Add(total)
+	l.free[m].Add(pooled)
+}
+
+// ShrinkTotal removes capacity from a tier's total (node loss: the departed
+// node's devices left the shards' capacity terms wholesale).
+func (l *TierLedger) ShrinkTotal(m storage.Media, bytes int64) {
+	l.total[m].Add(-bytes)
+}
+
+// FreeBytes returns the unclaimed pool capacity of a tier. The sharded
+// serving layer installs this as every shard's tier-headroom hook, so
+// policies see quota + borrowable pool when sizing upgrade decisions.
+func (l *TierLedger) FreeBytes(m storage.Media) int64 { return l.free[m].Load() }
+
+// ReservedBytes returns the capacity held by unresolved reservations.
+func (l *TierLedger) ReservedBytes(m storage.Media) int64 { return l.reserved[m].Load() }
+
+// TotalBytes returns the tier's tracked physical capacity.
+func (l *TierLedger) TotalBytes(m storage.Media) int64 { return l.total[m].Load() }
+
+// Reserves returns how many reservations were ever taken.
+func (l *TierLedger) Reserves() int64 { return l.reserves.Load() }
+
+// Commits returns how many reservations were committed.
+func (l *TierLedger) Commits() int64 { return l.commits.Load() }
+
+// Aborts returns how many reservations were aborted.
+func (l *TierLedger) Aborts() int64 { return l.aborts.Load() }
+
+// Reserve is phase one of the cross-shard protocol: atomically claim bytes
+// from the tier's free pool. It returns false (and no reservation) when the
+// pool cannot cover the request.
+func (l *TierLedger) Reserve(m storage.Media, bytes int64) (*QuotaReservation, bool) {
+	if bytes <= 0 {
+		return nil, false
+	}
+	for {
+		f := l.free[m].Load()
+		if f < bytes {
+			return nil, false
+		}
+		if l.free[m].CompareAndSwap(f, f-bytes) {
+			break
+		}
+	}
+	l.reserved[m].Add(bytes)
+	l.reserves.Add(1)
+	return &QuotaReservation{ledger: l, media: m, bytes: bytes}, true
+}
+
+// debitFree removes up to `bytes` from the tier's free pool and returns how
+// much was actually debited.
+func (l *TierLedger) debitFree(m storage.Media, bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	for {
+		f := l.free[m].Load()
+		take := bytes
+		if take > f {
+			take = f
+		}
+		if take <= 0 {
+			return 0
+		}
+		if l.free[m].CompareAndSwap(f, f-take) {
+			return take
+		}
+	}
+}
+
+// Retire removes physical capacity from circulation without a matching
+// shard-capacity decrease — node loss retiring the departed node's pooled
+// share. Whatever the free pool can cover is debited (and leaves the total)
+// immediately; any shortfall means the dead capacity is still out on loan
+// as shard quota, so it is recorded as a deficit that future Returns pay
+// down before re-entering the pool. Dead-node capacity therefore can never
+// be borrowed back into existence, no matter when the loans come home.
+func (l *TierLedger) Retire(m storage.Media, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	taken := l.debitFree(m, bytes)
+	l.total[m].Add(-taken)
+	if rest := bytes - taken; rest > 0 {
+		l.deficit[m].Add(rest)
+	}
+}
+
+// DeficitBytes returns the capacity still owed against retirements.
+func (l *TierLedger) DeficitBytes(m storage.Media) int64 { return l.deficit[m].Load() }
+
+// Return gives quota back after a shard shrank its own devices by the same
+// amount (quota reconciliation). Returned bytes first retire any
+// outstanding deficit (capacity whose physical backing died while on loan);
+// only the remainder re-enters the free pool.
+func (l *TierLedger) Return(m storage.Media, bytes int64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("cluster: negative quota return %d", bytes))
+	}
+	for bytes > 0 {
+		d := l.deficit[m].Load()
+		if d == 0 {
+			break
+		}
+		pay := bytes
+		if pay > d {
+			pay = d
+		}
+		if l.deficit[m].CompareAndSwap(d, d-pay) {
+			l.total[m].Add(-pay)
+			bytes -= pay
+		}
+	}
+	if bytes > 0 {
+		l.free[m].Add(bytes)
+	}
+}
+
+// Check verifies capacity conservation given the summed per-tier capacities
+// of every shard's cluster view. It may be called at any time, including
+// while reservations are unresolved.
+func (l *TierLedger) Check(granted [3]int64) error {
+	for _, m := range storage.AllMedia {
+		free, reserved, total := l.free[m].Load(), l.reserved[m].Load(), l.total[m].Load()
+		if free < 0 {
+			return fmt.Errorf("cluster: ledger %s free negative: %d", m, free)
+		}
+		if reserved < 0 {
+			return fmt.Errorf("cluster: ledger %s reserved negative: %d", m, reserved)
+		}
+		if got := free + reserved + granted[m]; got != total {
+			return fmt.Errorf("cluster: ledger %s diverged: free %d + reserved %d + shard capacity %d = %d, total %d",
+				m, free, reserved, granted[m], got, total)
+		}
+	}
+	return nil
+}
+
+// QuotaReservation is one in-flight phase-two handle: capacity claimed from
+// the pool, awaiting Commit (applied to a shard) or Abort (returned).
+type QuotaReservation struct {
+	ledger   *TierLedger
+	media    storage.Media
+	bytes    int64
+	resolved bool
+}
+
+// Bytes returns the reserved amount.
+func (r *QuotaReservation) Bytes() int64 { return r.bytes }
+
+// Commit resolves the reservation after the bytes were applied to a shard's
+// cluster view; the reserved account drops and the capacity now lives in the
+// shard's devices.
+func (r *QuotaReservation) Commit() {
+	if r.resolved {
+		panic("cluster: quota reservation resolved twice")
+	}
+	r.resolved = true
+	r.ledger.reserved[r.media].Add(-r.bytes)
+	r.ledger.commits.Add(1)
+}
+
+// Abort resolves the reservation by returning the bytes to the free pool.
+func (r *QuotaReservation) Abort() {
+	if r.resolved {
+		panic("cluster: quota reservation resolved twice")
+	}
+	r.resolved = true
+	r.ledger.reserved[r.media].Add(-r.bytes)
+	r.ledger.free[r.media].Add(r.bytes)
+	r.ledger.aborts.Add(1)
+}

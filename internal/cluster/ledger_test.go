@@ -1,0 +1,199 @@
+package cluster_test
+
+import (
+	"sync"
+	"testing"
+
+	"octostore/internal/cluster"
+	"octostore/internal/sim"
+	"octostore/internal/storage"
+)
+
+// TestLedgerReserveCommitAbort walks the two-phase protocol through its
+// three resolutions and asserts the conservation equation after every step.
+func TestLedgerReserveCommitAbort(t *testing.T) {
+	l := cluster.NewTierLedger()
+	var granted [3]int64
+	granted[storage.Memory] = 600
+	l.AddCapacity(storage.Memory, 1000, 400) // 600 granted to shards, 400 pooled
+	if err := l.Check(granted); err != nil {
+		t.Fatal(err)
+	}
+
+	res, ok := l.Reserve(storage.Memory, 300)
+	if !ok {
+		t.Fatal("reserve against sufficient pool failed")
+	}
+	// Phase one holds: the bytes moved from free into reserved, nothing
+	// leaked, and the equation still balances mid-protocol.
+	if l.FreeBytes(storage.Memory) != 100 || l.ReservedBytes(storage.Memory) != 300 {
+		t.Fatalf("after reserve: free %d reserved %d", l.FreeBytes(storage.Memory), l.ReservedBytes(storage.Memory))
+	}
+	if err := l.Check(granted); err != nil {
+		t.Fatalf("mid-protocol conservation: %v", err)
+	}
+
+	// Commit: the shard applied 300 bytes to its devices.
+	granted[storage.Memory] += res.Bytes()
+	res.Commit()
+	if err := l.Check(granted); err != nil {
+		t.Fatalf("after commit: %v", err)
+	}
+	if l.ReservedBytes(storage.Memory) != 0 || l.FreeBytes(storage.Memory) != 100 {
+		t.Fatalf("after commit: free %d reserved %d", l.FreeBytes(storage.Memory), l.ReservedBytes(storage.Memory))
+	}
+
+	// Abort restores the pool exactly.
+	res2, ok := l.Reserve(storage.Memory, 100)
+	if !ok {
+		t.Fatal("second reserve failed")
+	}
+	res2.Abort()
+	if l.FreeBytes(storage.Memory) != 100 || l.ReservedBytes(storage.Memory) != 0 {
+		t.Fatalf("after abort: free %d reserved %d", l.FreeBytes(storage.Memory), l.ReservedBytes(storage.Memory))
+	}
+	if err := l.Check(granted); err != nil {
+		t.Fatalf("after abort: %v", err)
+	}
+
+	// An over-ask fails without touching any account.
+	if _, ok := l.Reserve(storage.Memory, 101); ok {
+		t.Fatal("reserve beyond the pool succeeded")
+	}
+	if err := l.Check(granted); err != nil {
+		t.Fatalf("after failed reserve: %v", err)
+	}
+}
+
+// TestLedgerReserveWithoutCommitNeverLeaks is the crash-consistency
+// property: a reservation that is simply dropped (its owner died between
+// reserve and commit) keeps its bytes visible in the reserved account
+// forever — the conservation check still balances, and the capacity was
+// never double-granted.
+func TestLedgerReserveWithoutCommitNeverLeaks(t *testing.T) {
+	l := cluster.NewTierLedger()
+	var granted [3]int64
+	l.AddCapacity(storage.SSD, 500, 500)
+
+	if _, ok := l.Reserve(storage.SSD, 200); !ok {
+		t.Fatal("reserve failed")
+	}
+	// The owner "crashes": the reservation is never resolved. No capacity
+	// may be re-claimable beyond the remaining pool, and the equation must
+	// still balance with the reservation outstanding.
+	if err := l.Check(granted); err != nil {
+		t.Fatalf("conservation with unresolved reservation: %v", err)
+	}
+	if _, ok := l.Reserve(storage.SSD, 301); ok {
+		t.Fatal("pool handed out reserved capacity a second time")
+	}
+	if res, ok := l.Reserve(storage.SSD, 300); !ok {
+		t.Fatal("remaining pool capacity not reservable")
+	} else {
+		res.Abort()
+	}
+	if l.FreeBytes(storage.SSD) != 300 || l.ReservedBytes(storage.SSD) != 200 {
+		t.Fatalf("free %d reserved %d", l.FreeBytes(storage.SSD), l.ReservedBytes(storage.SSD))
+	}
+}
+
+// TestLedgerRetireCollectsDeficitFromReturns covers dead-node capacity that
+// was out on loan at retirement: the shortfall becomes a deficit, and later
+// quota Returns pay it down (shrinking the total) before any bytes re-enter
+// the free pool — so retired capacity can never be borrowed again.
+func TestLedgerRetireCollectsDeficitFromReturns(t *testing.T) {
+	l := cluster.NewTierLedger()
+	m := storage.Memory
+	granted := [3]int64{}
+	granted[m] = 600
+	l.AddCapacity(m, 1000, 400)
+
+	// A shard borrows the whole pool: free 0, granted 1000.
+	res, ok := l.Reserve(m, 400)
+	if !ok {
+		t.Fatal("reserve failed")
+	}
+	res.Commit()
+	granted[m] += 400
+
+	// A node dies whose pooled share was 300 — all of it on loan.
+	l.Retire(m, 300)
+	if got := l.DeficitBytes(m); got != 300 {
+		t.Fatalf("deficit %d, want 300", got)
+	}
+	if err := l.Check(granted); err != nil {
+		t.Fatalf("conservation with outstanding deficit: %v", err)
+	}
+
+	// A shard returns 350 of quota: 300 retires the deficit (total shrinks),
+	// only 50 re-enters the pool.
+	granted[m] -= 350
+	l.Return(m, 350)
+	if got := l.DeficitBytes(m); got != 0 {
+		t.Fatalf("deficit after return %d, want 0", got)
+	}
+	if free := l.FreeBytes(m); free != 50 {
+		t.Fatalf("free after return %d, want 50", free)
+	}
+	if total := l.TotalBytes(m); total != 700 {
+		t.Fatalf("total after return %d, want 700", total)
+	}
+	if err := l.Check(granted); err != nil {
+		t.Fatal(err)
+	}
+	// The retired capacity is gone: only the genuinely returned 50 bytes
+	// are borrowable.
+	if _, ok := l.Reserve(m, 51); ok {
+		t.Fatal("retired capacity became borrowable again")
+	}
+}
+
+// TestLedgerConcurrentReserves hammers Reserve/Abort from many goroutines
+// (run under -race) and asserts nothing leaked once they all resolve.
+func TestLedgerConcurrentReserves(t *testing.T) {
+	l := cluster.NewTierLedger()
+	var granted [3]int64
+	l.AddCapacity(storage.HDD, 1<<20, 1<<20)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if res, ok := l.Reserve(storage.HDD, 1024); ok {
+					res.Abort()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if l.FreeBytes(storage.HDD) != 1<<20 || l.ReservedBytes(storage.HDD) != 0 {
+		t.Fatalf("pool corrupted: free %d reserved %d", l.FreeBytes(storage.HDD), l.ReservedBytes(storage.HDD))
+	}
+	if err := l.Check(granted); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeviceGrowShrink covers the capacity-resize primitives the quota layer
+// relies on: growth is unbounded, shrink stops at the reserved floor.
+func TestDeviceGrowShrink(t *testing.T) {
+	d := storage.NewDevice(sim.NewEngine(), "dev", storage.SSD, 100, 1e6, 1e6)
+	if err := d.Reserve(60); err != nil {
+		t.Fatal(err)
+	}
+	d.Grow(50)
+	if d.Capacity() != 150 || d.Free() != 90 {
+		t.Fatalf("after grow: cap %d free %d", d.Capacity(), d.Free())
+	}
+	if got := d.ShrinkUpTo(1000); got != 90 {
+		t.Fatalf("shrink reclaimed %d, want 90 (the free bytes)", got)
+	}
+	if d.Capacity() != 60 || d.Free() != 0 {
+		t.Fatalf("after shrink: cap %d free %d", d.Capacity(), d.Free())
+	}
+	if got := d.ShrinkUpTo(10); got != 0 {
+		t.Fatalf("shrink below used reclaimed %d, want 0", got)
+	}
+}

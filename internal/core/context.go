@@ -21,9 +21,10 @@ type Context struct {
 	Tracker *ml.Tracker
 	Cfg     Config
 
-	mgr    *Manager // set when a Manager adopts the context
-	index  *CandidateIndex
-	eligFn func(*dfs.File) bool
+	mgr      *Manager // set when a Manager adopts the context
+	index    *CandidateIndex
+	eligFn   func(*dfs.File) bool
+	headroom func(storage.Media) int64 // extra free bytes beyond the FS's cluster
 }
 
 // NewContext builds a policy context over a file system. The context
@@ -289,10 +290,26 @@ func (c *Context) BelowLowWatermark(tier storage.Media) bool {
 	return c.EffectiveUtilization(tier) < c.Cfg.LowWatermark
 }
 
-// TierFreeBytes returns the cluster-wide free bytes of a tier.
+// SetTierHeadroom installs a hook reporting extra per-tier free bytes that
+// exist beyond the context's own cluster view. The sharded serving layer
+// points it at the global quota ledger's free pool, so a shard's policies
+// size upgrade and placement decisions against quota-plus-borrowable
+// capacity instead of refusing moves its quota could grow to fit. The hook
+// must be safe to call from the context's owning loop (the ledger's is a
+// single atomic load). Watermark utilization intentionally stays quota-local
+// (see EffectiveUtilization): a shard under local pressure downgrades even
+// when the global pool has headroom — that is the soft-quota contract.
+func (c *Context) SetTierHeadroom(fn func(storage.Media) int64) { c.headroom = fn }
+
+// TierFreeBytes returns the free bytes of a tier visible to this context:
+// the cluster view's free capacity plus any configured external headroom.
 func (c *Context) TierFreeBytes(tier storage.Media) int64 {
 	used, capacity := c.FS.Cluster().TierUsage(tier)
-	return capacity - used
+	free := capacity - used
+	if c.headroom != nil {
+		free += c.headroom(tier)
+	}
+	return free
 }
 
 // DefaultDowngradeTier implements decision point 3 with the OctopusFS

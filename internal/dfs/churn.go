@@ -27,11 +27,19 @@ func (fs *FileSystem) AddNode(spec storage.NodeSpec, slots int) *cluster.Node {
 // UnderReplicatedFiles, where the Replication Monitor repairs them; with the
 // default replication of 3 and distinct-node placement, a single node loss
 // never makes a block unreadable.
-func (fs *FileSystem) FailNode(n *cluster.Node) {
+//
+// It returns the per-tier device capacity that left the cluster with the
+// node, so callers maintaining external capacity accounting (the sharded
+// serving layer's tier ledger) can shrink their totals by exactly what this
+// view lost — including any quota previously grown onto the node's devices.
+func (fs *FileSystem) FailNode(n *cluster.Node) (removed [3]int64) {
 	if n == nil || fs.removedNodes[n.ID()] {
-		return
+		return removed
 	}
 	fs.removedNodes[n.ID()] = true
+	for _, m := range storage.AllMedia {
+		removed[m] = n.TierCapacity(m)
+	}
 	// Settle in-flight moves whose destination sits on the lost node: the
 	// device leaves accounting now, so the pending reservation does too, and
 	// the commit keeps the replica at its source.
@@ -66,6 +74,7 @@ func (fs *FileSystem) FailNode(n *cluster.Node) {
 		}
 	}
 	fs.cluster.RemoveNode(n.ID())
+	return removed
 }
 
 // NodeRemoved reports whether the node with the given id has left the

@@ -199,6 +199,9 @@ func (fs *FileSystem) Mode() Mode { return fs.cfg.Mode }
 // BlockSize returns the configured block size.
 func (fs *FileSystem) BlockSize() int64 { return fs.cfg.BlockSize }
 
+// Replication returns the configured per-block replication target.
+func (fs *FileSystem) Replication() int { return fs.cfg.Replication }
+
 // Stats returns the live counter set.
 func (fs *FileSystem) Stats() *Stats { return &fs.stats }
 

@@ -63,9 +63,41 @@ func splitPath(path string) ([]string, error) {
 	return parts, nil
 }
 
+// IsCanonicalPath reports whether the path is already in canonical form:
+// absolute, no empty, "." or ".." components, and no trailing slash (root
+// excepted). Canonical paths pass through CleanPath unchanged, so callers
+// on hot paths use this as a zero-allocation fast check.
+func IsCanonicalPath(path string) bool {
+	if len(path) == 0 || path[0] != '/' {
+		return false
+	}
+	if path == "/" {
+		return true
+	}
+	if path[len(path)-1] == '/' {
+		return false
+	}
+	for i := 1; i < len(path); {
+		j := i
+		for j < len(path) && path[j] != '/' {
+			j++
+		}
+		comp := path[i:j]
+		if comp == "" || comp == "." || comp == ".." {
+			return false
+		}
+		i = j + 1
+	}
+	return true
+}
+
 // CleanPath normalises a path ("/a//b/./c" -> "/a/b/c"). It fails on
-// relative paths and paths containing "..".
+// relative paths and paths containing "..". Already-canonical paths are
+// returned as-is without allocating.
 func CleanPath(path string) (string, error) {
+	if IsCanonicalPath(path) {
+		return path, nil
+	}
 	parts, err := splitPath(path)
 	if err != nil {
 		return "", err

@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"math"
 	"sort"
 	"testing"
 	"time"
@@ -144,11 +145,13 @@ func runServed(t *testing.T, ops []diffOp, down, up string) *dfs.FileSystem {
 	t.Helper()
 	engine, fs, mgr := buildSystem(t, down, up)
 	huge := int64(1) << 60
+	unmetered := math.Inf(1)
 	srv := server.New(fs, mgr, server.Config{
 		Executor: server.ExecutorConfig{
-			WorkersPerTier: 64,
-			QueueDepth:     1 << 14,
-			BudgetBytes:    [3]int64{huge, huge, huge},
+			WorkersPerTier:  64,
+			QueueDepth:      1 << 14,
+			BudgetBytes:     [3]int64{huge, huge, huge},
+			RateBytesPerSec: [3]float64{unmetered, unmetered, unmetered},
 		},
 	})
 	srv.Start()

@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -13,9 +14,9 @@ import (
 
 // ErrMovementShed reports that the movement executor refused a request
 // because the destination tier's queue was full (or a single request was
-// larger than the tier's whole budget). Shedding is the correct overload
-// response for tier movement: the request is advisory — the policy will
-// re-select the file on a later trigger once the backlog drains.
+// larger than the tier's whole burst allowance). Shedding is the correct
+// overload response for tier movement: the request is advisory — the policy
+// will re-select the file on a later trigger once the backlog drains.
 var ErrMovementShed = errors.New("server: movement executor shed request (tier queue full)")
 
 // ExecutorConfig tunes the async movement executor.
@@ -26,17 +27,30 @@ type ExecutorConfig struct {
 	// QueueDepth bounds each destination tier's waiting queue; requests
 	// beyond it are shed (default 128).
 	QueueDepth int
-	// BudgetBytes caps the bytes in flight into each destination tier — the
-	// executor's bandwidth budget expressed as a bandwidth-delay product.
-	// The executor never admits a move that would push a tier's in-flight
-	// bytes over its budget (defaults: 1 GB memory, 2 GB SSD, 4 GB HDD).
+	// BudgetBytes is each destination tier's token-bucket capacity — the
+	// largest burst of admissions the tier allows, and the hard ceiling on a
+	// single request's size (defaults: 1 GB memory, 2 GB SSD, 4 GB HDD).
+	// The bucket starts full.
 	BudgetBytes [3]int64
+	// RateBytesPerSec refills each tier's bucket against the virtual clock:
+	// over any virtual window of w seconds the executor admits at most
+	// BudgetBytes + RateBytesPerSec*w bytes into the tier — a true
+	// bytes/second movement budget with bounded bursts, rather than the
+	// bandwidth-delay-product in-flight cap it replaces (defaults:
+	// 256 MB/s memory, 512 MB/s SSD, 1 GB/s HDD). Use math.Inf(1) to
+	// unmeter a tier (the bucket then never empties).
+	RateBytesPerSec [3]float64
 	// MoveLatency delays each admitted transfer's start, modelling the
 	// command path through worker heartbeats. server.New defaults it to
 	// the manager's core.Config.MoveLatency so serving-path movement
 	// timing matches the sequential path; a bare executor falls back to
 	// the paper's 5 s.
 	MoveLatency time.Duration
+	// PreMove, when set, runs right before each admitted move starts, on
+	// the loop that owns the executor. The sharded serving layer uses it to
+	// grow the shard's tier quota from the global ledger so the move's
+	// destination reservation can succeed.
+	PreMove func(tier storage.Media, bytes int64)
 }
 
 func (c *ExecutorConfig) applyDefaults() {
@@ -46,10 +60,16 @@ func (c *ExecutorConfig) applyDefaults() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 128
 	}
-	defaults := [3]int64{1 * storage.GB, 2 * storage.GB, 4 * storage.GB}
+	burst := [3]int64{1 * storage.GB, 2 * storage.GB, 4 * storage.GB}
 	for i := range c.BudgetBytes {
 		if c.BudgetBytes[i] <= 0 {
-			c.BudgetBytes[i] = defaults[i]
+			c.BudgetBytes[i] = burst[i]
+		}
+	}
+	rate := [3]float64{float64(256 * storage.MB), float64(512 * storage.MB), float64(1 * storage.GB)}
+	for i := range c.RateBytesPerSec {
+		if c.RateBytesPerSec[i] <= 0 {
+			c.RateBytesPerSec[i] = rate[i]
 		}
 	}
 	if c.MoveLatency <= 0 {
@@ -59,17 +79,24 @@ func (c *ExecutorConfig) applyDefaults() {
 
 // TierMoveStats is the per-destination-tier executor activity record.
 type TierMoveStats struct {
-	Scheduled        int64 // admitted into the tier pool
-	Completed        int64 // committed moves
-	Failed           int64 // moves that errored (placement, capacity, churn)
-	Shed             int64 // rejected at admission (queue full / oversized)
-	MaxInFlightBytes int64 // high-water mark of concurrently moving bytes
-	BudgetBytes      int64 // the configured budget, for reporting
+	Scheduled        int64   // admitted into the tier pool
+	Completed        int64   // committed moves
+	Failed           int64   // moves that errored (placement, capacity, churn)
+	Shed             int64   // rejected at admission (queue full / oversized)
+	AdmittedBytes    int64   // bytes admitted through the token bucket
+	MaxInFlightBytes int64   // high-water mark of concurrently moving bytes
+	BudgetBytes      int64   // the configured bucket capacity, for reporting
+	RateBytesPerSec  float64 // the configured refill rate, for reporting
 }
 
 // ExecutorStats snapshots the executor's counters.
 type ExecutorStats struct {
 	PerTier [3]TierMoveStats
+	// VirtualSeconds is how much virtual time the executor has observed
+	// since construction (sampled at token refills). Together with the
+	// per-tier bucket parameters it bounds admissions:
+	// AdmittedBytes <= BudgetBytes + RateBytesPerSec*VirtualSeconds.
+	VirtualSeconds float64
 }
 
 // Queued sums admitted requests across tiers.
@@ -81,37 +108,62 @@ func (s ExecutorStats) Queued() int64 {
 	return n
 }
 
+// CheckBudgets verifies the token-bucket admission invariant for every tier
+// against the observed virtual time, returning a violation description or
+// "" when all tiers are within budget.
+func (s ExecutorStats) CheckBudgets() string {
+	for i, t := range s.PerTier {
+		if math.IsInf(t.RateBytesPerSec, 1) {
+			continue
+		}
+		bound := float64(t.BudgetBytes) + t.RateBytesPerSec*s.VirtualSeconds
+		if float64(t.AdmittedBytes) > bound {
+			return storage.Media(i).String() + " executor exceeded its movement budget"
+		}
+	}
+	return ""
+}
+
 // MovementExecutor is the serving layer's async replica-movement engine: a
 // per-destination-tier pool of movement slots with a bounded FIFO queue and
-// an in-flight byte budget per tier. It implements core.Mover, so a
-// core.Manager routes its upgrade/downgrade requests here instead of the
-// inline Replication Monitor; transfers then overlap with serving — they
-// execute as engine events while the core loop keeps absorbing client
-// commands and access batches.
+// a token-bucket bandwidth budget per tier, refilled against the virtual
+// clock. It implements core.Mover, so a core.Manager routes its
+// upgrade/downgrade requests here instead of the inline Replication Monitor;
+// transfers then overlap with serving — they execute as engine events while
+// the core loop keeps absorbing client commands and access batches.
 //
 // All mutable pool state is owned by the core loop (Enqueue must only be
 // called from it — the Manager's callbacks already run there); the counters
 // are atomics so load drivers and tests read them from other goroutines.
 type MovementExecutor struct {
-	fs     *dfs.FileSystem
-	engine *sim.Engine
-	cfg    ExecutorConfig
+	fs        *dfs.FileSystem
+	engine    *sim.Engine
+	cfg       ExecutorConfig
+	virtStart time.Time // virtual construction time, origin of VirtualSeconds
 
 	tiers [3]tierPool
 	// busy counts admitted-but-unfinished requests across all tiers; the
 	// quiesce loop uses it to decide whether movement work is outstanding.
 	busy atomic.Int64
+	// virtualNS is the last virtual-time sample (nanoseconds since virtStart),
+	// updated on the owning loop at refills and read by Stats from any
+	// goroutine.
+	virtualNS atomic.Int64
 }
 
 type tierPool struct {
 	queue         []pendingMove // core-loop-owned FIFO
 	active        int           // moves currently executing
 	inFlightBytes int64
+	tokens        float64   // current bucket level in bytes
+	lastRefill    time.Time // virtual time of the last refill
+	wake          *sim.Event
 
 	scheduled   atomic.Int64
 	completed   atomic.Int64
 	failed      atomic.Int64
 	shed        atomic.Int64
+	admitted    atomic.Int64
 	maxInFlight atomic.Int64
 }
 
@@ -120,10 +172,16 @@ type pendingMove struct {
 	size int64
 }
 
-// NewMovementExecutor builds an executor over the file system.
+// NewMovementExecutor builds an executor over the file system. Buckets
+// start full.
 func NewMovementExecutor(fs *dfs.FileSystem, cfg ExecutorConfig) *MovementExecutor {
 	cfg.applyDefaults()
-	return &MovementExecutor{fs: fs, engine: fs.Engine(), cfg: cfg}
+	e := &MovementExecutor{fs: fs, engine: fs.Engine(), cfg: cfg, virtStart: fs.Engine().Now()}
+	for i := range e.tiers {
+		e.tiers[i].tokens = float64(cfg.BudgetBytes[i])
+		e.tiers[i].lastRefill = e.virtStart
+	}
+	return e
 }
 
 // Config returns the resolved configuration.
@@ -151,19 +209,64 @@ func (e *MovementExecutor) Enqueue(r core.MoveRequest) {
 	e.pump(r.To)
 }
 
-// pump starts queued moves while the tier has both a free slot and budget
-// headroom. The queue stays FIFO: a large move at the head waits for budget
-// rather than being bypassed, so sustained small moves cannot starve it.
+// refill settles the tier's token bucket to the current virtual time and
+// publishes the virtual-clock sample for Stats readers.
+func (e *MovementExecutor) refill(tier storage.Media) {
+	pool := &e.tiers[tier]
+	now := e.engine.Now()
+	elapsed := now.Sub(e.virtStart)
+	if ns := elapsed.Nanoseconds(); ns > e.virtualNS.Load() {
+		e.virtualNS.Store(ns)
+	}
+	dt := now.Sub(pool.lastRefill).Seconds()
+	if dt <= 0 {
+		return
+	}
+	pool.lastRefill = now
+	burst := float64(e.cfg.BudgetBytes[tier])
+	pool.tokens += e.cfg.RateBytesPerSec[tier] * dt
+	if pool.tokens > burst || math.IsInf(pool.tokens, 1) {
+		pool.tokens = burst
+	}
+}
+
+// pump starts queued moves while the tier has a free slot and the token
+// bucket covers the head request. The queue stays FIFO: a large move at the
+// head waits for tokens rather than being bypassed, so sustained small moves
+// cannot starve it. When tokens are the binding constraint, a wake event is
+// scheduled at the virtual time the bucket refills enough for the head.
 func (e *MovementExecutor) pump(tier storage.Media) {
 	pool := &e.tiers[tier]
+	e.refill(tier)
 	for pool.active < e.cfg.WorkersPerTier && len(pool.queue) > 0 {
 		head := pool.queue[0]
-		if pool.inFlightBytes+head.size > e.cfg.BudgetBytes[tier] {
-			return // budget exhausted; completions re-pump
+		if need := float64(head.size); pool.tokens < need {
+			e.wakeWhenRefilled(tier, need)
+			return
 		}
+		pool.tokens -= float64(head.size)
+		pool.admitted.Add(head.size)
 		pool.queue = pool.queue[1:]
 		e.start(tier, head)
 	}
+}
+
+// wakeWhenRefilled schedules one engine event at the virtual time the tier's
+// bucket reaches `need` bytes, so a blocked queue makes progress even when
+// no completion re-pumps it.
+func (e *MovementExecutor) wakeWhenRefilled(tier storage.Media, need float64) {
+	pool := &e.tiers[tier]
+	if pool.wake != nil {
+		return
+	}
+	rate := e.cfg.RateBytesPerSec[tier]
+	// Round up a whole nanosecond so the refill at the wake time covers the
+	// deficit despite float truncation.
+	delay := time.Duration(math.Ceil((need-pool.tokens)/rate*float64(time.Second))) + time.Nanosecond
+	pool.wake = e.engine.Schedule(delay, func() {
+		pool.wake = nil
+		e.pump(tier)
+	})
 }
 
 func (e *MovementExecutor) start(tier storage.Media, pm pendingMove) {
@@ -172,6 +275,9 @@ func (e *MovementExecutor) start(tier storage.Media, pm pendingMove) {
 	pool.inFlightBytes += pm.size
 	if pool.inFlightBytes > pool.maxInFlight.Load() {
 		pool.maxInFlight.Store(pool.inFlightBytes)
+	}
+	if e.cfg.PreMove != nil {
+		e.cfg.PreMove(tier, pm.size)
 	}
 	finish := func(err error) {
 		pool.active--
@@ -210,6 +316,7 @@ func (e *MovementExecutor) Idle() bool { return e.busy.Load() == 0 }
 // Stats snapshots the executor counters. Safe from any goroutine.
 func (e *MovementExecutor) Stats() ExecutorStats {
 	var out ExecutorStats
+	out.VirtualSeconds = time.Duration(e.virtualNS.Load()).Seconds()
 	for i := range e.tiers {
 		p := &e.tiers[i]
 		out.PerTier[i] = TierMoveStats{
@@ -217,8 +324,10 @@ func (e *MovementExecutor) Stats() ExecutorStats {
 			Completed:        p.completed.Load(),
 			Failed:           p.failed.Load(),
 			Shed:             p.shed.Load(),
+			AdmittedBytes:    p.admitted.Load(),
 			MaxInFlightBytes: p.maxInFlight.Load(),
 			BudgetBytes:      e.cfg.BudgetBytes[i],
+			RateBytesPerSec:  e.cfg.RateBytesPerSec[i],
 		}
 	}
 	return out

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math"
 	"testing"
 
 	"octostore/internal/cluster"
@@ -86,10 +87,19 @@ func TestExecutorShedsWhenQueueFull(t *testing.T) {
 	}
 }
 
-func TestExecutorRespectsBudget(t *testing.T) {
+func TestExecutorTokenBucketPacesAdmissions(t *testing.T) {
 	engine, fs, files := executorFixture(t, 8, 64*storage.MB)
-	budget := [3]int64{1 << 40, 100 * storage.MB, 1 << 40} // SSD: one 64 MB move at a time
-	ex := NewMovementExecutor(fs, ExecutorConfig{WorkersPerTier: 4, QueueDepth: 64, BudgetBytes: budget})
+	// SSD: a 100 MB bucket refilled at 64 MB of virtual second — the first
+	// 64 MB move is admitted from the initial burst, every later one must
+	// wait for refill, so the 512 MB batch needs >= (512-100)/64 ≈ 6.4
+	// virtual seconds of budget regardless of the 4 free slots.
+	budget := [3]int64{1 << 40, 100 * storage.MB, 1 << 40}
+	var rates [3]float64
+	rates[storage.SSD] = float64(64 * storage.MB)
+	ex := NewMovementExecutor(fs, ExecutorConfig{
+		WorkersPerTier: 4, QueueDepth: 64, BudgetBytes: budget, RateBytesPerSec: rates,
+	})
+	start := engine.Now()
 	done := 0
 	for _, f := range files {
 		ex.Enqueue(core.MoveRequest{File: f, From: storage.HDD, To: storage.SSD,
@@ -101,17 +111,41 @@ func TestExecutorRespectsBudget(t *testing.T) {
 			}})
 	}
 	engine.Run()
-	st := ex.Stats().PerTier[storage.SSD]
+	stats := ex.Stats()
+	st := stats.PerTier[storage.SSD]
 	if done != 8 || st.Completed != 8 {
 		t.Fatalf("completed %d/%d moves (%+v)", done, 8, st)
 	}
-	if st.MaxInFlightBytes > budget[storage.SSD] {
-		t.Fatalf("budget exceeded: max in-flight %d > %d", st.MaxInFlightBytes, budget[storage.SSD])
+	if st.AdmittedBytes != 8*64*storage.MB {
+		t.Fatalf("admitted %d bytes, want %d", st.AdmittedBytes, 8*64*storage.MB)
 	}
-	// The budget, not the 4 slots, must have been the binding constraint:
-	// 2 concurrent 64 MB moves would need 128 MB > 100 MB.
-	if st.MaxInFlightBytes != 64*storage.MB {
-		t.Fatalf("max in-flight = %d, want exactly one 64 MB move", st.MaxInFlightBytes)
+	// The bucket invariant: admissions never outran burst + rate*time.
+	if v := stats.CheckBudgets(); v != "" {
+		t.Fatal(v)
+	}
+	// And the rate was actually binding: draining 512 MB through a 100 MB
+	// bucket at 64 MB/s takes at least 6.4 virtual seconds.
+	if elapsed := engine.Now().Sub(start).Seconds(); elapsed < 6.4 {
+		t.Fatalf("batch drained in %.2f virtual seconds; token bucket did not pace admissions", elapsed)
+	}
+}
+
+func TestExecutorUnmeteredRate(t *testing.T) {
+	engine, fs, files := executorFixture(t, 4, 64*storage.MB)
+	rates := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	ex := NewMovementExecutor(fs, ExecutorConfig{
+		WorkersPerTier: 8, QueueDepth: 64,
+		BudgetBytes:     [3]int64{1 << 40, 1 << 40, 1 << 40},
+		RateBytesPerSec: rates,
+	})
+	done := 0
+	for _, f := range files {
+		ex.Enqueue(core.MoveRequest{File: f, From: storage.HDD, To: storage.SSD,
+			Done: func(err error) { done++ }})
+	}
+	engine.Run()
+	if done != 4 || !ex.Idle() {
+		t.Fatalf("unmetered executor completed %d/4, idle %v", done, ex.Idle())
 	}
 }
 

@@ -25,6 +25,16 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bits.Len64(ns)-1].Add(1)
 }
 
+// AddFrom accumulates another histogram's buckets into h (used to merge
+// per-shard histograms into one report).
+func (h *Histogram) AddFrom(o *Histogram) {
+	for i := range h.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() int64 {
 	var n int64
@@ -99,6 +109,26 @@ type ServeStats struct {
 	DrainBatches  int64
 	EventsDrained int64
 	EventsDropped int64
+}
+
+// add accumulates another snapshot (per-shard aggregation).
+func (s *ServeStats) add(o ServeStats) {
+	s.Accesses += o.Accesses
+	s.AccessMisses += o.AccessMisses
+	s.NoReplica += o.NoReplica
+	for i := range s.ServedByTier {
+		s.ServedByTier[i] += o.ServedByTier[i]
+	}
+	s.BytesServed += o.BytesServed
+	s.Creates += o.Creates
+	s.CreateErrors += o.CreateErrors
+	s.Deletes += o.Deletes
+	s.DeleteErrors += o.DeleteErrors
+	s.Stats += o.Stats
+	s.Lists += o.Lists
+	s.DrainBatches += o.DrainBatches
+	s.EventsDrained += o.EventsDrained
+	s.EventsDropped += o.EventsDropped
 }
 
 func (c *serveCounters) snapshot(dropped int64) ServeStats {

@@ -1,0 +1,609 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"octostore/internal/cluster"
+	"octostore/internal/core"
+	"octostore/internal/dfs"
+	"octostore/internal/sim"
+	"octostore/internal/storage"
+)
+
+// This file implements the sharded simulation core: the engine is
+// partitioned into N namespace shards, each owning a full private stack —
+// discrete-event engine, cluster view, dfs.FileSystem, core.Manager with
+// its CandidateIndex and tracker, access-event ring, and movement executor
+// — drained by its own dedicated shard loop (an inner Server). Mutations
+// and policy ticks in different shards never share a goroutine, a lock, or
+// an engine, so structural write throughput scales with cores instead of
+// serializing through one writer.
+//
+// What cannot be partitioned is physical capacity and node membership:
+//
+//   - Capacity lives behind the sharded accounting layer. Each shard's
+//     cluster view carries a soft quota (a slice of every device's physical
+//     capacity); the remainder sits in a global cluster.TierLedger pool.
+//     Shards grow their quota on demand through the ledger's two-phase
+//     reserve/commit protocol (see shardQuota) and reconcile unused quota
+//     back on a virtual-time cadence, so capacity migrates to the shards
+//     that need it while dfs.CheckAccounting holds inside every shard and
+//     the ledger's conservation equation holds globally at every step.
+//   - Node membership changes fan out: FailNode/AddNode apply to every
+//     shard's view (same node ids everywhere), and the capacity that
+//     left/joined is settled against the ledger totals.
+//
+// Paths route to shards by a hash of the parent directory — the same key
+// the inner server stripes its namespace by — so a directory listing stays
+// a single-shard operation and files in one directory share a shard.
+// shards=1 degenerates to exactly the single-writer serving layer (full
+// quota, empty pool, no protocol traffic).
+
+// ShardBuilder wires the policy stack of one shard: given the shard's
+// private file system, it returns the shard's manager (nil for unmanaged
+// serving). The builder runs during NewSharded, before any loop starts.
+type ShardBuilder func(shard int, fs *dfs.FileSystem) (*core.Manager, error)
+
+// ShardedConfig assembles a sharded serving layer.
+type ShardedConfig struct {
+	// Shards is the number of namespace shards (default 1).
+	Shards int
+	// Cluster is the GLOBAL topology; every shard sees the same nodes with
+	// a quota slice of each device's capacity.
+	Cluster cluster.Config
+	// DFS configures each shard's file system; Seed is offset by the shard
+	// index so placement draws stay decorrelated.
+	DFS dfs.Config
+	// Build constructs each shard's manager (nil everywhere when omitted).
+	Build ShardBuilder
+	// Quota tunes the sharded capacity accounting.
+	Quota QuotaConfig
+	// Inner is the per-shard serving configuration (stripe count, ring,
+	// pacing, executor).
+	Inner Config
+}
+
+// shard is one partition: a private simulation stack plus its quota agent.
+type shard struct {
+	engine    *sim.Engine
+	cluster   *cluster.Cluster
+	fs        *dfs.FileSystem
+	mgr       *core.Manager
+	srv       *Server
+	quota     *shardQuota
+	reconcile *sim.Ticker
+}
+
+// ShardedServer is the partitioned serving layer. Construct with
+// NewSharded, Start it, then any number of goroutines may use the client
+// API; shard routing is deterministic by parent directory.
+type ShardedServer struct {
+	cfg    ShardedConfig
+	shards []*shard
+	ledger *cluster.TierLedger
+	// nodePooled records, per node id, the slice of that node's physical
+	// capacity that went into the ledger's free pool instead of a shard
+	// grant, so node loss can take the unclaimed share back out of
+	// circulation. Mutated only from the churn API (single caller at a
+	// time, like all membership changes).
+	nodePooled map[int][3]int64
+	// running is true between Start and Close; outside that window Exec
+	// touches the shard file systems directly (the loops are stopped, so the
+	// caller's goroutine is the only one near them — same contract as the
+	// single-writer Server after Close).
+	running bool
+}
+
+// splitSpec carves one shard's quota slice out of a node spec: each device
+// keeps its media and bandwidths but holds floor(capacity*frac/shards)
+// bytes. It also reports, per tier, the physical capacity of one full node,
+// the slice granted to ONE shard, and the remainder pooled after all shards
+// take theirs.
+func splitSpec(spec storage.NodeSpec, shards int, frac float64) (shardSpec storage.NodeSpec, nodeTotal, nodeGrant, nodePooled [3]int64) {
+	shardSpec = make(storage.NodeSpec, len(spec))
+	for i, ds := range spec {
+		share := int64(float64(ds.Capacity) * frac / float64(shards))
+		shardSpec[i] = ds
+		shardSpec[i].Capacity = share
+		nodeTotal[ds.Media] += ds.Capacity * int64(ds.Count)
+		nodeGrant[ds.Media] += share * int64(ds.Count)
+	}
+	for t := range nodePooled {
+		nodePooled[t] = nodeTotal[t] - nodeGrant[t]*int64(shards)
+	}
+	return shardSpec, nodeTotal, nodeGrant, nodePooled
+}
+
+// NewSharded builds the partitioned stack: per-shard engines, quota-sliced
+// cluster views, file systems, managers (via cfg.Build), and inner servers,
+// plus the global capacity ledger.
+func NewSharded(cfg ShardedConfig) (*ShardedServer, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	cfg.Quota.applyDefaults(cfg.Shards)
+	shardSpec, nodeTotal, nodeGrant, nodePooled := splitSpec(cfg.Cluster.Spec, cfg.Shards, cfg.Quota.InitialFraction)
+
+	s := &ShardedServer{cfg: cfg, ledger: cluster.NewTierLedger(), nodePooled: make(map[int][3]int64)}
+	workers := int64(cfg.Cluster.Workers)
+	for _, m := range storage.AllMedia {
+		s.ledger.AddCapacity(m, nodeTotal[m]*workers, nodePooled[m]*workers)
+	}
+	for id := 0; id < cfg.Cluster.Workers; id++ {
+		s.nodePooled[id] = nodePooled
+	}
+
+	for i := 0; i < cfg.Shards; i++ {
+		engine := sim.NewEngine()
+		clCfg := cfg.Cluster
+		clCfg.Spec = shardSpec
+		cl, err := cluster.New(engine, clCfg)
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d cluster: %w", i, err)
+		}
+		fsCfg := cfg.DFS
+		fsCfg.Seed += int64(i)
+		fs, err := dfs.New(cl, fsCfg)
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d fs: %w", i, err)
+		}
+		var mgr *core.Manager
+		if cfg.Build != nil {
+			if mgr, err = cfg.Build(i, fs); err != nil {
+				return nil, fmt.Errorf("server: shard %d build: %w", i, err)
+			}
+		}
+		var baseline [3]int64
+		for t := range baseline {
+			baseline[t] = nodeGrant[t] * workers
+		}
+		quota := newShardQuota(s.ledger, cl, cfg.Quota, baseline)
+		if mgr != nil {
+			// Policies see quota + borrowable pool when sizing decisions;
+			// watermarks stay quota-local (soft-quota contract).
+			mgr.Context().SetTierHeadroom(s.ledger.FreeBytes)
+		}
+		innerCfg := cfg.Inner
+		// Movement destinations borrow quota right before each admitted
+		// move, on the shard loop, through the two-phase protocol.
+		innerCfg.Executor.PreMove = func(tier storage.Media, bytes int64) {
+			quota.EnsureSpread(tier, bytes, 1)
+		}
+		s.shards = append(s.shards, &shard{
+			engine:  engine,
+			cluster: cl,
+			fs:      fs,
+			mgr:     mgr,
+			srv:     New(fs, mgr, innerCfg),
+			quota:   quota,
+		})
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *ShardedServer) NumShards() int { return len(s.shards) }
+
+// Ledger exposes the global capacity ledger (all reads are atomic).
+func (s *ShardedServer) Ledger() *cluster.TierLedger { return s.ledger }
+
+// Start launches every shard: managers, shard loops, pacers, and the quota
+// reconciliation tickers.
+func (s *ShardedServer) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	for _, sh := range s.shards {
+		if sh.mgr != nil {
+			sh.mgr.Start()
+		}
+		sh.srv.Start()
+		if s.cfg.Quota.ReconcileInterval > 0 && len(s.shards) > 1 {
+			sh := sh
+			sh.srv.Exec(func(*dfs.FileSystem) {
+				sh.reconcile = sh.engine.Every(s.cfg.Quota.ReconcileInterval, sh.quota.Reconcile)
+			})
+		}
+	}
+}
+
+// Close quiesces and stops every shard. Client goroutines must have stopped
+// issuing operations first.
+func (s *ShardedServer) Close() {
+	if !s.running {
+		return
+	}
+	s.running = false
+	for _, sh := range s.shards {
+		sh.srv.Close()
+		if sh.reconcile != nil {
+			sh.reconcile.Stop() // loop stopped; direct access is safe now
+			sh.reconcile = nil
+		}
+		if sh.mgr != nil {
+			sh.mgr.Stop()
+		}
+	}
+}
+
+// canonicalPath returns the routing form of a client path. dfs.CleanPath
+// fast-paths already-canonical input without allocating, so routed ops pay
+// one scan here and the inner layers' re-cleaning of the now-canonical
+// string is free.
+func canonicalPath(path string) (string, error) {
+	return dfs.CleanPath(path)
+}
+
+// shardOf routes a canonical path by its parent directory, the same key the
+// inner namespace stripes by.
+func (s *ShardedServer) shardOf(path string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	dir, _ := parentOf(path)
+	return s.shards[fnv32(dir)%uint32(len(s.shards))]
+}
+
+// shardOfDir routes a directory path (for listings).
+func (s *ShardedServer) shardOfDir(dir string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	return s.shards[fnv32(dir)%uint32(len(s.shards))]
+}
+
+// --- Client API ---
+
+// Create writes a file and blocks until its shard's write pipeline commits.
+// A capacity failure triggers one quota borrow (growing the shard's lowest
+// tier out of the global pool) and one retry, so a shard whose quota ran
+// dry admits the write as long as the physical tier has room.
+func (s *ShardedServer) Create(path string, size int64) error {
+	clean, err := canonicalPath(path)
+	if err != nil {
+		return err
+	}
+	sh := s.shardOf(clean)
+	err = sh.srv.Create(clean, size)
+	if err != nil && errors.Is(err, dfs.ErrNoCapacity) {
+		borrowed := false
+		sh.srv.Exec(func(fs *dfs.FileSystem) { borrowed = sh.quota.EnsureCreate(fs, size) })
+		if borrowed {
+			err = sh.srv.Create(clean, size)
+		}
+	}
+	return err
+}
+
+// CreateAt submits a creation stamped with an explicit virtual time (replay
+// mode) to the owning shard. No borrow-retry: replay traces are expected to
+// fit the planned quota or to handle the error themselves.
+func (s *ShardedServer) CreateAt(path string, size int64, at time.Time) <-chan error {
+	clean, err := canonicalPath(path)
+	if err != nil {
+		res := make(chan error, 1)
+		res <- err
+		return res
+	}
+	return s.shardOf(clean).srv.CreateAt(clean, size, at)
+}
+
+// Delete removes a file, blocking for the outcome.
+func (s *ShardedServer) Delete(path string) error {
+	clean, err := canonicalPath(path)
+	if err != nil {
+		return err
+	}
+	return s.shardOf(clean).srv.Delete(clean)
+}
+
+// DeleteAt submits a deletion stamped with an explicit virtual time.
+func (s *ShardedServer) DeleteAt(path string, at time.Time) <-chan error {
+	clean, err := canonicalPath(path)
+	if err != nil {
+		res := make(chan error, 1)
+		res <- err
+		return res
+	}
+	return s.shardOf(clean).srv.DeleteAt(clean, at)
+}
+
+// Access records a client access on the owning shard and returns the
+// serving tier. The hot path stays shard-local: route hash, stripe lookup,
+// ring push.
+func (s *ShardedServer) Access(path string) (AccessResult, error) {
+	clean, err := canonicalPath(path)
+	if err != nil {
+		return AccessResult{}, err
+	}
+	return s.shardOf(clean).srv.Access(clean)
+}
+
+// AccessAt records an access at an explicit virtual time (replay mode).
+func (s *ShardedServer) AccessAt(path string, at time.Time) (AccessResult, error) {
+	clean, err := canonicalPath(path)
+	if err != nil {
+		return AccessResult{}, err
+	}
+	return s.shardOf(clean).srv.AccessAt(clean, at)
+}
+
+// Stat returns the metadata snapshot of a served file.
+func (s *ShardedServer) Stat(path string) (FileInfo, error) {
+	clean, err := canonicalPath(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return s.shardOf(clean).srv.Stat(clean)
+}
+
+// Exists reports whether a served file exists.
+func (s *ShardedServer) Exists(path string) bool {
+	clean, err := canonicalPath(path)
+	if err != nil {
+		return false
+	}
+	return s.shardOf(clean).srv.Exists(clean)
+}
+
+// List returns the sorted file names directly under dir (single-shard:
+// every child of a directory routes to the same shard).
+func (s *ShardedServer) List(dir string) []string {
+	clean, err := canonicalPath(dir)
+	if err != nil {
+		return nil
+	}
+	return s.shardOfDir(clean).srv.List(clean)
+}
+
+// Flush fences every shard: all published access events drained, in-flight
+// creates committed, movement executors idle.
+func (s *ShardedServer) Flush() {
+	for _, sh := range s.shards {
+		sh.srv.Flush()
+	}
+}
+
+// Exec runs fn inside each shard's loop in shard order, with exclusive
+// access to that shard's file system — the escape hatch for perturbations
+// and final-state inspection.
+func (s *ShardedServer) Exec(fn func(shard int, fs *dfs.FileSystem)) {
+	for i, sh := range s.shards {
+		if !s.running {
+			fn(i, sh.fs)
+			continue
+		}
+		i := i
+		sh.srv.Exec(func(fs *dfs.FileSystem) { fn(i, fs) })
+	}
+}
+
+// --- Node membership (global state, fanned out) ---
+
+// FailNode removes the worker with the given id from every shard's view and
+// settles the departed capacity against the ledger totals: the quota that
+// lived on the node's devices leaves the shards' capacity terms, and the
+// node's pooled share is retired — debited from the free pool where it can
+// be, recorded as a deficit that future quota Returns pay down where it is
+// still out on loan — so dead-node capacity can never be borrowed back
+// into existence.
+func (s *ShardedServer) FailNode(id int) {
+	var removed [3]int64
+	for _, sh := range s.shards {
+		sh := sh
+		sh.srv.Exec(func(fs *dfs.FileSystem) {
+			if n := fs.Cluster().Node(id); n != nil {
+				r := fs.FailNode(n)
+				for t := range removed {
+					removed[t] += r[t]
+				}
+				sh.quota.clampBaseline()
+			}
+		})
+	}
+	pooled := s.nodePooled[id]
+	delete(s.nodePooled, id)
+	for _, m := range storage.AllMedia {
+		s.ledger.ShrinkTotal(m, removed[m])
+		s.ledger.Retire(m, pooled[m])
+	}
+}
+
+// AddNode joins a fresh worker to every shard's view, splitting its
+// capacity into per-shard grants plus a pooled remainder exactly like
+// construction did. Node ids stay aligned across shards because every
+// membership change fans out to all of them.
+func (s *ShardedServer) AddNode(spec storage.NodeSpec, slots int) {
+	shardSpec, nodeTotal, nodeGrant, nodePooled := splitSpec(spec, len(s.shards), s.cfg.Quota.InitialFraction)
+	newID := -1
+	for _, sh := range s.shards {
+		sh := sh
+		sh.srv.Exec(func(fs *dfs.FileSystem) {
+			n := fs.AddNode(shardSpec, slots)
+			sh.quota.nodeJoined(nodeGrant)
+			newID = n.ID()
+		})
+	}
+	if newID >= 0 {
+		s.nodePooled[newID] = nodePooled
+	}
+	for _, m := range storage.AllMedia {
+		s.ledger.AddCapacity(m, nodeTotal[m], nodePooled[m])
+	}
+}
+
+// --- Aggregated state, verification, and reporting ---
+
+// TierResidency merges the per-shard residency snapshots (namespaces are
+// disjoint by construction).
+func (s *ShardedServer) TierResidency() map[string][3]bool {
+	out := make(map[string][3]bool)
+	s.Exec(func(_ int, fs *dfs.FileSystem) {
+		for path, res := range fs.TierResidency() {
+			out[path] = res
+		}
+	})
+	return out
+}
+
+// LiveReplicaBytes sums the live replica bytes across shards.
+func (s *ShardedServer) LiveReplicaBytes() int64 {
+	var total int64
+	s.Exec(func(_ int, fs *dfs.FileSystem) { total += fs.LiveReplicaBytes() })
+	return total
+}
+
+// TierUsage aggregates used and quota-granted capacity across shards. Note
+// capacity here is the granted side only; the tier's physical total is
+// granted + ledger free + ledger reserved (see Ledger).
+func (s *ShardedServer) TierUsage(m storage.Media) (used, capacity int64) {
+	s.Exec(func(_ int, fs *dfs.FileSystem) {
+		u, c := fs.Cluster().TierUsage(m)
+		used += u
+		capacity += c
+	})
+	return used, capacity
+}
+
+// Verify runs the full invariant suite — per-shard capacity accounting,
+// deep structural checks, candidate-index audits, and the global ledger
+// conservation equation — and returns every violation found. Call at a
+// quiescent point (after Flush with clients stopped, or after Close) for
+// exact results.
+func (s *ShardedServer) Verify() []string {
+	var violations []string
+	s.Exec(func(i int, fs *dfs.FileSystem) {
+		if err := fs.CheckAccounting(); err != nil {
+			violations = append(violations, fmt.Sprintf("shard %d: %v", i, err))
+		}
+		if err := fs.CheckInvariants(); err != nil {
+			violations = append(violations, fmt.Sprintf("shard %d: %v", i, err))
+		}
+		if sh := s.shards[i]; sh.mgr != nil {
+			if err := sh.mgr.Context().Index().Audit(); err != nil {
+				violations = append(violations, fmt.Sprintf("shard %d index: %v", i, err))
+			}
+		}
+	})
+	// The conservation equation sums per-shard capacities through
+	// sequential per-shard fences. While shard loops are live (pacers,
+	// reconcile tickers, policy-tick borrows), capacity can legitimately
+	// move between the snapshot of one shard and the next, so a transient
+	// mismatch is re-snapshotted before being declared a divergence; a real
+	// leak fails every attempt.
+	var ledgerErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		var granted [3]int64
+		s.Exec(func(_ int, fs *dfs.FileSystem) {
+			for _, m := range storage.AllMedia {
+				_, c := fs.Cluster().TierUsage(m)
+				granted[m] += c
+			}
+		})
+		if ledgerErr = s.ledger.Check(granted); ledgerErr == nil {
+			break
+		}
+	}
+	if ledgerErr != nil {
+		violations = append(violations, ledgerErr.Error())
+	}
+	for i, sh := range s.shards {
+		if v := sh.srv.Executor().Stats().CheckBudgets(); v != "" {
+			violations = append(violations, fmt.Sprintf("shard %d: %s", i, v))
+		}
+	}
+	return violations
+}
+
+// Stats sums the serving counters across shards.
+func (s *ShardedServer) Stats() ServeStats {
+	var out ServeStats
+	for _, sh := range s.shards {
+		out.add(sh.srv.Stats())
+	}
+	return out
+}
+
+// ExecutorStats sums the movement-executor counters across shards; the
+// virtual-time sample is the maximum over shards. Bucket capacities and
+// refill rates are summed too, so the aggregate snapshot pairs the summed
+// AdmittedBytes with the fleet-wide budget (and CheckBudgets on it stays
+// sound: each shard obeys burst_i + rate_i*t_i with t_i <= the reported
+// maximum). Per-shard budget bounds are checked individually in Verify.
+func (s *ShardedServer) ExecutorStats() ExecutorStats {
+	var out ExecutorStats
+	for _, sh := range s.shards {
+		st := sh.srv.Executor().Stats()
+		if st.VirtualSeconds > out.VirtualSeconds {
+			out.VirtualSeconds = st.VirtualSeconds
+		}
+		for i := range out.PerTier {
+			a, b := &out.PerTier[i], st.PerTier[i]
+			a.Scheduled += b.Scheduled
+			a.Completed += b.Completed
+			a.Failed += b.Failed
+			a.Shed += b.Shed
+			a.AdmittedBytes += b.AdmittedBytes
+			// High-water marks do not sum (shards peak at different times);
+			// report the largest per-shard peak.
+			if b.MaxInFlightBytes > a.MaxInFlightBytes {
+				a.MaxInFlightBytes = b.MaxInFlightBytes
+			}
+			a.BudgetBytes += b.BudgetBytes
+			a.RateBytesPerSec += b.RateBytesPerSec
+		}
+	}
+	return out
+}
+
+// QuotaStats sums the ledger-protocol traffic across shards.
+func (s *ShardedServer) QuotaStats() QuotaStats {
+	var out QuotaStats
+	for _, sh := range s.shards {
+		st := sh.quota.stats()
+		out.Borrows += st.Borrows
+		out.BorrowFailures += st.BorrowFailures
+		out.BorrowedBytes += st.BorrowedBytes
+		out.ReturnedBytes += st.ReturnedBytes
+	}
+	return out
+}
+
+// AccessLatency merges the per-shard access-path histograms.
+func (s *ShardedServer) AccessLatency() *Histogram {
+	out := &Histogram{}
+	for _, sh := range s.shards {
+		out.AddFrom(sh.srv.AccessLatency())
+	}
+	return out
+}
+
+// MutateLatency merges the per-shard create/delete histograms.
+func (s *ShardedServer) MutateLatency() *Histogram {
+	out := &Histogram{}
+	for _, sh := range s.shards {
+		out.AddFrom(sh.srv.MutateLatency())
+	}
+	return out
+}
+
+// Service is the client-facing surface shared by the single-writer Server
+// and the ShardedServer, so drivers like cmd/octoload switch between them
+// with a flag.
+type Service interface {
+	Create(path string, size int64) error
+	Delete(path string) error
+	Access(path string) (AccessResult, error)
+	Stat(path string) (FileInfo, error)
+	Exists(path string) bool
+	List(dir string) []string
+	Flush()
+}
+
+var (
+	_ Service = (*Server)(nil)
+	_ Service = (*ShardedServer)(nil)
+)

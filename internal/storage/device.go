@@ -103,6 +103,33 @@ func (d *Device) Active(dir Direction) int {
 // Load is a placement heuristic: the total number of in-flight transfers.
 func (d *Device) Load() int { return d.read.active() + d.write.active() }
 
+// Grow raises the device's usable capacity by the given bytes. The sharded
+// serving layer uses it to apply quota borrowed from the global tier ledger
+// to a shard's view of the device; the simulation core itself never resizes
+// devices.
+func (d *Device) Grow(bytes int64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("storage: negative capacity growth %d", bytes))
+	}
+	d.capacity += bytes
+}
+
+// ShrinkUpTo lowers the device's capacity by up to the given bytes, never
+// below the currently reserved bytes, and returns how much was actually
+// reclaimed. Quota reconciliation uses it to return unused shard capacity to
+// the global pool without ever invalidating a stored replica.
+func (d *Device) ShrinkUpTo(bytes int64) int64 {
+	if bytes < 0 {
+		panic(fmt.Sprintf("storage: negative capacity shrink %d", bytes))
+	}
+	take := bytes
+	if free := d.Free(); take > free {
+		take = free
+	}
+	d.capacity -= take
+	return take
+}
+
 // Reserve claims space on the device, failing with ErrNoSpace if the bytes
 // do not fit. Reservations model stored block replicas.
 func (d *Device) Reserve(bytes int64) error {
