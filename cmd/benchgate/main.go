@@ -75,7 +75,11 @@ func parse(path string) (map[string]float64, error) {
 
 // serveReport is the subset of cmd/octoload's BENCH_serve.json we gate.
 type serveReport struct {
-	OpsPerSec  float64  `json:"ops_per_sec"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Read      struct {
+		Count int64   `json:"count"`
+		P99us float64 `json:"p99_us"`
+	} `json:"read"`
 	Violations []string `json:"violations"`
 }
 
@@ -92,9 +96,10 @@ func parseServe(path string) (serveReport, error) {
 	return rep, nil
 }
 
-// gateServe compares serving throughput (bigger is better) against the
-// baseline; returns the number of regressions (0 or 1).
-func gateServe(oldPath, newPath string, threshold float64) int {
+// gateServe compares serving throughput (bigger is better) and the
+// tier-real read p99 latency (smaller is better) against the baseline;
+// returns the number of regressions (0, 1, or 2).
+func gateServe(oldPath, newPath string, threshold, latThreshold float64) int {
 	base, err := parseServe(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate: serve baseline:", err)
@@ -121,25 +126,46 @@ func gateServe(oldPath, newPath string, threshold float64) int {
 		fmt.Printf("SLOW  %-60s current run recorded %d invariant violations\n", "serve:ops_per_sec", len(cur.Violations))
 		return 1
 	}
+	regressions := 0
 	floor := base.OpsPerSec / threshold
 	if cur.OpsPerSec < floor {
 		fmt.Printf("SLOW  %-60s %12.0f ops/s vs baseline %.0f (%.2fx < 1/%.2fx gate)\n",
 			"serve:ops_per_sec", cur.OpsPerSec, base.OpsPerSec, cur.OpsPerSec/base.OpsPerSec, threshold)
-		return 1
+		regressions++
+	} else {
+		fmt.Printf("OK    %-60s %12.0f ops/s vs baseline %.0f (%.2fx)\n",
+			"serve:ops_per_sec", cur.OpsPerSec, base.OpsPerSec, cur.OpsPerSec/base.OpsPerSec)
 	}
-	fmt.Printf("OK    %-60s %12.0f ops/s vs baseline %.0f (%.2fx)\n",
-		"serve:ops_per_sec", cur.OpsPerSec, base.OpsPerSec, cur.OpsPerSec/base.OpsPerSec)
-	return 0
+	// The read p99 is the data plane's virtual (tier-real) latency, not a
+	// wall-clock sample, so it is stable enough to gate. Baselines from
+	// before the data plane (or plane-less runs) carry no read block; skip
+	// loudly rather than silently disarm.
+	switch {
+	case base.Read.Count == 0 || base.Read.P99us <= 0:
+		fmt.Printf("SKIP  %-60s baseline has no read-latency block; latency gate skipped\n", "serve:read_p99")
+	case cur.Read.Count == 0 || cur.Read.P99us <= 0:
+		fmt.Printf("SLOW  %-60s baseline has read latencies but current run has none (data plane disabled?)\n", "serve:read_p99")
+		regressions++
+	case cur.Read.P99us > base.Read.P99us*latThreshold:
+		fmt.Printf("SLOW  %-60s %12.0f µs vs baseline %.0f (%.2fx > %.2fx gate)\n",
+			"serve:read_p99", cur.Read.P99us, base.Read.P99us, cur.Read.P99us/base.Read.P99us, latThreshold)
+		regressions++
+	default:
+		fmt.Printf("OK    %-60s %12.0f µs vs baseline %.0f (%.2fx)\n",
+			"serve:read_p99", cur.Read.P99us, base.Read.P99us, cur.Read.P99us/base.Read.P99us)
+	}
+	return regressions
 }
 
 func main() {
 	var (
-		oldPath   = flag.String("old", "", "baseline go test -json bench output")
-		newPath   = flag.String("new", "", "current go test -json bench output")
-		serveOld  = flag.String("serve-old", "", "baseline BENCH_serve.json load report")
-		serveNew  = flag.String("serve-new", "", "current BENCH_serve.json load report")
-		threshold = flag.Float64("threshold", 1.25, "fail when new > old * threshold (ns/op) or new < old / threshold (ops/s)")
-		floorNS   = flag.Float64("floor-ns", 1000, "ignore benchmarks faster than this baseline (jitter floor)")
+		oldPath      = flag.String("old", "", "baseline go test -json bench output")
+		newPath      = flag.String("new", "", "current go test -json bench output")
+		serveOld     = flag.String("serve-old", "", "baseline BENCH_serve.json load report")
+		serveNew     = flag.String("serve-new", "", "current BENCH_serve.json load report")
+		threshold    = flag.Float64("threshold", 1.25, "fail when new > old * threshold (ns/op) or new < old / threshold (ops/s)")
+		latThreshold = flag.Float64("lat-threshold", 1.5, "fail when the serve report's read p99 exceeds baseline * this (virtual tier-real latency)")
+		floorNS      = flag.Float64("floor-ns", 1000, "ignore benchmarks faster than this baseline (jitter floor)")
 	)
 	flag.Parse()
 	haveBench := *oldPath != "" && *newPath != ""
@@ -153,10 +179,10 @@ func main() {
 	// versa) from the CI log.
 	serveRegressions := 0
 	if haveServe {
-		serveRegressions = gateServe(*serveOld, *serveNew, *threshold)
+		serveRegressions = gateServe(*serveOld, *serveNew, *threshold, *latThreshold)
 		if !haveBench {
 			if serveRegressions > 0 {
-				fmt.Printf("benchgate: serving throughput regressed beyond %.0f%%\n", (*threshold-1)*100)
+				fmt.Printf("benchgate: %d serving metric(s) regressed\n", serveRegressions)
 				os.Exit(1)
 			}
 			fmt.Println("benchgate: no regressions")
@@ -220,7 +246,7 @@ func main() {
 			fmt.Printf("benchgate: %d benchmark(s) regressed beyond %.0f%%\n", regressions, (*threshold-1)*100)
 		}
 		if serveRegressions > 0 {
-			fmt.Printf("benchgate: serving throughput regressed beyond %.0f%%\n", (*threshold-1)*100)
+			fmt.Printf("benchgate: %d serving metric(s) regressed\n", serveRegressions)
 		}
 		os.Exit(1)
 	}

@@ -67,6 +67,7 @@ type config struct {
 	muteFrac  float64 // create+delete combined; split evenly
 	workers   int
 	memCapMB  int64
+	ssdCapMB  int64
 	down, up  string
 	timeScale float64
 	seed      int64
@@ -78,6 +79,7 @@ type config struct {
 	moveQueue   int
 	budgetMB    [3]int64
 	rateMBps    [3]int64
+	dataplane   string
 }
 
 func parseFlags() config {
@@ -92,6 +94,7 @@ func parseFlags() config {
 	flag.Float64Var(&c.statFrac, "statfrac", 0.10, "fraction of ops that are stats/lists")
 	flag.IntVar(&c.workers, "workers", 5, "cluster worker count")
 	flag.Int64Var(&c.memCapMB, "memcap", 256, "memory-tier capacity per worker in MB (small keeps movement busy)")
+	flag.Int64Var(&c.ssdCapMB, "ssdcap", 16*1024, "SSD-tier capacity per worker in MB (small forces HDD-resident files, so all three tiers serve)")
 	flag.StringVar(&c.down, "down", "lru", "downgrade policy")
 	flag.StringVar(&c.up, "up", "osa", "upgrade policy")
 	flag.Float64Var(&c.timeScale, "timescale", 120, "virtual seconds advanced per wall second")
@@ -107,6 +110,7 @@ func parseFlags() config {
 	flag.Int64Var(&c.rateMBps[0], "rate-mem", 0, "memory-tier movement refill rate (MB per virtual second, 0 = default)")
 	flag.Int64Var(&c.rateMBps[1], "rate-ssd", 0, "SSD-tier movement refill rate (MB per virtual second, 0 = default)")
 	flag.Int64Var(&c.rateMBps[2], "rate-hdd", 0, "HDD-tier movement refill rate (MB per virtual second, 0 = default)")
+	flag.StringVar(&c.dataplane, "dataplane", "none", "data-plane profile: none (free reads, uncontended movement — the pre-data-plane semantics) or contended (per-physical-device service time + shared bandwidth arbitration across shards)")
 	flag.Parse()
 	c.muteFrac = 1 - c.readFrac - c.statFrac
 	if c.muteFrac < 0 {
@@ -127,6 +131,10 @@ func parseFlags() config {
 	}
 	if c.shards < 1 {
 		fmt.Fprintln(os.Stderr, "octoload: -shards must be at least 1")
+		os.Exit(2)
+	}
+	if c.dataplane != "none" && c.dataplane != "contended" {
+		fmt.Fprintln(os.Stderr, "octoload: -dataplane must be none or contended")
 		os.Exit(2)
 	}
 	if c.scenarioN != "" && c.shards != 1 {
@@ -159,26 +167,32 @@ func population(c config) []workload.FileSpec {
 	return workload.Generate(p, c.seed).Files
 }
 
-func workerSpec(memCapMB int64) storage.NodeSpec {
+func workerSpec(memCapMB, ssdCapMB int64) storage.NodeSpec {
 	return storage.NodeSpec{
 		{Media: storage.Memory, Capacity: memCapMB * storage.MB, ReadBW: 4000e6, WriteBW: 3000e6, Count: 1},
-		{Media: storage.SSD, Capacity: 16 * storage.GB, ReadBW: 500e6, WriteBW: 400e6, Count: 1},
+		{Media: storage.SSD, Capacity: ssdCapMB * storage.MB, ReadBW: 500e6, WriteBW: 400e6, Count: 1},
 		{Media: storage.HDD, Capacity: 128 * storage.GB, ReadBW: 160e6, WriteBW: 140e6, Count: 2},
 	}
 }
 
 // report is the BENCH_serve.json schema.
 type report struct {
-	Config         map[string]any    `json:"config"`
-	ElapsedSeconds float64           `json:"elapsed_seconds"`
-	Ops            int64             `json:"ops"`
-	OpsPerSec      float64           `json:"ops_per_sec"`
-	Access         latencyBlock      `json:"access"`
-	Mutate         latencyBlock      `json:"mutate"`
-	Serve          server.ServeStats `json:"serve"`
-	Executor       []tierReport      `json:"executor"`
-	Quota          server.QuotaStats `json:"quota"`
-	Violations     []string          `json:"violations"`
+	Config         map[string]any `json:"config"`
+	ElapsedSeconds float64        `json:"elapsed_seconds"`
+	Ops            int64          `json:"ops"`
+	OpsPerSec      float64        `json:"ops_per_sec"`
+	Access         latencyBlock   `json:"access"`
+	Mutate         latencyBlock   `json:"mutate"`
+	// Read is the tier-real virtual read latency across all tiers (device
+	// queueing + base + transfer from the data plane); zero counts with
+	// -dataplane none. ReadTiers breaks it down per serving tier.
+	Read       latencyBlock       `json:"read"`
+	ReadTiers  []tierLatencyBlock `json:"read_tiers,omitempty"`
+	Plane      []planeTierReport  `json:"plane,omitempty"`
+	Serve      server.ServeStats  `json:"serve"`
+	Executor   []tierReport       `json:"executor"`
+	Quota      server.QuotaStats  `json:"quota"`
+	Violations []string           `json:"violations"`
 }
 
 type latencyBlock struct {
@@ -187,9 +201,27 @@ type latencyBlock struct {
 	P99us float64 `json:"p99_us"`
 }
 
+type tierLatencyBlock struct {
+	Tier string `json:"tier"`
+	latencyBlock
+}
+
+type planeTierReport struct {
+	Tier string `json:"tier"`
+	storage.TierPlaneStats
+}
+
 type tierReport struct {
 	Tier string `json:"tier"`
 	server.TierMoveStats
+}
+
+func toLatencyBlock(h *server.Histogram) latencyBlock {
+	return latencyBlock{
+		Count: h.Count(),
+		P50us: float64(h.Quantile(0.50).Nanoseconds()) / 1e3,
+		P99us: float64(h.Quantile(0.99).Nanoseconds()) / 1e3,
+	}
 }
 
 // system abstracts over the single-writer and sharded serving layers.
@@ -199,13 +231,14 @@ type tierReport struct {
 // pacer, reconcile tick, or policy-tick borrow can move capacity between
 // per-shard snapshots).
 type system struct {
-	svc    server.Service
-	finish func() []string
-	exec   func() server.ExecutorStats
-	stats  func() server.ServeStats
-	access func() *server.Histogram
-	mutate func() *server.Histogram
-	quota  func() server.QuotaStats
+	svc      server.Service
+	finish   func() []string
+	exec     func() server.ExecutorStats
+	stats    func() server.ServeStats
+	access   func() *server.Histogram
+	mutate   func() *server.Histogram
+	readTier func(storage.Media) *server.Histogram
+	quota    func() server.QuotaStats
 }
 
 func buildPolicies(c config, fs *dfs.FileSystem) (*core.Manager, error) {
@@ -300,11 +333,12 @@ func buildSingle(c config, clCfg cluster.Config, sc *scenario.Scenario) (*system
 			mgr.Stop()
 			return violations
 		},
-		exec:   srv.Executor().Stats,
-		stats:  srv.Stats,
-		access: srv.AccessLatency,
-		mutate: srv.MutateLatency,
-		quota:  func() server.QuotaStats { return server.QuotaStats{} },
+		exec:     srv.Executor().Stats,
+		stats:    srv.Stats,
+		access:   srv.AccessLatency,
+		mutate:   srv.MutateLatency,
+		readTier: srv.ReadLatency,
+		quota:    func() server.QuotaStats { return server.QuotaStats{} },
 	}, attach
 }
 
@@ -331,11 +365,12 @@ func buildSharded(c config, clCfg cluster.Config) *system {
 			srv.Close()
 			return srv.Verify()
 		},
-		exec:   srv.ExecutorStats,
-		stats:  srv.Stats,
-		access: srv.AccessLatency,
-		mutate: srv.MutateLatency,
-		quota:  srv.QuotaStats,
+		exec:     srv.ExecutorStats,
+		stats:    srv.Stats,
+		access:   srv.AccessLatency,
+		mutate:   srv.MutateLatency,
+		readTier: srv.ReadLatency,
+		quota:    srv.QuotaStats,
 	}
 }
 
@@ -344,7 +379,7 @@ func main() {
 
 	// Resolve the world: either the driver's own cluster and generated
 	// population, or a scenario catalog entry's.
-	clCfg := cluster.Config{Workers: c.workers, SlotsPerNode: 4, Spec: workerSpec(c.memCapMB)}
+	clCfg := cluster.Config{Workers: c.workers, SlotsPerNode: 4, Spec: workerSpec(c.memCapMB, c.ssdCapMB)}
 	var files []workload.FileSpec
 	var sc *scenario.Scenario
 	if c.scenarioN != "" {
@@ -361,6 +396,15 @@ func main() {
 		}
 	} else {
 		files = population(c)
+	}
+
+	// Attach the data plane after the topology is resolved: one plane spans
+	// every shard's cluster view, so serve reads and movement contend for
+	// the physical device channels across shards.
+	var plane *storage.ContendedPlane
+	if c.dataplane == "contended" {
+		plane = storage.NewContendedPlane(storage.PlaneConfig{})
+		clCfg.Plane = plane
 	}
 
 	var sys *system
@@ -441,6 +485,13 @@ func main() {
 	// Snapshot the histograms once: in sharded mode each accessor merges
 	// every per-shard histogram into a fresh allocation.
 	accessHist, mutateHist := sys.access(), sys.mutate()
+	readAll := &server.Histogram{}
+	var readTiers []tierLatencyBlock
+	for _, m := range storage.AllMedia {
+		h := sys.readTier(m)
+		readAll.AddFrom(h)
+		readTiers = append(readTiers, tierLatencyBlock{Tier: m.String(), latencyBlock: toLatencyBlock(h)})
+	}
 
 	rep := report{
 		Config: map[string]any{
@@ -449,26 +500,27 @@ func main() {
 			"readfrac": c.readFrac, "workers": clCfg.Workers, "down": c.down, "up": c.up,
 			"timescale": c.timeScale, "seed": c.seed, "shards": c.shards,
 			"move_workers": c.moveWorkers, "move_queue": c.moveQueue,
+			"dataplane": c.dataplane,
 		},
 		ElapsedSeconds: elapsed.Seconds(),
 		Ops:            ops.Load(),
 		OpsPerSec:      float64(ops.Load()) / elapsed.Seconds(),
-		Access: latencyBlock{
-			Count: accessHist.Count(),
-			P50us: float64(accessHist.Quantile(0.50).Nanoseconds()) / 1e3,
-			P99us: float64(accessHist.Quantile(0.99).Nanoseconds()) / 1e3,
-		},
-		Mutate: latencyBlock{
-			Count: mutateHist.Count(),
-			P50us: float64(mutateHist.Quantile(0.50).Nanoseconds()) / 1e3,
-			P99us: float64(mutateHist.Quantile(0.99).Nanoseconds()) / 1e3,
-		},
-		Serve:      sys.stats(),
-		Quota:      sys.quota(),
-		Violations: violations,
+		Access:         toLatencyBlock(accessHist),
+		Mutate:         toLatencyBlock(mutateHist),
+		Read:           toLatencyBlock(readAll),
+		ReadTiers:      readTiers,
+		Serve:          sys.stats(),
+		Quota:          sys.quota(),
+		Violations:     violations,
 	}
 	for _, m := range storage.AllMedia {
 		rep.Executor = append(rep.Executor, tierReport{Tier: m.String(), TierMoveStats: exStats.PerTier[m]})
+	}
+	if plane != nil {
+		pst := plane.Stats()
+		for _, m := range storage.AllMedia {
+			rep.Plane = append(rep.Plane, planeTierReport{Tier: m.String(), TierPlaneStats: pst.PerTier[m]})
+		}
 	}
 
 	fmt.Printf("octoload: %d clients, %d files, %d shard(s), %.1fs wall (%.0fx virtual)\n",
@@ -479,6 +531,17 @@ func main() {
 	fmt.Printf("  ops        %d (%.0f ops/s)\n", rep.Ops, rep.OpsPerSec)
 	fmt.Printf("  access     p50 %.1fµs  p99 %.1fµs  (%d samples)\n", rep.Access.P50us, rep.Access.P99us, rep.Access.Count)
 	fmt.Printf("  mutate     p50 %.1fµs  p99 %.1fµs  (%d samples)\n", rep.Mutate.P50us, rep.Mutate.P99us, rep.Mutate.Count)
+	if c.dataplane != "none" {
+		fmt.Printf("  read       p50 %.1fµs  p99 %.1fµs  (%d samples, tier-real virtual time)\n",
+			rep.Read.P50us, rep.Read.P99us, rep.Read.Count)
+		for _, tl := range rep.ReadTiers {
+			fmt.Printf("  read %s   p50 %.1fµs  p99 %.1fµs  (%d samples)\n", tl.Tier, tl.P50us, tl.P99us, tl.Count)
+		}
+		for _, pt := range rep.Plane {
+			fmt.Printf("  plane %s  %d reqs (%d move)  %dMB  contended %d  saturated %d  avg queue %v\n",
+				pt.Tier, pt.Requests, pt.MoveRequests, pt.Bytes/storage.MB, pt.Contended, pt.Saturated, pt.AvgQueue)
+		}
+	}
 	st := rep.Serve
 	fmt.Printf("  served     MEM %d  SSD %d  HDD %d  (miss %d, no-replica %d)\n",
 		st.ServedByTier[0], st.ServedByTier[1], st.ServedByTier[2], st.AccessMisses, st.NoReplica)

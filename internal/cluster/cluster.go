@@ -85,6 +85,7 @@ type Cluster struct {
 	engine *sim.Engine
 	nodes  []*Node
 	nextID int
+	plane  storage.DataPlane
 }
 
 // Config describes a cluster to build.
@@ -92,6 +93,14 @@ type Config struct {
 	Workers      int
 	SlotsPerNode int
 	Spec         storage.NodeSpec
+	// Plane, when set, is the data plane the cluster's I/O is accounted
+	// against. It is deliberately part of the topology config: the sharded
+	// serving layer builds one cluster view per shard from the same Config,
+	// so a single shared plane arbitrates the physical devices across every
+	// view (device IDs are identical across views by construction), exactly
+	// as the tier ledger arbitrates physical capacity. Nil means no
+	// data-plane accounting (zero-latency reads, uncontended movement).
+	Plane storage.DataPlane
 }
 
 // PaperConfig reproduces the paper's testbed: 11 workers, 8 task slots each
@@ -111,11 +120,21 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 	if len(cfg.Spec) == 0 {
 		return nil, fmt.Errorf("cluster: empty storage spec")
 	}
-	c := &Cluster{engine: engine}
+	c := &Cluster{engine: engine, plane: cfg.Plane}
 	for i := 0; i < cfg.Workers; i++ {
 		c.AddNode(cfg.Spec, cfg.SlotsPerNode)
 	}
 	return c, nil
+}
+
+// Plane returns the data plane the cluster's I/O is accounted against (nil
+// when none is attached).
+func (c *Cluster) Plane() storage.DataPlane { return c.plane }
+
+// planeRegistrar is implemented by planes that want devices pre-registered
+// so the serving hot path never pays channel-creation cost.
+type planeRegistrar interface {
+	Register(deviceID string, media storage.Media)
 }
 
 // AddNode joins a fresh worker with the given storage spec and task slots to
@@ -129,11 +148,15 @@ func (c *Cluster) AddNode(spec storage.NodeSpec, slots int) *Node {
 		slots:   slots,
 	}
 	c.nextID++
+	reg, _ := c.plane.(planeRegistrar)
 	for _, ds := range spec {
 		for j := 0; j < ds.Count; j++ {
 			id := fmt.Sprintf("%s/%s-%d", n.name, ds.Media, j)
 			d := storage.NewDevice(c.engine, id, ds.Media, ds.Capacity, ds.ReadBW, ds.WriteBW)
 			n.devices[ds.Media] = append(n.devices[ds.Media], d)
+			if reg != nil {
+				reg.Register(id, ds.Media)
+			}
 		}
 	}
 	c.nodes = append(c.nodes, n)

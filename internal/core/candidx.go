@@ -203,6 +203,26 @@ func (h *FileHeap) SelectMinLazy(eligible func(*dfs.File) bool, trueW func(*dfs.
 	return best
 }
 
+// AscendWhile pops entries in ascending stored-key order while keep
+// returns true for the next key, invoking visit on each eligible popped
+// file, then restores every popped entry — the heap is left unchanged.
+// keep is consulted with the top entry's stored key before each pop, so a
+// caller whose keys are lower bounds can stop as soon as the bound proves
+// no remaining entry matters (the EXD upgrade admission walks the
+// memory-tier weight heap this way to sum a victim prefix without sorting
+// the tier). Cost is O((v+s) log N) for v visited and s skipped entries.
+func (h *FileHeap) AscendWhile(keep func(HeapKey) bool, eligible func(*dfs.File) bool, visit func(*dfs.File)) {
+	h.stash = h.stash[:0]
+	for len(h.items) > 0 && keep(h.items[0].key) {
+		top := h.popTop()
+		h.stash = append(h.stash, top)
+		if eligible == nil || eligible(top.file) {
+			visit(top.file)
+		}
+	}
+	h.restore()
+}
+
 // TopK appends up to k eligible files to out in heap order and returns the
 // extended slice; the heap is left unchanged. Cost is O((k+s) log N).
 func (h *FileHeap) TopK(k int, eligible func(*dfs.File) bool, out []*dfs.File) []*dfs.File {

@@ -19,7 +19,11 @@ type MoveRequest struct {
 // Monitor is the Replication Monitor (Section 3.3): it executes data
 // movement requests from the Replication Manager asynchronously with
 // bounded concurrency, and repairs under-replicated files it finds while
-// monitoring the system.
+// monitoring the system. Its transfers run through the file system's
+// movement mechanics, so with a storage.DataPlane attached every move and
+// repair draws bandwidth from the shared per-physical-device channels —
+// the monitor contends with the serve path and with other shards' movers
+// exactly like the serving layer's MovementExecutor does.
 type Monitor struct {
 	fs            *dfs.FileSystem
 	maxConcurrent int

@@ -11,11 +11,25 @@ import (
 // capacity accounting that the invariant checker enforces at every event
 // boundary.
 
+// AddMembershipHook registers fn to run after every node join or failure,
+// on the goroutine applying the change.
+func (fs *FileSystem) AddMembershipHook(fn func()) {
+	fs.membershipHooks = append(fs.membershipHooks, fn)
+}
+
+func (fs *FileSystem) notifyMembership() {
+	for _, fn := range fs.membershipHooks {
+		fn()
+	}
+}
+
 // AddNode joins a fresh worker to the cluster and returns it. Placement,
 // movement targeting and task scheduling pick the node up on their next
 // decision; no replica state changes.
 func (fs *FileSystem) AddNode(spec storage.NodeSpec, slots int) *cluster.Node {
-	return fs.cluster.AddNode(spec, slots)
+	n := fs.cluster.AddNode(spec, slots)
+	fs.notifyMembership()
+	return n
 }
 
 // FailNode removes a worker from the cluster, losing every replica it held.
@@ -74,6 +88,7 @@ func (fs *FileSystem) FailNode(n *cluster.Node) (removed [3]int64) {
 		}
 	}
 	fs.cluster.RemoveNode(n.ID())
+	fs.notifyMembership()
 	return removed
 }
 

@@ -123,6 +123,16 @@ type FileSystem struct {
 	placement PlacementPolicy
 	rng       *rand.Rand
 	listeners []Listener
+	// plane, when non-nil, accounts every transfer against the shared
+	// physical-device channels (see storage.DataPlane). Adopted from the
+	// cluster at construction; nil keeps the pre-data-plane semantics
+	// exactly (no extra events, no latency, no accounting).
+	plane storage.DataPlane
+	// membershipHooks run after every FailNode/AddNode, on the caller's
+	// goroutine (always the loop that owns the file system). The serving
+	// layer uses one to re-publish per-tier representative devices, which
+	// node loss can invalidate without firing a residency flip.
+	membershipHooks []func()
 
 	nextFileID  FileID
 	nextBlockID int64
@@ -150,6 +160,7 @@ func New(c *cluster.Cluster, cfg Config) (*FileSystem, error) {
 	fs := &FileSystem{
 		engine:       c.Engine(),
 		cluster:      c,
+		plane:        c.Plane(),
 		ns:           NewNamespace(),
 		cfg:          cfg,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
@@ -186,6 +197,46 @@ func MustNew(c *cluster.Cluster, cfg Config) *FileSystem {
 
 // Engine returns the simulation engine.
 func (fs *FileSystem) Engine() *sim.Engine { return fs.engine }
+
+// DataPlane returns the attached data plane (nil when none).
+func (fs *FileSystem) DataPlane() storage.DataPlane { return fs.plane }
+
+// SetDataPlane attaches (or, with nil, detaches) a data plane. Transfers
+// already in flight are unaffected. Tests use it to install per-instance
+// planes before a serving layer starts (the server caches the plane at
+// Start; swapping afterwards is unsupported); production wiring passes the
+// plane through cluster.Config instead.
+func (fs *FileSystem) SetDataPlane(p storage.DataPlane) { fs.plane = p }
+
+// chargePlane accounts one transfer against the shared device channel and
+// returns the grant. Zero grant without a plane.
+func (fs *FileSystem) chargePlane(dev *storage.Device, dir storage.Direction, class storage.IOClass, bytes int64) storage.IOGrant {
+	if fs.plane == nil {
+		return storage.IOGrant{}
+	}
+	return fs.plane.Serve(storage.IORequest{
+		DeviceID: dev.ID(),
+		Media:    dev.Media(),
+		Dir:      dir,
+		Class:    class,
+		Bytes:    bytes,
+		At:       fs.engine.Now(),
+	})
+}
+
+// startTransfer begins a device transfer through the data plane: the start
+// is delayed by the plane's queueing + base-latency grant (cross-shard
+// contention on the physical channel), after which the device's own
+// processor-sharing pool models the transfer as before. Without a plane the
+// transfer starts inline — no extra event, so event ordering is identical
+// to the pre-data-plane engine.
+func (fs *FileSystem) startTransfer(dev *storage.Device, dir storage.Direction, class storage.IOClass, bytes int64, done func()) {
+	if delay := fs.chargePlane(dev, dir, class, bytes); delay.Queue+delay.Base > 0 {
+		fs.engine.Schedule(delay.Queue+delay.Base, func() { dev.Start(dir, bytes, done) })
+		return
+	}
+	dev.Start(dir, bytes, done)
+}
 
 // Cluster returns the underlying cluster.
 func (fs *FileSystem) Cluster() *cluster.Cluster { return fs.cluster }
@@ -410,7 +461,7 @@ func (fs *FileSystem) writeBlock(b *Block, onDone func()) error {
 	for _, r := range replicas {
 		media := r.Media()
 		fs.stats.BytesWritten[media] += b.size
-		r.device.StartWrite(b.size, barrier)
+		fs.startTransfer(r.device, storage.Write, storage.ClassServe, b.size, barrier)
 	}
 	return nil
 }
@@ -473,7 +524,7 @@ func (fs *FileSystem) cacheFile(f *File) {
 		b.replicas = append(b.replicas, r)
 		fs.liveBytes += b.size
 		fs.stats.BytesUpgradedTo[storage.Memory] += b.size
-		target.StartWrite(b.size, func() {
+		fs.startTransfer(target, storage.Write, storage.ClassMove, b.size, func() {
 			if r.state == ReplicaCreating {
 				r.state = ReplicaValid
 				b.noteReadable(r)
@@ -523,7 +574,7 @@ func (fs *FileSystem) ReadBlock(b *Block, at *cluster.Node, done func(ReadResult
 		fs.stats.RemoteReads++
 	}
 	barrier := fs.finishAfter(1, fs.clientFloor(b.size), func() { finish(res, nil) })
-	r.device.StartRead(b.size, barrier)
+	fs.startTransfer(r.device, storage.Read, storage.ClassServe, b.size, barrier)
 }
 
 // pickReadReplica returns the replica that a task running on `at` would

@@ -87,7 +87,12 @@ func (fs *FileSystem) MoveFileReplicas(f *File, from, to storage.Media, done fun
 }
 
 // transferBlock streams one block from the source replica's device to the
-// destination and commits the replica record on completion.
+// destination and commits the replica record on completion. Both legs start
+// through the data plane (ClassMove), so movement draws bandwidth from the
+// shared physical-device channels: when another shard (or the serve path)
+// has the channel booked, the leg's start is pushed out by the queueing
+// grant and the move commits later — cross-shard bandwidth contention that
+// per-view device pools cannot express.
 func (fs *FileSystem) transferBlock(m *blockMove, onDone func()) {
 	size := m.block.size
 	// The source read and destination write proceed concurrently; the
@@ -125,8 +130,8 @@ func (fs *FileSystem) transferBlock(m *blockMove, onDone func()) {
 		}
 		onDone()
 	}
-	m.src.device.StartRead(size, step)
-	m.dstDev.StartWrite(size, step)
+	fs.startTransfer(m.src.device, storage.Read, storage.ClassMove, size, step)
+	fs.startTransfer(m.dstDev, storage.Write, storage.ClassMove, size, step)
 }
 
 // pickMoveTarget chooses the device to receive a moved replica: the source
@@ -238,8 +243,8 @@ func (fs *FileSystem) CopyFileReplicas(f *File, to storage.Media, done func(erro
 			}
 			barrier()
 		}
-		p.src.device.StartRead(size, step)
-		p.dstDev.StartWrite(size, step)
+		fs.startTransfer(p.src.device, storage.Read, storage.ClassMove, size, step)
+		fs.startTransfer(p.dstDev, storage.Write, storage.ClassMove, size, step)
 	}
 	return nil
 }

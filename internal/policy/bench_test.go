@@ -212,3 +212,71 @@ func TestIndexedSelectBeatsLinearAt100k(t *testing.T) {
 		}
 	}
 }
+
+// exdUpEnv is a memory-resident population for the EXD upgrade-admission
+// benchmark: n files upgraded into memory with diversified Formula 2
+// weights, so the victim prefix sum has real work to do.
+type exdUpEnv struct {
+	up  *EXDUp
+	env *benchEnv
+}
+
+var exdUpEnvs = map[int]*exdUpEnv{}
+
+func benchEXDUp(tb testing.TB, n int) *exdUpEnv {
+	if e, ok := exdUpEnvs[n]; ok {
+		return e
+	}
+	var up *EXDUp
+	env := newBenchEnv(tb, fmt.Sprintf("exdup/%d", n), n, func(env *benchEnv) {
+		up = NewEXDUp(env.ctx, DefaultEXDAlpha)
+		// Wire the policy's weight callbacks the way a Manager would.
+		core.NewManager(env.ctx, nil, up)
+	})
+	for _, f := range env.files {
+		if err := env.fs.MoveFileReplicas(f, storage.HDD, storage.Memory, nil); err != nil {
+			tb.Fatalf("upgrade to memory: %v", err)
+		}
+		env.engine.Run()
+	}
+	// Re-touch every file with wide virtual spacing: EXD's decay constant
+	// is per-millisecond, so the newBenchEnv 100ms access stride leaves all
+	// weights within float noise of each other — the degenerate all-equal
+	// case where any ordered structure must inspect the whole tier. Minutes
+	// of spacing gives the production-shaped weight spread the prefix walk
+	// is built for.
+	for _, f := range env.files {
+		env.engine.RunFor(2 * time.Minute)
+		env.fs.RecordAccess(f)
+		env.engine.Run()
+	}
+	e := &exdUpEnv{up: up, env: env}
+	exdUpEnvs[n] = e
+	return e
+}
+
+// BenchmarkEXDAdmission compares the weight-heap victim prefix sum against
+// the retired score-and-sort scan for a full-memory admission test (the
+// sum of the lowest-weight files covering a 256 MB upgrade).
+func BenchmarkEXDAdmission(b *testing.B) {
+	const need = 256 * storage.MB
+	for _, n := range []int{1000, 10000} {
+		e := benchEXDUp(b, n)
+		b.Run(fmt.Sprintf("heap/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if w := e.up.VictimWeightSum(need); w <= 0 {
+					b.Fatal("degenerate victim sum")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("linear/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if w := e.up.VictimWeightSumLinear(need); w <= 0 {
+					b.Fatal("degenerate victim sum")
+				}
+			}
+		})
+	}
+}

@@ -119,23 +119,96 @@ func (p *LRFUUp) SelectTargetTier(f *dfs.File, from storage.Media) (storage.Medi
 // EXDUp reproduces Big SQL's admission rule (Table 2): upgrade when memory
 // has room; otherwise upgrade only when the file's Formula 2 weight exceeds
 // the summed weights of the files that would have to be downgraded to make
-// room.
+// room. The victim sum is answered from the memory tier's lazy weight heap
+// (see victimWeightSum) instead of sorting the whole tier per admission.
 type EXDUp struct {
 	core.NopCallbacks
 	singleShot
 	ctx   *core.Context
 	alpha float64
 	book  weightBook
+	wi    *weightIndex
 
 	// Reused buffers for the victim-sum admission test.
 	eligBuf []*dfs.File
 	scored  []scoredFile
+	prefix  victimPrefix
 }
 
-// scoredFile pairs a candidate with its decayed weight for victim sorting.
+// scoredFile pairs a candidate with its decayed weight (and, on the heap
+// path, its memory-tier footprint) for victim selection.
 type scoredFile struct {
 	f *dfs.File
 	w float64
+	b int64
+}
+
+// victimPrefix maintains the minimal-weight set of memory files covering a
+// byte target, as a max-heap ordered by (weight, id): adding a lighter
+// candidate and trimming the heaviest while coverage holds keeps the set
+// equal to the greedy ascending prefix of everything offered so far.
+type victimPrefix struct {
+	items []scoredFile
+	bytes int64
+}
+
+// heavier is the max-heap order (the boundary victim sits on top).
+func heavier(a, b scoredFile) bool {
+	if a.w != b.w {
+		return a.w > b.w
+	}
+	return a.f.ID() > b.f.ID()
+}
+
+func (v *victimPrefix) reset() {
+	v.items = v.items[:0]
+	v.bytes = 0
+}
+
+func (v *victimPrefix) top() scoredFile { return v.items[0] }
+
+func (v *victimPrefix) push(s scoredFile) {
+	v.items = append(v.items, s)
+	v.bytes += s.b
+	i := len(v.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heavier(v.items[i], v.items[parent]) {
+			break
+		}
+		v.items[i], v.items[parent] = v.items[parent], v.items[i]
+		i = parent
+	}
+}
+
+func (v *victimPrefix) popTop() {
+	v.bytes -= v.items[0].b
+	last := len(v.items) - 1
+	v.items[0] = v.items[last]
+	v.items = v.items[:last]
+	i, n := 0, len(v.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		c := l
+		if r := l + 1; r < n && heavier(v.items[r], v.items[l]) {
+			c = r
+		}
+		if !heavier(v.items[c], v.items[i]) {
+			return
+		}
+		v.items[i], v.items[c] = v.items[c], v.items[i]
+		i = c
+	}
+}
+
+// trim drops the heaviest victims while the rest still cover need.
+func (v *victimPrefix) trim(need int64) {
+	for len(v.items) > 0 && v.bytes-v.items[0].b >= need {
+		v.popTop()
+	}
 }
 
 // NewEXDUp builds the EXD upgrade policy.
@@ -143,7 +216,11 @@ func NewEXDUp(ctx *core.Context, alpha float64) *EXDUp {
 	if alpha <= 0 {
 		alpha = DefaultEXDAlpha
 	}
-	return &EXDUp{ctx: ctx, alpha: alpha, book: newWeightBook()}
+	p := &EXDUp{ctx: ctx, alpha: alpha, book: newWeightBook()}
+	p.wi = newWeightIndex(ctx, &p.book, func(stored float64, since time.Duration) float64 {
+		return exdDecayed(stored, since, p.alpha)
+	})
+	return p
 }
 
 // Name implements core.UpgradePolicy.
@@ -153,6 +230,7 @@ func (p *EXDUp) Name() string { return "EXD" }
 func (p *EXDUp) OnFileCreated(f *dfs.File) {
 	p.book.weights[f.ID()] = 1
 	p.book.touched[f.ID()] = p.ctx.Clock.Now()
+	p.wi.refresh(f)
 }
 
 // OnFileAccessed applies Formula 2.
@@ -165,10 +243,15 @@ func (p *EXDUp) OnFileAccessed(f *dfs.File) {
 	}
 	p.book.weights[f.ID()] = exdWeight(old, now.Sub(last), p.alpha)
 	p.book.touched[f.ID()] = now
+	p.wi.refresh(f)
 }
 
 // OnFileDeleted drops the weight entry.
 func (p *EXDUp) OnFileDeleted(f *dfs.File) { p.book.forget(f.ID()) }
+
+// AuditIndex validates the weight index membership against the file
+// system; the churn tests call it after node failures and repairs.
+func (p *EXDUp) AuditIndex() error { return p.wi.audit() }
 
 // StartUpgrade implements the space-or-outweigh admission test.
 func (p *EXDUp) StartUpgrade(accessed *dfs.File) bool {
@@ -196,17 +279,81 @@ func (p *EXDUp) weightOf(f *dfs.File) float64 {
 	return exdDecayed(p.book.weights[f.ID()], now.Sub(last), p.alpha)
 }
 
+// unbeatableWeight is reported when even evicting the whole memory tier
+// would not fit the file, so the admission test necessarily fails.
+const unbeatableWeight = 1e300
+
 // victimWeightSum sums the decayed weights of the lowest-weight memory
-// files whose eviction would free `need` bytes. Candidates are collected
-// into reused buffers and sorted in O(n log n) (the previous selection
-// sort was quadratic in the memory-tier population).
+// files whose eviction would free `need` bytes, walking the memory tier's
+// lazy weight heap in ascending-bound order and maintaining the covering
+// prefix in a max-heap, instead of scoring and sorting the whole tier
+// (which cost O(n log n) per full-memory access).
+//
+// Stored heap keys are weight lower bounds evaluated at a sliding horizon
+// (see weightHorizonWindow), so the walk may stop as soon as the next
+// stored bound exceeds the prefix's boundary weight (the max-heap top):
+// every remaining file's exact weight is at least its bound, hence
+// strictly heavier than the boundary, and the greedy minimal prefix cannot
+// contain it. The boundary is the right cut — unlike a running max over
+// everything visited, it stops rising once coverage is reached and then
+// only falls as lighter victims displace heavier ones, so the walk visits
+// the prefix plus the thin bound-slack band above it, O((v+s) log N)
+// instead of O(N log N). The prefix is then sorted exactly like the
+// retired full scan — same comparator, same ascending summation order —
+// so the result is bit-identical to the linear oracle's.
 func (p *EXDUp) victimWeightSum(need int64) float64 {
+	if need <= 0 {
+		// Nothing must be evicted; the oracle's covering prefix is empty.
+		// (Also keeps the walk's pf.top() reads safe: trim(0) would empty
+		// the prefix heap.)
+		return 0
+	}
+	p.wi.ensureHorizon()
+	p.prefix.reset()
+	pf := &p.prefix
+	covered := false
+	p.wi.tiers[storage.Memory].AscendWhile(
+		func(k core.HeapKey) bool { return !covered || k.W <= pf.top().w },
+		p.wi.elig,
+		func(f *dfs.File) {
+			w := p.weightOf(f)
+			if covered {
+				if top := pf.top(); w > top.w || (w == top.w && f.ID() > top.f.ID()) {
+					return // heavier than the boundary: cannot enter the prefix
+				}
+			}
+			pf.push(scoredFile{f: f, w: w, b: f.BytesOn(storage.Memory)})
+			if pf.bytes >= need {
+				covered = true
+				pf.trim(need)
+			}
+		})
+	if !covered {
+		return unbeatableWeight
+	}
+	// Identical arithmetic to the oracle: prefixSum sorts with the same
+	// comparator and sums ascending; trim guaranteed the set is the minimal
+	// covering prefix, so every element contributes.
+	p.scored = append(p.scored[:0], pf.items...)
+	return prefixSum(p.scored, need)
+}
+
+// victimWeightSumLinear is the retired full-scan admission sum, kept as
+// the differential-test oracle and benchmark baseline: score every
+// eligible memory file, sort, and sum the covering prefix.
+func (p *EXDUp) victimWeightSumLinear(need int64) float64 {
 	p.eligBuf = p.ctx.EligibleFilesInto(p.eligBuf[:0], storage.Memory)
 	p.scored = p.scored[:0]
 	for _, f := range p.eligBuf {
-		p.scored = append(p.scored, scoredFile{f, p.weightOf(f)})
+		p.scored = append(p.scored, scoredFile{f: f, w: p.weightOf(f)})
 	}
-	candidates := p.scored
+	return prefixSum(p.scored, need)
+}
+
+// prefixSum sorts candidates ascending by (weight, id) and sums the
+// minimal prefix freeing `need` bytes; unbeatableWeight when even the
+// whole set cannot.
+func prefixSum(candidates []scoredFile, need int64) float64 {
 	sort.Slice(candidates, func(i, j int) bool {
 		if candidates[i].w != candidates[j].w {
 			return candidates[i].w < candidates[j].w
@@ -223,12 +370,18 @@ func (p *EXDUp) victimWeightSum(need int64) float64 {
 		sum += c.w
 	}
 	if freed < need {
-		// Even evicting everything would not fit the file: report an
-		// unbeatable weight so the admission test fails.
-		return 1e300
+		return unbeatableWeight
 	}
 	return sum
 }
+
+// VictimWeightSum exposes the indexed admission sum to the differential
+// tests.
+func (p *EXDUp) VictimWeightSum(need int64) float64 { return p.victimWeightSum(need) }
+
+// VictimWeightSumLinear exposes the linear oracle to the differential
+// tests and benchmarks.
+func (p *EXDUp) VictimWeightSumLinear(need int64) float64 { return p.victimWeightSumLinear(need) }
 
 // SelectTargetTier implements core.UpgradePolicy. EXD may target memory
 // even when full: the admission test already decided the trade is worth it,

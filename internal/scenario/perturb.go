@@ -113,6 +113,10 @@ func (c ClientSurge) Install(rp *Replay) {
 				if files := rp.FS.LiveFiles(); len(files) > 0 {
 					f := files[rng.Intn(len(files))]
 					if !f.Deleted() && rp.FS.Complete(f) && len(f.Blocks()) > 0 {
+						// RecordAccess, not ServeRead: the ReadBlock below is
+						// this client's data-plane charge (startTransfer);
+						// charging a whole-file ServeRead too would book the
+						// device channel twice for one logical read.
 						rp.FS.RecordAccess(f)
 						b := f.Blocks()[rng.Intn(len(f.Blocks()))]
 						nodes := rp.Cluster.Nodes()

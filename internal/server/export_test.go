@@ -1,0 +1,8 @@
+package server
+
+// Test-only exports for the external server_test package.
+
+// RouteHash exposes the shard-routing hash so black-box tests (e.g. the
+// data-plane contention test picking directories that land on distinct
+// shards) stay coupled to the real routing function instead of a copy.
+func RouteHash(s string) uint32 { return fnv32(s) }

@@ -94,6 +94,10 @@ type AccessResult struct {
 	// Served is false when no tier had full residency (e.g. mid-churn); the
 	// access is still recorded for the policies.
 	Served bool
+	// Latency is the tier-real virtual service time of the read (device
+	// queueing + base latency + transfer) charged against the data plane's
+	// shared physical channel. Zero when no plane is attached.
+	Latency time.Duration
 }
 
 // FileInfo is the client-visible metadata snapshot of a served file.
@@ -123,6 +127,10 @@ type Server struct {
 	ring *eventRing
 	exec *MovementExecutor
 	cmds chan command
+	// plane is the file system's data plane, cached at Start so the client
+	// read path charges tier-real service times without touching the
+	// core-loop-owned fs. Nil disables latency modeling (free reads).
+	plane storage.DataPlane
 
 	// Core-loop-owned state.
 	byID            map[dfs.FileID]*handle
@@ -133,6 +141,7 @@ type Server struct {
 	counters   serveCounters
 	accessHist Histogram
 	mutateHist Histogram
+	readLat    [3]Histogram // tier-real virtual read latencies, by tier served
 
 	wallStart time.Time
 	virtStart time.Time
@@ -169,6 +178,12 @@ func New(fs *dfs.FileSystem, mgr *core.Manager, cfg Config) *Server {
 		mgr.SetMover(s.exec)
 	}
 	fs.AddListener(serverListener{s})
+	// Node loss can remove a tier's representative replica without a
+	// residency flip (the file stays fully resident via other nodes), so
+	// membership changes re-publish every handle's per-tier device. The
+	// hook runs on whatever loop applies the churn — always the core loop
+	// while the server runs (Exec, scenario perturbations, shard fan-out).
+	fs.AddMembershipHook(s.refreshDevices)
 	return s
 }
 
@@ -184,6 +199,11 @@ func (s *Server) AccessLatency() *Histogram { return &s.accessHist }
 // MutateLatency returns the create/delete latency histogram.
 func (s *Server) MutateLatency() *Histogram { return &s.mutateHist }
 
+// ReadLatency returns the tier-real virtual read-latency histogram for one
+// tier: the data-plane service times (queue + base + transfer) of accesses
+// served from it. Empty without an attached plane.
+func (s *Server) ReadLatency(m storage.Media) *Histogram { return &s.readLat[m] }
+
 // Start indexes pre-existing files and launches the core loop (and, under
 // live pacing, the wall-clock pacer).
 func (s *Server) Start() {
@@ -191,6 +211,7 @@ func (s *Server) Start() {
 		return
 	}
 	s.started = true
+	s.plane = s.fs.DataPlane()
 	for _, f := range s.fs.LiveFiles() {
 		if s.fs.Complete(f) {
 			s.indexFile(f)
@@ -316,11 +337,44 @@ func (s *Server) indexFile(f *dfs.File) {
 	h := &handle{id: f.ID(), path: f.Path(), size: f.Size(), file: f}
 	for _, m := range storage.AllMedia {
 		if f.HasReplicaOn(m) {
+			h.setDevice(m, tierDevice(f, m))
 			h.setResident(m, true)
 		}
 	}
 	s.byID[f.ID()] = h
 	s.ns.put(h)
+}
+
+// refreshDevices re-publishes every handle's per-tier representative
+// device; the membership hook runs it after node churn (see New). O(files),
+// and churn is rare. Core loop only.
+func (s *Server) refreshDevices() {
+	// Guard on the server's cached plane (the one AccessAt charges), not
+	// the fs's live one: pre-Start churn may skip the walk (Start re-indexes
+	// every handle anyway), and swapping planes after Start is unsupported.
+	if s.plane == nil {
+		return // pointers are only read for plane charging
+	}
+	for _, h := range s.byID {
+		for _, m := range storage.AllMedia {
+			if h.file.HasReplicaOn(m) {
+				h.setDevice(m, tierDevice(h.file, m))
+			}
+		}
+	}
+}
+
+// tierDevice picks the file's representative device on a tier (the first
+// block's replica) for data-plane charging. Core loop only.
+func tierDevice(f *dfs.File, m storage.Media) *storage.Device {
+	blocks := f.Blocks()
+	if len(blocks) == 0 {
+		return nil
+	}
+	if r := blocks[0].ReplicaOn(m); r != nil {
+		return r.Device()
+	}
+	return nil
 }
 
 // serverListener keeps the striped namespace coherent with the core:
@@ -344,10 +398,18 @@ func (l serverListener) FileDeleted(f *dfs.File) {
 }
 
 // FileTierChanged implements dfs.Listener: publish the flip to the handle
-// so client reads pick their serving tier lock-free.
+// so client reads pick their serving tier lock-free. The representative
+// device is published before the residency bit turns on (and cleared after
+// it turns off), so a reader that observes the bit finds a device.
 func (l serverListener) FileTierChanged(f *dfs.File, media storage.Media, resident bool) {
 	if h, ok := l.s.byID[f.ID()]; ok {
-		h.setResident(media, resident)
+		if resident {
+			h.setDevice(media, tierDevice(f, media))
+			h.setResident(media, true)
+		} else {
+			h.setResident(media, false)
+			h.setDevice(media, nil)
+		}
 	}
 }
 
@@ -427,8 +489,10 @@ func (s *Server) resolve(path string) (*handle, bool) {
 }
 
 // AccessAt records a client access at the given virtual time and returns
-// the tier that serves it. This is the hot path: one striped-shard lookup,
-// one lock-free ring push, zero core-loop involvement.
+// the tier that serves it, with the tier-real read latency when a data
+// plane is attached. This is the hot path: one striped-shard lookup, one
+// lock-free ring push, one atomic charge against the shared device
+// channel, zero core-loop involvement.
 func (s *Server) AccessAt(path string, at time.Time) (AccessResult, error) {
 	h, ok := s.resolve(path)
 	if !ok {
@@ -444,7 +508,25 @@ func (s *Server) AccessAt(path string, at time.Time) (AccessResult, error) {
 	}
 	s.counters.servedByTier[tier].Add(1)
 	s.counters.bytesServed.Add(h.size)
-	return AccessResult{Tier: tier, Served: true}, nil
+	res := AccessResult{Tier: tier, Served: true}
+	// Charge the read's service time against the physical device channel.
+	// A zero stamp (replay-mode Access with no pacer) carries no usable
+	// virtual instant, so those reads stay unmodeled.
+	if s.plane != nil && !at.IsZero() {
+		if dev := h.device(tier); dev != nil {
+			g := s.plane.Serve(storage.IORequest{
+				DeviceID: dev.ID(),
+				Media:    tier,
+				Dir:      storage.Read,
+				Class:    storage.ClassServe,
+				Bytes:    h.size,
+				At:       at,
+			})
+			res.Latency = g.Latency()
+			s.readLat[tier].Observe(res.Latency)
+		}
+	}
+	return res, nil
 }
 
 // Access records an access now and returns the serving tier, observing the

@@ -34,6 +34,12 @@ import (
 //   - Node membership changes fan out: FailNode/AddNode apply to every
 //     shard's view (same node ids everywhere), and the capacity that
 //     left/joined is settled against the ledger totals.
+//   - Device bandwidth lives behind the storage.DataPlane: every shard's
+//     view of one physical device shares that device's virtual-clock
+//     channel (keyed by the device ID, identical across views), so serve
+//     reads and movement in different shards contend for the physical
+//     channel the same way capacity contends through the ledger. The plane
+//     rides in on Cluster.Plane, which every shard's view inherits.
 //
 // Paths route to shards by a hash of the parent directory — the same key
 // the inner server stripes its namespace by — so a directory listing stays
@@ -589,6 +595,20 @@ func (s *ShardedServer) MutateLatency() *Histogram {
 	}
 	return out
 }
+
+// ReadLatency merges the per-shard tier-real read-latency histograms for
+// one tier.
+func (s *ShardedServer) ReadLatency(m storage.Media) *Histogram {
+	out := &Histogram{}
+	for _, sh := range s.shards {
+		out.AddFrom(sh.srv.ReadLatency(m))
+	}
+	return out
+}
+
+// Plane returns the data plane shared by every shard's cluster view (nil
+// when none is attached).
+func (s *ShardedServer) Plane() storage.DataPlane { return s.cfg.Cluster.Plane }
 
 // Service is the client-facing surface shared by the single-writer Server
 // and the ShardedServer, so drivers like cmd/octoload switch between them

@@ -122,14 +122,17 @@ func shardedOracle(t *testing.T, ops []diffOp) *dfs.FileSystem {
 
 // runShardedReplay replays the same trace through the sharded engine in
 // replay mode, fencing after every op, and returns the server un-closed so
-// the caller can inspect and then close it.
-func runShardedReplay(t *testing.T, ops []diffOp, shards int) *server.ShardedServer {
+// the caller can inspect and then close it. plane (optional) is attached to
+// every shard's cluster view.
+func runShardedReplay(t *testing.T, ops []diffOp, shards int, plane storage.DataPlane) *server.ShardedServer {
 	t.Helper()
 	huge := int64(1) << 60
 	inf := math.Inf(1)
+	clCfg := shardedDiffCluster()
+	clCfg.Plane = plane
 	srv, err := server.NewSharded(server.ShardedConfig{
 		Shards:  shards,
-		Cluster: shardedDiffCluster(),
+		Cluster: clCfg,
 		DFS:     dfs.Config{Mode: dfs.ModePinnedHDD, Seed: 7, ClientRate: 2000e6},
 		Build: func(_ int, fs *dfs.FileSystem) (*core.Manager, error) {
 			cfg := core.DefaultConfig()
@@ -233,7 +236,7 @@ func TestDifferentialShardedVsSequential(t *testing.T) {
 	ops := shardedDiffTrace()
 	seq := shardedOracle(t, ops)
 
-	sharded := runShardedReplay(t, ops, 4)
+	sharded := runShardedReplay(t, ops, 4, nil)
 	compareShardedToOracle(t, "shards=4", seq, sharded)
 	if q := sharded.QuotaStats(); q.Borrows == 0 {
 		t.Fatalf("shards=4 run never borrowed quota; the cross-shard protocol went unexercised (%+v)", q)
@@ -242,7 +245,7 @@ func TestDifferentialShardedVsSequential(t *testing.T) {
 
 	// The degenerate case: one shard must also match the oracle, with the
 	// whole capacity granted up front and zero ledger traffic.
-	single := runShardedReplay(t, ops, 1)
+	single := runShardedReplay(t, ops, 1, nil)
 	compareShardedToOracle(t, "shards=1", seq, single)
 	if q := single.QuotaStats(); q.Borrows != 0 || q.ReturnedBytes != 0 {
 		t.Fatalf("shards=1 run touched the ledger: %+v", q)

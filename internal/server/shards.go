@@ -23,7 +23,22 @@ type handle struct {
 	// residency flip so the client read path picks its serving tier without
 	// entering the core.
 	res atomic.Uint32
+	// dev publishes, per tier, a representative device holding the file's
+	// replicas, so the client read path can charge the data plane's
+	// physical channel without entering the core. Client goroutines may
+	// only read the device's immutable identity (ID, Media) — the mutable
+	// capacity/bandwidth state stays core-loop-owned.
+	dev [3]atomic.Pointer[storage.Device]
 }
+
+// setDevice publishes (or, with nil, clears) the tier's representative
+// device. Core loop only; publish the device before flipping residency on
+// so readers that see the bit always find a device.
+func (h *handle) setDevice(m storage.Media, d *storage.Device) { h.dev[m].Store(d) }
+
+// device returns the tier's representative device (nil during the brief
+// window around a residency flip).
+func (h *handle) device(m storage.Media) *storage.Device { return h.dev[m].Load() }
 
 // setResident publishes one tier's residency flip.
 func (h *handle) setResident(m storage.Media, resident bool) {

@@ -276,3 +276,13 @@ func (c *ManualClock) Set(t time.Time) {
 // InfiniteFuture is a timestamp far beyond any simulated horizon, used as a
 // sentinel for "no completion scheduled".
 var InfiniteFuture = Epoch.Add(time.Duration(math.MaxInt64 / 4))
+
+// Nanos converts a virtual timestamp to nanoseconds since Epoch. Components
+// that share state across engines (the storage data plane's per-device
+// busy-until horizons) store virtual instants as these integers so they can
+// be advanced with atomic operations; time.Time itself is multi-word and
+// cannot be read or CASed atomically.
+func Nanos(t time.Time) int64 { return t.Sub(Epoch).Nanoseconds() }
+
+// AtNanos is the inverse of Nanos.
+func AtNanos(ns int64) time.Time { return Epoch.Add(time.Duration(ns)) }

@@ -1,0 +1,346 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octostore/internal/sim"
+)
+
+// This file defines the data-plane API: the single point through which every
+// consumer of storage bandwidth — block writes on create, serve-path reads,
+// tier movement, replication repair, cache fills — accounts its I/O against
+// the *physical* device it touches.
+//
+// The need for a first-class surface comes from the sharded serving layer:
+// each shard owns a private cluster view whose storage.Device objects model
+// a quota slice of the same physical hardware, so per-view bandwidth pools
+// cannot see cross-shard contention (two shards hammering one disk each
+// observed a private, uncontended device). A DataPlane is shared by every
+// view: requests are keyed by the device's stable ID (identical across
+// views by construction), so the plane arbitrates the physical channel the
+// same way the cluster.TierLedger arbitrates physical capacity.
+//
+// Timing is virtual-clock based and allocation-free: a device channel is a
+// pair of atomic busy-until horizons (read, write) expressed in nanoseconds
+// since sim.Epoch. A request issued at virtual time t with service time s
+// (per-tier base latency + bytes at nominal bandwidth) is granted
+// queue = max(0, busyUntil - t), and the horizon advances to
+// t + queue + s — FIFO single-server queueing against the virtual clock,
+// safe to call from any goroutine (shard loops with independent engines,
+// client goroutines on the serve path). The queue a request may accumulate
+// is clamped at MaxQueue, a token-bucket-style bound on the backlog window
+// so an open-loop overload saturates loudly instead of diverging.
+
+// IOClass distinguishes the two consumers of device bandwidth the policies
+// care about separately: foreground serving and background movement.
+type IOClass int
+
+const (
+	// ClassServe is client-facing traffic: initial writes and serve reads.
+	ClassServe IOClass = iota
+	// ClassMove is management traffic: tier movement, repair, cache fills.
+	ClassMove
+)
+
+// String implements fmt.Stringer.
+func (c IOClass) String() string {
+	if c == ClassServe {
+		return "serve"
+	}
+	return "move"
+}
+
+// IORequest describes one I/O issued against a physical device.
+type IORequest struct {
+	// DeviceID is the stable physical identity (Device.ID()); every shard's
+	// view of one physical device carries the same ID.
+	DeviceID string
+	// Media is the device's tier, selecting the service-time profile.
+	Media Media
+	// Dir selects the read or write channel of the device.
+	Dir Direction
+	// Class labels the traffic for accounting.
+	Class IOClass
+	// Bytes is the transfer size.
+	Bytes int64
+	// At is the virtual issue time (the issuing engine's clock, or the
+	// serving layer's pacer clock on client goroutines).
+	At time.Time
+}
+
+// IOGrant is the plane's answer: when the device channel frees up for the
+// request and how long the device then works on it.
+type IOGrant struct {
+	// Queue is the wait until the device channel is free (zero when idle).
+	Queue time.Duration
+	// Base is the per-tier fixed access latency (seek/setup).
+	Base time.Duration
+	// Transfer is Bytes at the tier's nominal bandwidth.
+	Transfer time.Duration
+	// Saturated reports that Queue was clamped at the plane's MaxQueue —
+	// the device backlog window is full and the latency is a floor, not an
+	// estimate.
+	Saturated bool
+}
+
+// Latency is the request's total virtual service time: queueing plus base
+// plus transfer.
+func (g IOGrant) Latency() time.Duration { return g.Queue + g.Base + g.Transfer }
+
+// DataPlane arbitrates physical device bandwidth. Serve must be safe for
+// concurrent use from any goroutine and must not block or schedule events:
+// it answers in virtual time, and callers decide what to do with the grant
+// (delay a transfer start, stamp a latency histogram, accumulate stats).
+type DataPlane interface {
+	Serve(req IORequest) IOGrant
+}
+
+// NopPlane is the no-op data plane: zero latency, infinite bandwidth, no
+// state. A system running on it behaves bit-for-bit like one with no plane
+// attached at all — the differential replay suite relies on this to keep
+// the sequential simulator as its oracle.
+type NopPlane struct{}
+
+// Serve implements DataPlane.
+func (NopPlane) Serve(IORequest) IOGrant { return IOGrant{} }
+
+// TierProfile is the service-time model of one storage tier.
+type TierProfile struct {
+	// BaseLatency is the fixed per-request access cost.
+	BaseLatency time.Duration
+	// ReadBW and WriteBW are the nominal channel bandwidths in bytes/second.
+	ReadBW  float64
+	WriteBW float64
+}
+
+// DefaultTierProfiles mirrors the bandwidths of the paper-testbed worker
+// spec with base latencies in the hardware's characteristic range, so that
+// for any realistic transfer size the tiers order memory < SSD < HDD.
+func DefaultTierProfiles() [3]TierProfile {
+	return [3]TierProfile{
+		Memory: {BaseLatency: 50 * time.Microsecond, ReadBW: 4000e6, WriteBW: 3000e6},
+		SSD:    {BaseLatency: 200 * time.Microsecond, ReadBW: 500e6, WriteBW: 400e6},
+		HDD:    {BaseLatency: 6 * time.Millisecond, ReadBW: 160e6, WriteBW: 140e6},
+	}
+}
+
+// PlaneConfig tunes a ContendedPlane.
+type PlaneConfig struct {
+	// Profiles is the per-tier service-time model (default
+	// DefaultTierProfiles).
+	Profiles [3]TierProfile
+	// MaxQueue clamps the backlog a single request can wait behind
+	// (default 2s of virtual time). Requests arriving at a fuller channel
+	// are granted MaxQueue and counted as saturated rather than pushing
+	// the horizon further out, so sustained overload yields a bounded,
+	// stable latency floor instead of an ever-growing queue.
+	MaxQueue time.Duration
+}
+
+func (c *PlaneConfig) applyDefaults() {
+	zero := TierProfile{}
+	for i := range c.Profiles {
+		if c.Profiles[i] == zero {
+			c.Profiles[i] = DefaultTierProfiles()[i]
+		}
+		if c.Profiles[i].ReadBW <= 0 || c.Profiles[i].WriteBW <= 0 {
+			panic(fmt.Sprintf("storage: plane profile %v needs positive bandwidths", Media(i)))
+		}
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * time.Second
+	}
+}
+
+// planeChannel is one physical device's pair of FIFO bandwidth channels:
+// busy-until horizons in virtual nanoseconds since sim.Epoch.
+type planeChannel struct {
+	read  atomic.Int64
+	write atomic.Int64
+}
+
+func (ch *planeChannel) horizon(dir Direction) *atomic.Int64 {
+	if dir == Read {
+		return &ch.read
+	}
+	return &ch.write
+}
+
+// tierPlaneCounters is the per-tier atomic stats block.
+type tierPlaneCounters struct {
+	requests  atomic.Int64
+	bytes     atomic.Int64
+	queuedNS  atomic.Int64
+	contended atomic.Int64 // requests with nonzero queue
+	saturated atomic.Int64 // requests clamped at MaxQueue
+	moveReqs  atomic.Int64 // ClassMove subset of requests
+}
+
+// TierPlaneStats is a point-in-time snapshot of one tier's plane activity.
+type TierPlaneStats struct {
+	Requests     int64
+	MoveRequests int64
+	Bytes        int64
+	Contended    int64
+	Saturated    int64
+	// AvgQueue is the mean queueing delay across all requests.
+	AvgQueue time.Duration
+}
+
+// PlaneStats snapshots a ContendedPlane.
+type PlaneStats struct {
+	PerTier [3]TierPlaneStats
+	// Devices counts the channels ever created — devices registered or
+	// lazily charged over the plane's lifetime. Channels are never removed
+	// (node ids are never reused, and a channel may still be referenced by
+	// other views of the device mid-churn-fan-out), so after node failures
+	// this exceeds the live device count.
+	Devices int
+}
+
+// ContendedPlane is the shared-bandwidth DataPlane: one channel pair per
+// physical device, created on first use (or pre-registered by the cluster),
+// with per-tier service profiles. All hot-path state is atomic: the channel
+// map is an immutable snapshot behind an atomic pointer (copy-on-write
+// under a mutex on the rare registration path), so Serve takes no lock.
+type ContendedPlane struct {
+	cfg PlaneConfig
+
+	mu    sync.Mutex // guards copy-on-write of chans
+	chans atomic.Pointer[map[string]*planeChannel]
+
+	tiers [3]tierPlaneCounters
+}
+
+// NewContendedPlane builds a plane with the given configuration.
+func NewContendedPlane(cfg PlaneConfig) *ContendedPlane {
+	cfg.applyDefaults()
+	p := &ContendedPlane{cfg: cfg}
+	empty := make(map[string]*planeChannel)
+	p.chans.Store(&empty)
+	return p
+}
+
+// Config returns the resolved configuration.
+func (p *ContendedPlane) Config() PlaneConfig { return p.cfg }
+
+// Register pre-creates a device's channel so the serving hot path never
+// pays channel creation; clusters register their devices at attach time.
+// Registering an existing device is a no-op (the channel — and its accrued
+// backlog — is shared by every view of the device).
+func (p *ContendedPlane) Register(deviceID string, _ Media) {
+	p.insert(deviceID)
+}
+
+// insert returns the device's channel, creating it via copy-on-write if it
+// does not exist yet.
+func (p *ContendedPlane) insert(id string) *planeChannel {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := *p.chans.Load()
+	if ch, ok := old[id]; ok {
+		return ch
+	}
+	next := make(map[string]*planeChannel, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	ch := &planeChannel{}
+	next[id] = ch
+	p.chans.Store(&next)
+	return ch
+}
+
+func (p *ContendedPlane) channel(id string) *planeChannel {
+	if ch := (*p.chans.Load())[id]; ch != nil {
+		return ch
+	}
+	return p.insert(id)
+}
+
+// Serve implements DataPlane: FIFO virtual-clock queueing on the device's
+// directional channel with the queue clamped at MaxQueue. Lock-free after
+// the channel lookup; safe from any goroutine.
+func (p *ContendedPlane) Serve(req IORequest) IOGrant {
+	if !req.Media.Valid() {
+		return IOGrant{}
+	}
+	prof := p.cfg.Profiles[req.Media]
+	bw := prof.ReadBW
+	if req.Dir == Write {
+		bw = prof.WriteBW
+	}
+	transfer := time.Duration(math.Ceil(float64(req.Bytes) / bw * float64(time.Second)))
+	service := prof.BaseLatency + transfer
+	now := sim.Nanos(req.At)
+	h := p.channel(req.DeviceID).horizon(req.Dir)
+
+	var queue time.Duration
+	var saturated bool
+	for {
+		busy := h.Load()
+		queueNS := busy - now
+		if queueNS < 0 {
+			queueNS = 0
+		}
+		if maxNS := p.cfg.MaxQueue.Nanoseconds(); queueNS > maxNS {
+			queueNS, saturated = maxNS, true
+		}
+		end := now + queueNS + service.Nanoseconds()
+		queue = time.Duration(queueNS)
+		if end <= busy {
+			// The channel is already booked beyond this request's clamped
+			// completion (saturation): never retreat the horizon.
+			break
+		}
+		if h.CompareAndSwap(busy, end) {
+			break
+		}
+	}
+
+	t := &p.tiers[req.Media]
+	t.requests.Add(1)
+	t.bytes.Add(req.Bytes)
+	if queue > 0 {
+		t.queuedNS.Add(queue.Nanoseconds())
+		t.contended.Add(1)
+	}
+	if saturated {
+		t.saturated.Add(1)
+	}
+	if req.Class == ClassMove {
+		t.moveReqs.Add(1)
+	}
+	return IOGrant{Queue: queue, Base: prof.BaseLatency, Transfer: transfer, Saturated: saturated}
+}
+
+// Stats snapshots the plane counters. Safe from any goroutine.
+func (p *ContendedPlane) Stats() PlaneStats {
+	var out PlaneStats
+	out.Devices = len(*p.chans.Load())
+	for i := range p.tiers {
+		t := &p.tiers[i]
+		s := TierPlaneStats{
+			Requests:     t.requests.Load(),
+			MoveRequests: t.moveReqs.Load(),
+			Bytes:        t.bytes.Load(),
+			Contended:    t.contended.Load(),
+			Saturated:    t.saturated.Load(),
+		}
+		if s.Requests > 0 {
+			s.AvgQueue = time.Duration(t.queuedNS.Load() / s.Requests)
+		}
+		out.PerTier[i] = s
+	}
+	return out
+}
+
+// Horizon reports the device channel's current busy-until virtual time;
+// tests and diagnostics use it, the serving path never does.
+func (p *ContendedPlane) Horizon(deviceID string, dir Direction) time.Time {
+	return sim.AtNanos(p.channel(deviceID).horizon(dir).Load())
+}
