@@ -80,7 +80,28 @@ type serveReport struct {
 		Count int64   `json:"count"`
 		P99us float64 `json:"p99_us"`
 	} `json:"read"`
-	Violations []string `json:"violations"`
+	ReadTenants []tenantRead `json:"read_tenants"`
+	Violations  []string     `json:"violations"`
+}
+
+type tenantRead struct {
+	Tenant int     `json:"tenant"`
+	Count  int64   `json:"count"`
+	P99us  float64 `json:"p99_us"`
+}
+
+// victimTenant picks the tenant the isolation gate protects: the lowest-id
+// entry of the report's per-tenant read blocks (octoload assigns it the
+// heaviest weight). Returns nil for untenanted reports.
+func victimTenant(rep serveReport) *tenantRead {
+	var victim *tenantRead
+	for i := range rep.ReadTenants {
+		t := &rep.ReadTenants[i]
+		if victim == nil || t.Tenant < victim.Tenant {
+			victim = t
+		}
+	}
+	return victim
 }
 
 // parseServe reads a load report's throughput.
@@ -153,6 +174,29 @@ func gateServe(oldPath, newPath string, threshold, latThreshold float64) int {
 	default:
 		fmt.Printf("OK    %-60s %12.0f µs vs baseline %.0f (%.2fx)\n",
 			"serve:read_p99", cur.Read.P99us, base.Read.P99us, cur.Read.P99us/base.Read.P99us)
+	}
+	// The victim-tenant gate is the multi-tenant QoS regression floor: the
+	// heaviest-weight (lowest-id) tenant's read p99 must not drift up, or
+	// weighted-fair isolation is eroding even if aggregate p99 holds.
+	// Baselines from before the QoS layer (or untenanted runs) carry no
+	// read_tenants block; skip loudly rather than silently disarm — the
+	// baseline refreshes from this run and the gate arms itself next time.
+	curVictim := victimTenant(cur)
+	switch baseVictim := victimTenant(base); {
+	case baseVictim == nil && curVictim == nil:
+		// An untenanted report pair: nothing to gate, nothing to announce.
+	case baseVictim == nil || baseVictim.Count == 0 || baseVictim.P99us <= 0:
+		fmt.Printf("SKIP  %-60s baseline has no per-tenant read block (pre-QoS baseline?); victim gate skipped\n", "serve:victim_read_p99")
+	case curVictim == nil || curVictim.Count == 0 || curVictim.P99us <= 0:
+		fmt.Printf("SLOW  %-60s baseline has tenant read latencies but current run has none (tenants disabled?)\n", "serve:victim_read_p99")
+		regressions++
+	case curVictim.P99us > baseVictim.P99us*latThreshold:
+		fmt.Printf("SLOW  %-60s %12.0f µs vs baseline %.0f (tenant %d, %.2fx > %.2fx gate)\n",
+			"serve:victim_read_p99", curVictim.P99us, baseVictim.P99us, curVictim.Tenant, curVictim.P99us/baseVictim.P99us, latThreshold)
+		regressions++
+	default:
+		fmt.Printf("OK    %-60s %12.0f µs vs baseline %.0f (tenant %d, %.2fx)\n",
+			"serve:victim_read_p99", curVictim.P99us, baseVictim.P99us, curVictim.Tenant, curVictim.P99us/baseVictim.P99us)
 	}
 	return regressions
 }

@@ -31,6 +31,8 @@
 //	octoload -clients 32 -dur 10s -zipf 1.3
 //	octoload -down xgb -up xgb -timescale 300
 //	octoload -budget-mem 128 -move-queue 16    # stress shedding
+//	octoload -shards 4 -tenants 2 -dataplane contended   # weighted-fair QoS
+//	octoload -tenants 2 -dataplane contended -read-slo 40ms  # SLO admission control
 package main
 
 import (
@@ -80,6 +82,10 @@ type config struct {
 	budgetMB    [3]int64
 	rateMBps    [3]int64
 	dataplane   string
+
+	tenants   int
+	readSLO   time.Duration
+	tenantCfg []server.TenantConfig
 }
 
 func parseFlags() config {
@@ -111,6 +117,8 @@ func parseFlags() config {
 	flag.Int64Var(&c.rateMBps[1], "rate-ssd", 0, "SSD-tier movement refill rate (MB per virtual second, 0 = default)")
 	flag.Int64Var(&c.rateMBps[2], "rate-hdd", 0, "HDD-tier movement refill rate (MB per virtual second, 0 = default)")
 	flag.StringVar(&c.dataplane, "dataplane", "none", "data-plane profile: none (free reads, uncontended movement — the pre-data-plane semantics) or contended (per-physical-device service time + shared bandwidth arbitration across shards)")
+	flag.IntVar(&c.tenants, "tenants", 0, "tenant count: >= 2 tags client traffic round-robin (tenant 1 heaviest) and schedules the contended plane weighted-fair; requires -dataplane contended")
+	flag.DurationVar(&c.readSLO, "read-slo", 0, "tenant 1's read p99 target (tier-real virtual latency); breaches defer background movement; requires -tenants >= 2")
 	flag.Parse()
 	c.muteFrac = 1 - c.readFrac - c.statFrac
 	if c.muteFrac < 0 {
@@ -136,6 +144,32 @@ func parseFlags() config {
 	if c.dataplane != "none" && c.dataplane != "contended" {
 		fmt.Fprintln(os.Stderr, "octoload: -dataplane must be none or contended")
 		os.Exit(2)
+	}
+	if c.tenants < 0 {
+		fmt.Fprintln(os.Stderr, "octoload: -tenants must be non-negative")
+		os.Exit(2)
+	}
+	if c.tenants >= 2 && c.dataplane != "contended" {
+		// Tenant weights only mean something on the shared plane; a tagged
+		// run without it would silently measure nothing.
+		fmt.Fprintln(os.Stderr, "octoload: -tenants requires -dataplane contended")
+		os.Exit(2)
+	}
+	if c.readSLO > 0 && c.tenants < 2 {
+		fmt.Fprintln(os.Stderr, "octoload: -read-slo requires -tenants >= 2")
+		os.Exit(2)
+	}
+	if c.tenants >= 2 {
+		// Tenant i+1 gets weight N-i: tenant 1 is the protected heavyweight
+		// (the CI victim gate watches its p99), the last tenant the
+		// best-effort flood.
+		for i := 0; i < c.tenants; i++ {
+			tc := server.TenantConfig{ID: storage.TenantID(i + 1), Weight: float64(c.tenants - i)}
+			if i == 0 {
+				tc.ReadSLO = c.readSLO
+			}
+			c.tenantCfg = append(c.tenantCfg, tc)
+		}
 	}
 	if c.scenarioN != "" && c.shards != 1 {
 		// Scenario perturbations mutate one replay's engine/fs; the sharded
@@ -186,13 +220,18 @@ type report struct {
 	// Read is the tier-real virtual read latency across all tiers (device
 	// queueing + base + transfer from the data plane); zero counts with
 	// -dataplane none. ReadTiers breaks it down per serving tier.
-	Read       latencyBlock       `json:"read"`
-	ReadTiers  []tierLatencyBlock `json:"read_tiers,omitempty"`
-	Plane      []planeTierReport  `json:"plane,omitempty"`
-	Serve      server.ServeStats  `json:"serve"`
-	Executor   []tierReport       `json:"executor"`
-	Quota      server.QuotaStats  `json:"quota"`
-	Violations []string           `json:"violations"`
+	Read      latencyBlock       `json:"read"`
+	ReadTiers []tierLatencyBlock `json:"read_tiers,omitempty"`
+	// ReadTenants breaks the tier-real read latency down per tenant
+	// (present only on -tenants runs); the CI victim gate watches the
+	// lowest-id (heaviest-weight) tenant's p99.
+	ReadTenants []tenantLatencyBlock `json:"read_tenants,omitempty"`
+	SLO         *sloReport           `json:"slo,omitempty"`
+	Plane       []planeTierReport    `json:"plane,omitempty"`
+	Serve       server.ServeStats    `json:"serve"`
+	Executor    []tierReport         `json:"executor"`
+	Quota       server.QuotaStats    `json:"quota"`
+	Violations  []string             `json:"violations"`
 }
 
 type latencyBlock struct {
@@ -204,6 +243,18 @@ type latencyBlock struct {
 type tierLatencyBlock struct {
 	Tier string `json:"tier"`
 	latencyBlock
+}
+
+type tenantLatencyBlock struct {
+	Tenant int     `json:"tenant"`
+	Weight float64 `json:"weight"`
+	latencyBlock
+}
+
+type sloReport struct {
+	Checks   int64 `json:"checks"`
+	Breaches int64 `json:"breaches"`
+	Defers   int64 `json:"defers"`
 }
 
 type planeTierReport struct {
@@ -231,14 +282,16 @@ func toLatencyBlock(h *server.Histogram) latencyBlock {
 // pacer, reconcile tick, or policy-tick borrow can move capacity between
 // per-shard snapshots).
 type system struct {
-	svc      server.Service
-	finish   func() []string
-	exec     func() server.ExecutorStats
-	stats    func() server.ServeStats
-	access   func() *server.Histogram
-	mutate   func() *server.Histogram
-	readTier func(storage.Media) *server.Histogram
-	quota    func() server.QuotaStats
+	svc        server.Service
+	finish     func() []string
+	exec       func() server.ExecutorStats
+	stats      func() server.ServeStats
+	access     func() *server.Histogram
+	mutate     func() *server.Histogram
+	readTier   func(storage.Media) *server.Histogram
+	tenantRead func(storage.TenantID) *server.Histogram
+	slo        func() server.SLOStats
+	quota      func() server.QuotaStats
 }
 
 func buildPolicies(c config, fs *dfs.FileSystem) (*core.Manager, error) {
@@ -290,7 +343,11 @@ func buildSingle(c config, clCfg cluster.Config, sc *scenario.Scenario) (*system
 		fatal(err)
 	}
 	mgr.Start()
-	srv := server.New(fs, mgr, server.Config{TimeScale: c.timeScale, Executor: executorConfig(c)})
+	srv := server.New(fs, mgr, server.Config{
+		TimeScale: c.timeScale,
+		Executor:  executorConfig(c),
+		Tenants:   c.tenantCfg,
+	})
 	srv.Start()
 
 	// The perturbation installer: runs on the core loop once the preload
@@ -333,12 +390,14 @@ func buildSingle(c config, clCfg cluster.Config, sc *scenario.Scenario) (*system
 			mgr.Stop()
 			return violations
 		},
-		exec:     srv.Executor().Stats,
-		stats:    srv.Stats,
-		access:   srv.AccessLatency,
-		mutate:   srv.MutateLatency,
-		readTier: srv.ReadLatency,
-		quota:    func() server.QuotaStats { return server.QuotaStats{} },
+		exec:       srv.Executor().Stats,
+		stats:      srv.Stats,
+		access:     srv.AccessLatency,
+		mutate:     srv.MutateLatency,
+		readTier:   srv.ReadLatency,
+		tenantRead: srv.TenantReadLatency,
+		slo:        srv.SLOStats,
+		quota:      func() server.QuotaStats { return server.QuotaStats{} },
 	}, attach
 }
 
@@ -353,7 +412,11 @@ func buildSharded(c config, clCfg cluster.Config) *system {
 			return buildPolicies(c, fs)
 		},
 		Quota: server.QuotaConfig{InitialFraction: c.quotaFrac},
-		Inner: server.Config{TimeScale: c.timeScale, Executor: executorConfig(c)},
+		Inner: server.Config{
+			TimeScale: c.timeScale,
+			Executor:  executorConfig(c),
+			Tenants:   c.tenantCfg,
+		},
 	})
 	if err != nil {
 		fatal(err)
@@ -365,12 +428,14 @@ func buildSharded(c config, clCfg cluster.Config) *system {
 			srv.Close()
 			return srv.Verify()
 		},
-		exec:     srv.ExecutorStats,
-		stats:    srv.Stats,
-		access:   srv.AccessLatency,
-		mutate:   srv.MutateLatency,
-		readTier: srv.ReadLatency,
-		quota:    srv.QuotaStats,
+		exec:       srv.ExecutorStats,
+		stats:      srv.Stats,
+		access:     srv.AccessLatency,
+		mutate:     srv.MutateLatency,
+		readTier:   srv.ReadLatency,
+		tenantRead: srv.TenantReadLatency,
+		slo:        srv.SLOStats,
+		quota:      srv.QuotaStats,
 	}
 }
 
@@ -403,7 +468,9 @@ func main() {
 	// the physical device channels across shards.
 	var plane *storage.ContendedPlane
 	if c.dataplane == "contended" {
-		plane = storage.NewContendedPlane(storage.PlaneConfig{})
+		plane = storage.NewContendedPlane(storage.PlaneConfig{
+			Tenants: server.PlaneTenants(c.tenantCfg),
+		})
 		clCfg.Plane = plane
 	}
 
@@ -416,6 +483,15 @@ func main() {
 	}
 	svc := sys.svc
 
+	// Each client carries one tenant identity for the whole run (round-robin
+	// across the table); untenanted runs keep the untagged fast path.
+	tenantOf := func(cli int) storage.TenantID {
+		if len(c.tenantCfg) == 0 {
+			return storage.DefaultTenant
+		}
+		return c.tenantCfg[cli%len(c.tenantCfg)].ID
+	}
+
 	// Stage the population through the serving layer, concurrently.
 	paths := make([]string, len(files))
 	var wg sync.WaitGroup
@@ -423,9 +499,16 @@ func main() {
 		wg.Add(1)
 		go func(cli int) {
 			defer wg.Done()
+			tid := tenantOf(cli)
 			for i := cli; i < len(files); i += c.clients {
 				paths[i] = files[i].Path
-				if err := svc.Create(files[i].Path, files[i].Size); err != nil {
+				var err error
+				if tid != storage.DefaultTenant {
+					err = svc.CreateAs(files[i].Path, files[i].Size, tid)
+				} else {
+					err = svc.Create(files[i].Path, files[i].Size)
+				}
+				if err != nil {
 					fmt.Fprintf(os.Stderr, "octoload: preload %s: %v\n", files[i].Path, err)
 				}
 			}
@@ -444,6 +527,7 @@ func main() {
 		wg.Add(1)
 		go func(cli int) {
 			defer wg.Done()
+			tid := tenantOf(cli)
 			rng := rand.New(rand.NewSource(c.seed*1000 + int64(cli)))
 			zipf := rand.NewZipf(rng, c.zipfS, 1, uint64(len(paths)-1))
 			var own []string
@@ -456,13 +540,23 @@ func main() {
 				}
 				switch r := rng.Float64(); {
 				case r < c.readFrac:
-					svc.Access(paths[zipf.Uint64()])
+					if tid != storage.DefaultTenant {
+						svc.AccessAs(paths[zipf.Uint64()], tid)
+					} else {
+						svc.Access(paths[zipf.Uint64()])
+					}
 				case r < c.readFrac+c.statFrac:
 					svc.Stat(paths[rng.Intn(len(paths))])
 				case rng.Float64() < 0.5 || len(own) == 0:
 					path := fmt.Sprintf("/scratch/c%d/f%06d", cli, scratch)
 					scratch++
-					if err := svc.Create(path, (4+rng.Int63n(60))*storage.MB); err == nil {
+					var err error
+					if tid != storage.DefaultTenant {
+						err = svc.CreateAs(path, (4+rng.Int63n(60))*storage.MB, tid)
+					} else {
+						err = svc.Create(path, (4+rng.Int63n(60))*storage.MB)
+					}
+					if err == nil {
 						own = append(own, path)
 					}
 				default:
@@ -500,7 +594,8 @@ func main() {
 			"readfrac": c.readFrac, "workers": clCfg.Workers, "down": c.down, "up": c.up,
 			"timescale": c.timeScale, "seed": c.seed, "shards": c.shards,
 			"move_workers": c.moveWorkers, "move_queue": c.moveQueue,
-			"dataplane": c.dataplane,
+			"dataplane": c.dataplane, "tenants": c.tenants,
+			"read_slo": c.readSLO.String(),
 		},
 		ElapsedSeconds: elapsed.Seconds(),
 		Ops:            ops.Load(),
@@ -515,6 +610,17 @@ func main() {
 	}
 	for _, m := range storage.AllMedia {
 		rep.Executor = append(rep.Executor, tierReport{Tier: m.String(), TierMoveStats: exStats.PerTier[m]})
+	}
+	for _, tc := range c.tenantCfg {
+		if h := sys.tenantRead(tc.ID); h != nil {
+			rep.ReadTenants = append(rep.ReadTenants, tenantLatencyBlock{
+				Tenant: int(tc.ID), Weight: tc.Weight, latencyBlock: toLatencyBlock(h),
+			})
+		}
+	}
+	if c.readSLO > 0 {
+		st := sys.slo()
+		rep.SLO = &sloReport{Checks: st.Checks, Breaches: st.Breaches, Defers: exStats.Defers}
 	}
 	if plane != nil {
 		pst := plane.Stats()
@@ -540,6 +646,14 @@ func main() {
 		for _, pt := range rep.Plane {
 			fmt.Printf("  plane %s  %d reqs (%d move)  %dMB  contended %d  saturated %d  avg queue %v\n",
 				pt.Tier, pt.Requests, pt.MoveRequests, pt.Bytes/storage.MB, pt.Contended, pt.Saturated, pt.AvgQueue)
+		}
+		for _, tl := range rep.ReadTenants {
+			fmt.Printf("  tenant %d   p50 %.1fµs  p99 %.1fµs  (%d samples, weight %.0f)\n",
+				tl.Tenant, tl.P50us, tl.P99us, tl.Count, tl.Weight)
+		}
+		if rep.SLO != nil {
+			fmt.Printf("  slo        %d checks, %d breaches, %d movement defers\n",
+				rep.SLO.Checks, rep.SLO.Breaches, rep.SLO.Defers)
 		}
 	}
 	st := rep.Serve

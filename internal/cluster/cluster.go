@@ -137,6 +137,14 @@ type planeRegistrar interface {
 	Register(deviceID string, media storage.Media)
 }
 
+// planeUnregistrar is the reclamation side of planeRegistrar: each cluster
+// view drops its registration when a node leaves, and the plane frees the
+// device's channel once the last view lets go (registrations are
+// refcounted, so views of other shards mid-churn-fan-out stay safe).
+type planeUnregistrar interface {
+	Unregister(deviceID string, media storage.Media)
+}
+
 // AddNode joins a fresh worker with the given storage spec and task slots to
 // the cluster (node membership churn, e.g. scale-out mid-workload). Node ids
 // are never reused.
@@ -171,6 +179,11 @@ func (c *Cluster) RemoveNode(id int) *Node {
 	for i, n := range c.nodes {
 		if n.id == id {
 			c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
+			if unreg, ok := c.plane.(planeUnregistrar); ok {
+				for _, d := range n.AllDevices() {
+					unreg.Unregister(d.ID(), d.Media())
+				}
+			}
 			return n
 		}
 	}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"octostore/internal/storage"
@@ -52,6 +53,27 @@ type TierLedger struct {
 	reserves atomic.Int64
 	commits  atomic.Int64
 	aborts   atomic.Int64
+
+	// tenants holds per-tenant borrow budgets; tenantMu guards the map
+	// (accounts themselves are atomic).
+	tenantMu sync.RWMutex
+	tenants  map[storage.TenantID]*tenantAccount
+}
+
+// tenantAccount caps one tenant's cumulative pool borrows per tier. The
+// per-tenant conservation contract: at every instant
+//
+//	committed[m] + reserved[m] ≤ limit[m]   (when limit[m] > 0)
+//
+// where `reserved` is the tenant's share of in-flight reservations and
+// `committed` only ever grows by moving bytes out of `reserved` (Commit),
+// so a tenant can never commit past its quota regardless of interleaving.
+// The budget is a cumulative commitment cap — returned capacity is pooled,
+// not attributable, so it does not replenish the tenant's budget.
+type tenantAccount struct {
+	limit     [3]int64 // 0 = unlimited on that tier
+	reserved  [3]atomic.Int64
+	committed [3]atomic.Int64
 }
 
 // NewTierLedger builds an empty ledger; AddCapacity introduces tier totals.
@@ -93,6 +115,94 @@ func (l *TierLedger) Commits() int64 { return l.commits.Load() }
 
 // Aborts returns how many reservations were aborted.
 func (l *TierLedger) Aborts() int64 { return l.aborts.Load() }
+
+// SetTenantQuota caps how much pool capacity reservations tagged with the
+// tenant may ever commit on a tier (0 or negative lifts the cap). Configure
+// before traffic; installing a quota below a tenant's already-committed
+// bytes only blocks further borrows.
+func (l *TierLedger) SetTenantQuota(t storage.TenantID, m storage.Media, limit int64) {
+	if limit < 0 {
+		limit = 0
+	}
+	l.tenantMu.Lock()
+	defer l.tenantMu.Unlock()
+	if l.tenants == nil {
+		l.tenants = make(map[storage.TenantID]*tenantAccount)
+	}
+	acct := l.tenants[t]
+	if acct == nil {
+		acct = &tenantAccount{}
+		l.tenants[t] = acct
+	}
+	acct.limit[m] = limit
+}
+
+func (l *TierLedger) tenant(t storage.TenantID) *tenantAccount {
+	l.tenantMu.RLock()
+	defer l.tenantMu.RUnlock()
+	return l.tenants[t]
+}
+
+// TenantCommittedBytes returns how much of the tenant's budget has been
+// committed on a tier.
+func (l *TierLedger) TenantCommittedBytes(t storage.TenantID, m storage.Media) int64 {
+	if acct := l.tenant(t); acct != nil {
+		return acct.committed[m].Load()
+	}
+	return 0
+}
+
+// TenantReservedBytes returns the tenant's share of unresolved reservations
+// on a tier.
+func (l *TierLedger) TenantReservedBytes(t storage.TenantID, m storage.Media) int64 {
+	if acct := l.tenant(t); acct != nil {
+		return acct.reserved[m].Load()
+	}
+	return 0
+}
+
+// TenantQuota returns the tenant's configured cap on a tier (0 = unlimited).
+func (l *TierLedger) TenantQuota(t storage.TenantID, m storage.Media) int64 {
+	if acct := l.tenant(t); acct != nil {
+		return acct.limit[m]
+	}
+	return 0
+}
+
+// ReserveFor is Reserve with a tenant identity: the claim is additionally
+// admitted against the tenant's budget, and fails — without touching the
+// pool — when committing the bytes would exceed the tenant's quota.
+// Tenants without a configured account (including DefaultTenant unless one
+// was installed for it) reserve exactly like the untagged Reserve.
+func (l *TierLedger) ReserveFor(t storage.TenantID, m storage.Media, bytes int64) (*QuotaReservation, bool) {
+	if bytes <= 0 {
+		return nil, false
+	}
+	acct := l.tenant(t)
+	metered := acct != nil && acct.limit[m] > 0
+	if metered {
+		for {
+			r := acct.reserved[m].Load()
+			if acct.committed[m].Load()+r+bytes > acct.limit[m] {
+				return nil, false
+			}
+			if acct.reserved[m].CompareAndSwap(r, r+bytes) {
+				break
+			}
+		}
+	}
+	res, ok := l.Reserve(m, bytes)
+	if !ok {
+		if metered {
+			acct.reserved[m].Add(-bytes)
+		}
+		return nil, false
+	}
+	if metered {
+		res.acct = acct
+	}
+	return res, true
+}
 
 // Reserve is phase one of the cross-shard protocol: atomically claim bytes
 // from the tier's free pool. It returns false (and no reservation) when the
@@ -201,6 +311,23 @@ func (l *TierLedger) Check(granted [3]int64) error {
 				m, free, reserved, granted[m], got, total)
 		}
 	}
+	l.tenantMu.RLock()
+	defer l.tenantMu.RUnlock()
+	for t, acct := range l.tenants {
+		for _, m := range storage.AllMedia {
+			res, com := acct.reserved[m].Load(), acct.committed[m].Load()
+			if res < 0 {
+				return fmt.Errorf("cluster: tenant %d ledger %s reserved negative: %d", t, m, res)
+			}
+			if com < 0 {
+				return fmt.Errorf("cluster: tenant %d ledger %s committed negative: %d", t, m, com)
+			}
+			if limit := acct.limit[m]; limit > 0 && com+res > limit {
+				return fmt.Errorf("cluster: tenant %d ledger %s over quota: committed %d + reserved %d > limit %d",
+					t, m, com, res, limit)
+			}
+		}
+	}
 	return nil
 }
 
@@ -211,6 +338,7 @@ type QuotaReservation struct {
 	media    storage.Media
 	bytes    int64
 	resolved bool
+	acct     *tenantAccount // non-nil when admitted against a tenant budget
 }
 
 // Bytes returns the reserved amount.
@@ -225,6 +353,13 @@ func (r *QuotaReservation) Commit() {
 	}
 	r.resolved = true
 	r.ledger.reserved[r.media].Add(-r.bytes)
+	if r.acct != nil {
+		// Committed grows before reserved shrinks, so the tenant's
+		// committed+reserved sum never transiently dips below its true
+		// value — admission stays conservative under concurrency.
+		r.acct.committed[r.media].Add(r.bytes)
+		r.acct.reserved[r.media].Add(-r.bytes)
+	}
 	r.ledger.commits.Add(1)
 }
 
@@ -236,5 +371,8 @@ func (r *QuotaReservation) Abort() {
 	r.resolved = true
 	r.ledger.reserved[r.media].Add(-r.bytes)
 	r.ledger.free[r.media].Add(r.bytes)
+	if r.acct != nil {
+		r.acct.reserved[r.media].Add(-r.bytes)
+	}
 	r.ledger.aborts.Add(1)
 }

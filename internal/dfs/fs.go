@@ -128,6 +128,11 @@ type FileSystem struct {
 	// cluster at construction; nil keeps the pre-data-plane semantics
 	// exactly (no extra events, no latency, no accounting).
 	plane storage.DataPlane
+	// activeTenant tags plane charges issued while an entry-point call is
+	// on the stack (charges happen synchronously inside Create/ReadBlock/
+	// move starts, so a scoped set/reset around the call suffices). Zero is
+	// storage.DefaultTenant: untagged.
+	activeTenant storage.TenantID
 	// membershipHooks run after every FailNode/AddNode, on the caller's
 	// goroutine (always the loop that owns the file system). The serving
 	// layer uses one to re-publish per-tier representative devices, which
@@ -219,10 +224,20 @@ func (fs *FileSystem) chargePlane(dev *storage.Device, dir storage.Direction, cl
 		Media:    dev.Media(),
 		Dir:      dir,
 		Class:    class,
+		Tenant:   fs.activeTenant,
 		Bytes:    bytes,
 		At:       fs.engine.Now(),
 	})
 }
+
+// SetActiveTenant scopes subsequent plane charges to a tenant; callers set
+// it around an entry-point call and reset to storage.DefaultTenant after.
+// Owned by the goroutine driving the file system (the core loop), like
+// every other mutation.
+func (fs *FileSystem) SetActiveTenant(t storage.TenantID) { fs.activeTenant = t }
+
+// ActiveTenant returns the tenant currently charged for plane I/O.
+func (fs *FileSystem) ActiveTenant() storage.TenantID { return fs.activeTenant }
 
 // startTransfer begins a device transfer through the data plane: the start
 // is delayed by the plane's queueing + base-latency grant (cross-shard

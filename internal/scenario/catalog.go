@@ -73,6 +73,45 @@ func MultiTenant() Scenario {
 	}
 }
 
+// TenantQoS is the multi-tenant mix under a contended, weighted-fair data
+// plane: the FB and CMU tenants carry plane weights 3:1, and a per-tenant
+// read surge hits each namespace mid-trace, so device arbitration, tenant
+// tagging, and the plane's per-tenant accounting are all exercised inside
+// the always-on invariant checker (the replay asserts the plane's tenant
+// counters reconcile with the tier totals after every checked event).
+func TenantQoS() Scenario {
+	return Scenario{
+		Name:        "tenant-qos",
+		Description: "FB and CMU tenants contend on a weighted-fair data plane with per-tenant read surges",
+		Cluster: func(o Options) cluster.Config {
+			cfg := DefaultCluster(o)
+			cfg.Plane = storage.NewContendedPlane(storage.PlaneConfig{
+				Tenants: []storage.TenantWeight{
+					{ID: 0, Weight: 3},
+					{ID: 1, Weight: 1},
+				},
+			})
+			return cfg
+		},
+		Trace: func(o Options) *workload.Trace {
+			fb := workload.FB()
+			cmu := workload.CMU()
+			if o.Fast {
+				fb, cmu = FastProfile(fb), FastProfile(cmu)
+				fb.NumJobs /= 2
+				cmu.NumJobs /= 2
+			}
+			return workload.Merge("tenant-qos",
+				workload.Generate(fb, o.Seed),
+				workload.Generate(cmu, o.Seed+101))
+		},
+		Perturb: []Perturbation{
+			TenantSurge{Tenant: 0, PathPrefix: "/tenant0", Offset: 10 * time.Minute, Duration: 60 * time.Minute, Clients: 12},
+			TenantSurge{Tenant: 1, PathPrefix: "/tenant1", Offset: 15 * time.Minute, Duration: 60 * time.Minute, Clients: 12},
+		},
+	}
+}
+
 // TierCrunch runs the FB workload and floods the cluster with cold ballast
 // a third of the way in, forcing the downgrade process to run against live
 // traffic.
@@ -188,6 +227,7 @@ func Catalog() []Scenario {
 		HotSetDrift(),
 		BurstStorm(),
 		MultiTenant(),
+		TenantQoS(),
 		TierCrunch(),
 		NodeJoinLeave(),
 		ConcurrentClients(),

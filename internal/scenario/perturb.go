@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"octostore/internal/dfs"
@@ -127,6 +128,79 @@ func (c ClientSurge) Install(rp *Replay) {
 				rp.Engine.Schedule(think, loop)
 			}
 			// Stagger client starts across the first think window.
+			rp.Engine.Schedule(time.Duration(rng.Int63n(int64(thinkMin))+1), loop)
+		}
+	})
+}
+
+// TenantSurge is ClientSurge with a tenant identity: each virtual client
+// reads only files under PathPrefix and tags its data-plane charges with
+// Tenant (the file system's active tenant is scoped around every access),
+// so a multi-tenant replay exercises weighted-fair arbitration and the
+// plane's per-tenant accounting. Defaults match ClientSurge.
+type TenantSurge struct {
+	Tenant     storage.TenantID
+	PathPrefix string
+	Offset     time.Duration
+	Duration   time.Duration
+	Clients    int
+	ThinkMin   time.Duration
+	ThinkMax   time.Duration
+	Seed       int64
+}
+
+// Name implements Perturbation.
+func (c TenantSurge) Name() string { return fmt.Sprintf("tenant-surge-%d", c.Tenant) }
+
+// Install implements Perturbation.
+func (c TenantSurge) Install(rp *Replay) {
+	clients := c.Clients
+	if clients <= 0 {
+		clients = 16
+	}
+	thinkMin, thinkMax := c.ThinkMin, c.ThinkMax
+	if thinkMin <= 0 {
+		thinkMin = time.Second
+	}
+	if thinkMax <= thinkMin {
+		thinkMax = thinkMin + 14*time.Second
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = rp.Opts.Seed + int64(c.Tenant)*7919
+	}
+	rp.Engine.Schedule(c.Offset, func() {
+		end := rp.Engine.Now().Add(c.Duration)
+		for i := 0; i < clients; i++ {
+			rng := rand.New(rand.NewSource(seed + int64(i)*9176 + 311))
+			var loop func()
+			loop = func() {
+				if rp.Engine.Now().After(end) {
+					return
+				}
+				var pick []*dfs.File
+				for _, f := range rp.FS.LiveFiles() {
+					if strings.HasPrefix(f.Path(), c.PathPrefix) {
+						pick = append(pick, f)
+					}
+				}
+				if len(pick) > 0 {
+					f := pick[rng.Intn(len(pick))]
+					if !f.Deleted() && rp.FS.Complete(f) && len(f.Blocks()) > 0 {
+						// Same RecordAccess+ReadBlock shape as ClientSurge; the
+						// active tenant scopes the ReadBlock's synchronous
+						// data-plane charge to this surge's tenant.
+						rp.FS.SetActiveTenant(c.Tenant)
+						rp.FS.RecordAccess(f)
+						b := f.Blocks()[rng.Intn(len(f.Blocks()))]
+						nodes := rp.Cluster.Nodes()
+						rp.FS.ReadBlock(b, nodes[rng.Intn(len(nodes))], nil)
+						rp.FS.SetActiveTenant(storage.DefaultTenant)
+					}
+				}
+				think := thinkMin + time.Duration(rng.Int63n(int64(thinkMax-thinkMin)+1))
+				rp.Engine.Schedule(think, loop)
+			}
 			rp.Engine.Schedule(time.Duration(rng.Int63n(int64(thinkMin))+1), loop)
 		}
 	})

@@ -149,6 +149,9 @@ type Result struct {
 	// DataLossBlocks counts blocks left with no readable replica at the end
 	// of the replay (node churn beyond the replication factor).
 	DataLossBlocks int
+	// TenantPlane holds the data plane's per-tenant traffic counters when the
+	// scenario ran under a multi-tenant contended plane (nil otherwise).
+	TenantPlane []storage.TenantPlaneStats
 }
 
 // maxRecordedViolations bounds the violation log so a systemic corruption
@@ -216,6 +219,14 @@ func Run(sc Scenario, sys System, o Options) (*Result, error) {
 			record(rp.Manager.Context().Index().Audit())
 		}
 	}
+	// Multi-tenant plane profiles additionally reconcile the plane's
+	// per-tenant counters against the tier totals on the same cadence, so a
+	// mis-tagged or double-counted request fails the replay at the event
+	// that introduced it.
+	var planeCheck func() error
+	if cp, ok := cl.Plane().(*storage.ContendedPlane); ok && cp.MultiTenant() {
+		planeCheck = cp.CheckAccounting
+	}
 	var sinceLight, sinceDeep int
 	engine.SetEventHook(func() {
 		sinceLight++
@@ -223,6 +234,9 @@ func Run(sc Scenario, sys System, o Options) (*Result, error) {
 			sinceLight = 0
 			res.AccountingChecks++
 			record(fs.CheckAccounting())
+			if planeCheck != nil {
+				record(planeCheck())
+			}
 		}
 		if o.DeepCheckEvery > 0 {
 			sinceDeep++
@@ -283,6 +297,9 @@ func Run(sc Scenario, sys System, o Options) (*Result, error) {
 	}
 	for _, media := range storage.AllMedia {
 		res.FinalUtilization[media] = cl.TierUtilization(media)
+	}
+	if cp, ok := cl.Plane().(*storage.ContendedPlane); ok && cp.MultiTenant() {
+		res.TenantPlane = cp.TenantStats()
 	}
 	for _, f := range fs.LiveFiles() {
 		if !fs.Complete(f) {

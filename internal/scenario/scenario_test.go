@@ -146,10 +146,38 @@ func TestPerturbationsScheduleOnly(t *testing.T) {
 	}
 }
 
+// TestTenantQoSAccountsPerTenant replays the tenant-qos scenario and checks
+// the multi-tenant plane wiring end to end: the per-event accounting hook
+// (tenant counters vs tier totals) found nothing, both tenants actually
+// drove tagged traffic through the weighted-fair plane, and the surge load
+// queued somewhere (the contended profile is not a no-op).
+func TestTenantQoSAccountsPerTenant(t *testing.T) {
+	res, err := Run(TenantQoS(), xgbSystem(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("tenant-qos violated invariants: %v", res.Violations)
+	}
+	if len(res.TenantPlane) != 2 {
+		t.Fatalf("want plane stats for 2 tenants, got %+v", res.TenantPlane)
+	}
+	var queued time.Duration
+	for _, ts := range res.TenantPlane {
+		if ts.Requests == 0 || ts.Bytes == 0 {
+			t.Fatalf("tenant %d drove no plane traffic: %+v", ts.Tenant, ts)
+		}
+		queued += ts.AvgQueue
+	}
+	if queued == 0 {
+		t.Fatal("no tenant ever queued: contended plane profile is a no-op")
+	}
+}
+
 func TestCatalogLookup(t *testing.T) {
 	names := Names()
-	if len(names) != 6 {
-		t.Fatalf("catalog has %d scenarios, want 6: %v", len(names), names)
+	if len(names) != 7 {
+		t.Fatalf("catalog has %d scenarios, want 7: %v", len(names), names)
 	}
 	for _, name := range names {
 		sc, err := Get(name)

@@ -97,6 +97,9 @@ type ExecutorStats struct {
 	// per-tier bucket parameters it bounds admissions:
 	// AdmittedBytes <= BudgetBytes + RateBytesPerSec*VirtualSeconds.
 	VirtualSeconds float64
+	// Defers counts how many times admission was pushed out by Defer (the
+	// SLO controller's shed-background-work lever).
+	Defers int64
 }
 
 // Queued sums admitted requests across tiers.
@@ -142,6 +145,13 @@ type MovementExecutor struct {
 	virtStart time.Time // virtual construction time, origin of VirtualSeconds
 
 	tiers [3]tierPool
+	// deferUntil, while in the future, holds every tier's admissions back —
+	// the SLO admission controller's lever for shedding background movement
+	// when a tenant drifts past its latency target. Core-loop-owned; queued
+	// requests stay queued (not shed) and a wake event at the deadline
+	// guarantees the queue drains without further prodding.
+	deferUntil time.Time
+	defers     atomic.Int64
 	// busy counts admitted-but-unfinished requests across all tiers; the
 	// quiesce loop uses it to decide whether movement work is outstanding.
 	busy atomic.Int64
@@ -238,6 +248,15 @@ func (e *MovementExecutor) refill(tier storage.Media) {
 func (e *MovementExecutor) pump(tier storage.Media) {
 	pool := &e.tiers[tier]
 	e.refill(tier)
+	if now := e.engine.Now(); e.deferUntil.After(now) {
+		// SLO deferral: hold admissions but keep the queue; the wake at the
+		// deadline re-pumps, so quiesce can still drain by stepping the
+		// engine (movement work stays runnable, just postponed).
+		if len(pool.queue) > 0 {
+			e.wakeAt(tier, e.deferUntil.Sub(now))
+		}
+		return
+	}
 	for pool.active < e.cfg.WorkersPerTier && len(pool.queue) > 0 {
 		head := pool.queue[0]
 		if need := float64(head.size); pool.tokens < need {
@@ -251,18 +270,48 @@ func (e *MovementExecutor) pump(tier storage.Media) {
 	}
 }
 
+// Defer pushes the admission deadline out to `until` (never pulls it in):
+// queued and future requests start only once the virtual clock passes it.
+// Core loop only — the SLO controller's tick runs there.
+func (e *MovementExecutor) Defer(until time.Time) {
+	if !until.After(e.deferUntil) {
+		return
+	}
+	e.deferUntil = until
+	e.defers.Add(1)
+	for _, m := range storage.AllMedia {
+		if len(e.tiers[m].queue) > 0 {
+			e.wakeAt(m, until.Sub(e.engine.Now()))
+		}
+	}
+}
+
+// DeferredUntil returns the current admission deadline (zero when movement
+// was never deferred). Core loop only.
+func (e *MovementExecutor) DeferredUntil() time.Time { return e.deferUntil }
+
 // wakeWhenRefilled schedules one engine event at the virtual time the tier's
 // bucket reaches `need` bytes, so a blocked queue makes progress even when
 // no completion re-pumps it.
 func (e *MovementExecutor) wakeWhenRefilled(tier storage.Media, need float64) {
+	rate := e.cfg.RateBytesPerSec[tier]
+	// Round up a whole nanosecond so the refill at the wake time covers the
+	// deficit despite float truncation.
+	need -= e.tiers[tier].tokens
+	e.wakeAt(tier, time.Duration(math.Ceil(need/rate*float64(time.Second)))+time.Nanosecond)
+}
+
+// wakeAt schedules one engine event after `delay` that re-pumps the tier; a
+// pending wake is left in place (the earlier of the two re-pumps, and pump
+// re-schedules as needed).
+func (e *MovementExecutor) wakeAt(tier storage.Media, delay time.Duration) {
 	pool := &e.tiers[tier]
 	if pool.wake != nil {
 		return
 	}
-	rate := e.cfg.RateBytesPerSec[tier]
-	// Round up a whole nanosecond so the refill at the wake time covers the
-	// deficit despite float truncation.
-	delay := time.Duration(math.Ceil((need-pool.tokens)/rate*float64(time.Second))) + time.Nanosecond
+	if delay < time.Nanosecond {
+		delay = time.Nanosecond
+	}
 	pool.wake = e.engine.Schedule(delay, func() {
 		pool.wake = nil
 		e.pump(tier)
@@ -317,6 +366,7 @@ func (e *MovementExecutor) Idle() bool { return e.busy.Load() == 0 }
 func (e *MovementExecutor) Stats() ExecutorStats {
 	var out ExecutorStats
 	out.VirtualSeconds = time.Duration(e.virtualNS.Load()).Seconds()
+	out.Defers = e.defers.Load()
 	for i := range e.tiers {
 		p := &e.tiers[i]
 		out.PerTier[i] = TierMoveStats{

@@ -44,10 +44,30 @@ func (h *Histogram) Count() int64 {
 	return n
 }
 
+// Counts snapshots the bucket counters; the SLO controller diffs snapshots
+// to answer quantiles over a window, and the differential tests compare
+// whole histograms bit-for-bit.
+func (h *Histogram) Counts() [64]int64 {
+	var out [64]int64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
 // Quantile returns the q-quantile (0..1) as a duration, approximated by the
 // geometric midpoint of the bucket containing the rank. Zero when empty.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	total := h.Count()
+	return quantileOf(h.Counts(), q)
+}
+
+// quantileOf answers the q-quantile over an arbitrary bucket-count vector
+// (a live snapshot, or a windowed delta of two snapshots).
+func quantileOf(counts [64]int64, q float64) time.Duration {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
 	if total == 0 {
 		return 0
 	}
@@ -59,8 +79,7 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	}
 	rank := int64(q * float64(total-1))
 	var seen int64
-	for i := range h.buckets {
-		c := h.buckets[i].Load()
+	for i, c := range counts {
 		if c == 0 {
 			continue
 		}

@@ -110,6 +110,13 @@ func bestDevice(n *cluster.Node, media storage.Media) *storage.Device {
 // pool cannot cover even the exact deficit, or the shard has no device of
 // the tier left, nothing changes and false is returned.
 func (q *shardQuota) EnsureSpread(tier storage.Media, perNode int64, nodes int) bool {
+	return q.EnsureSpreadFor(storage.DefaultTenant, tier, perNode, nodes)
+}
+
+// EnsureSpreadFor is EnsureSpread on behalf of a tenant: the ledger claim is
+// additionally admitted against the tenant's borrow budget, so a tenant at
+// quota cannot grow the shard even when the pool has capacity.
+func (q *shardQuota) EnsureSpreadFor(tenant storage.TenantID, tier storage.Media, perNode int64, nodes int) bool {
 	if nodes <= 0 {
 		nodes = 1
 	}
@@ -147,9 +154,9 @@ func (q *shardQuota) EnsureSpread(tier storage.Media, perNode int64, nodes int) 
 	if rem := ask % q.cfg.BorrowChunk; rem != 0 {
 		ask += q.cfg.BorrowChunk - rem
 	}
-	res, ok := q.ledger.Reserve(tier, ask)
+	res, ok := q.ledger.ReserveFor(tenant, tier, ask)
 	if !ok && ask != deficit {
-		res, ok = q.ledger.Reserve(tier, deficit)
+		res, ok = q.ledger.ReserveFor(tenant, tier, deficit)
 	}
 	if !ok {
 		q.borrowFails.Add(1)
@@ -178,6 +185,11 @@ func (q *shardQuota) EnsureSpread(tier storage.Media, perNode int64, nodes int) 
 // tier (every mode's tier of last resort) is sufficient to admit the write.
 func (q *shardQuota) EnsureCreate(fs *dfs.FileSystem, size int64) bool {
 	return q.EnsureSpread(storage.HDD, size, fs.Replication())
+}
+
+// EnsureCreateFor is EnsureCreate charged to a tenant's borrow budget.
+func (q *shardQuota) EnsureCreateFor(tenant storage.TenantID, fs *dfs.FileSystem, size int64) bool {
+	return q.EnsureSpreadFor(tenant, storage.HDD, size, fs.Replication())
 }
 
 // Reconcile returns quota the shard no longer needs: for each tier, any

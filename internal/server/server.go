@@ -67,6 +67,15 @@ type Config struct {
 	// QuiesceMaxSteps bounds how many engine events one Flush drains before
 	// giving up (policy ping-pong protection; default 5,000,000).
 	QuiesceMaxSteps int
+	// Tenants declares the multi-tenant workload: per-tenant read-latency
+	// histograms, and — for tenants with a ReadSLO — the latency-SLO
+	// admission controller. Empty keeps the server tenant-blind, and a
+	// tenant list without SLOs adds no engine events (the differential
+	// suite relies on both).
+	Tenants []TenantConfig
+	// SLO tunes the admission controller (used only when a tenant sets a
+	// ReadSLO).
+	SLO SLOConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -143,6 +152,13 @@ type Server struct {
 	mutateHist Histogram
 	readLat    [3]Histogram // tier-real virtual read latencies, by tier served
 
+	// tenantSlot maps configured tenant ids to tenantLat indices; both are
+	// immutable after New, so client goroutines read them lock-free.
+	tenantSlot map[storage.TenantID]int
+	tenantLat  []Histogram
+	slo        *sloController // nil unless a tenant declares a ReadSLO
+	sloTicker  *sim.Ticker
+
 	wallStart time.Time
 	virtStart time.Time
 
@@ -174,6 +190,14 @@ func New(fs *dfs.FileSystem, mgr *core.Manager, cfg Config) *Server {
 		cmds:   make(chan command, cfg.CmdBuffer),
 		byID:   make(map[dfs.FileID]*handle),
 	}
+	if len(cfg.Tenants) > 0 {
+		s.tenantSlot = make(map[storage.TenantID]int, len(cfg.Tenants))
+		s.tenantLat = make([]Histogram, len(cfg.Tenants))
+		for i, t := range cfg.Tenants {
+			s.tenantSlot[t.ID] = i
+		}
+		s.slo = newSLOController(s, cfg.SLO, cfg.Tenants)
+	}
 	if mgr != nil {
 		mgr.SetMover(s.exec)
 	}
@@ -204,6 +228,23 @@ func (s *Server) MutateLatency() *Histogram { return &s.mutateHist }
 // served from it. Empty without an attached plane.
 func (s *Server) ReadLatency(m storage.Media) *Histogram { return &s.readLat[m] }
 
+// TenantReadLatency returns the configured tenant's read-latency histogram
+// across all tiers, or nil for an unknown tenant.
+func (s *Server) TenantReadLatency(t storage.TenantID) *Histogram {
+	if slot, ok := s.tenantSlot[t]; ok {
+		return &s.tenantLat[slot]
+	}
+	return nil
+}
+
+// SLOStats snapshots the admission controller (zero without one).
+func (s *Server) SLOStats() SLOStats {
+	if s.slo == nil {
+		return SLOStats{}
+	}
+	return s.slo.stats()
+}
+
 // Start indexes pre-existing files and launches the core loop (and, under
 // live pacing, the wall-clock pacer).
 func (s *Server) Start() {
@@ -219,6 +260,12 @@ func (s *Server) Start() {
 	}
 	s.wallStart = time.Now()
 	s.virtStart = s.engine.Now()
+	if s.slo != nil {
+		// Installed before the core loop launches (the engine still belongs
+		// to this goroutine here); ticks then run as engine events on the
+		// core loop.
+		s.sloTicker = s.engine.Every(s.slo.cfg.Interval, s.slo.tick)
+	}
 	s.wg.Add(1)
 	go s.loop()
 	if s.cfg.TimeScale > 0 {
@@ -241,6 +288,12 @@ func (s *Server) Close() {
 	s.cmds <- command{run: func() { s.closed = true }}
 	s.wg.Wait()
 	s.started = false
+	if s.sloTicker != nil {
+		// The core loop has stopped; the engine belongs to this goroutine
+		// again.
+		s.sloTicker.Stop()
+		s.sloTicker = nil
+	}
 	if s.mgr != nil {
 		s.mgr.SetMover(nil)
 	}
@@ -422,10 +475,19 @@ func (serverListener) TierDataAdded(storage.Media) {}
 // returns a buffered channel that receives the final outcome once the write
 // pipeline commits (or fails). The zero time means "now".
 func (s *Server) CreateAt(path string, size int64, at time.Time) <-chan error {
+	return s.CreateAtAs(path, size, at, storage.DefaultTenant)
+}
+
+// CreateAtAs is CreateAt with a tenant identity: the write pipeline's plane
+// charges are tagged with the tenant (initial block writes happen
+// synchronously inside the create call, so scoping the file system's active
+// tenant around it suffices).
+func (s *Server) CreateAtAs(path string, size int64, at time.Time, tenant storage.TenantID) <-chan error {
 	res := make(chan error, 1)
 	start := time.Now()
 	s.cmds <- command{at: at, run: func() {
 		s.createsInFlight++
+		s.fs.SetActiveTenant(tenant)
 		s.fs.Create(path, size, func(f *dfs.File, err error) {
 			s.createsInFlight--
 			if err != nil {
@@ -437,6 +499,7 @@ func (s *Server) CreateAt(path string, size int64, at time.Time) <-chan error {
 			s.mutateHist.Observe(time.Since(start))
 			res <- err
 		})
+		s.fs.SetActiveTenant(storage.DefaultTenant)
 	}}
 	return res
 }
@@ -444,6 +507,11 @@ func (s *Server) CreateAt(path string, size int64, at time.Time) <-chan error {
 // Create writes a file and blocks until the write pipeline completes.
 func (s *Server) Create(path string, size int64) error {
 	return <-s.CreateAt(path, size, s.clock())
+}
+
+// CreateAs writes a file on behalf of a tenant, blocking for the outcome.
+func (s *Server) CreateAs(path string, size int64, tenant storage.TenantID) error {
+	return <-s.CreateAtAs(path, size, s.clock(), tenant)
 }
 
 // DeleteAt submits a deletion stamped with the given virtual time.
@@ -494,6 +562,13 @@ func (s *Server) resolve(path string) (*handle, bool) {
 // lock-free ring push, one atomic charge against the shared device
 // channel, zero core-loop involvement.
 func (s *Server) AccessAt(path string, at time.Time) (AccessResult, error) {
+	return s.AccessAtAs(path, at, storage.DefaultTenant)
+}
+
+// AccessAtAs is AccessAt with a tenant identity: the plane charge carries
+// the tenant (weighted-fair arbitration on a multi-tenant plane) and the
+// read latency lands in the tenant's histogram as well as the tier's.
+func (s *Server) AccessAtAs(path string, at time.Time, tenant storage.TenantID) (AccessResult, error) {
 	h, ok := s.resolve(path)
 	if !ok {
 		s.counters.accessMisses.Add(1)
@@ -519,11 +594,15 @@ func (s *Server) AccessAt(path string, at time.Time) (AccessResult, error) {
 				Media:    tier,
 				Dir:      storage.Read,
 				Class:    storage.ClassServe,
+				Tenant:   tenant,
 				Bytes:    h.size,
 				At:       at,
 			})
 			res.Latency = g.Latency()
 			s.readLat[tier].Observe(res.Latency)
+			if slot, ok := s.tenantSlot[tenant]; ok {
+				s.tenantLat[slot].Observe(res.Latency)
+			}
 		}
 	}
 	return res, nil
@@ -532,8 +611,13 @@ func (s *Server) AccessAt(path string, at time.Time) (AccessResult, error) {
 // Access records an access now and returns the serving tier, observing the
 // access-path latency histogram.
 func (s *Server) Access(path string) (AccessResult, error) {
+	return s.AccessAs(path, storage.DefaultTenant)
+}
+
+// AccessAs records a tenant's access now and returns the serving tier.
+func (s *Server) AccessAs(path string, tenant storage.TenantID) (AccessResult, error) {
 	start := time.Now()
-	res, err := s.AccessAt(path, s.clock())
+	res, err := s.AccessAtAs(path, s.clock(), tenant)
 	s.accessHist.Observe(time.Since(start))
 	return res, err
 }

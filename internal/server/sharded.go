@@ -137,6 +137,13 @@ func NewSharded(cfg ShardedConfig) (*ShardedServer, error) {
 	for _, m := range storage.AllMedia {
 		s.ledger.AddCapacity(m, nodeTotal[m]*workers, nodePooled[m]*workers)
 	}
+	for _, tc := range cfg.Inner.Tenants {
+		for _, m := range storage.AllMedia {
+			if tc.QuotaBytes[m] > 0 {
+				s.ledger.SetTenantQuota(tc.ID, m, tc.QuotaBytes[m])
+			}
+		}
+	}
 	for id := 0; id < cfg.Cluster.Workers; id++ {
 		s.nodePooled[id] = nodePooled
 	}
@@ -268,17 +275,25 @@ func (s *ShardedServer) shardOfDir(dir string) *shard {
 // tier out of the global pool) and one retry, so a shard whose quota ran
 // dry admits the write as long as the physical tier has room.
 func (s *ShardedServer) Create(path string, size int64) error {
+	return s.CreateAs(path, size, storage.DefaultTenant)
+}
+
+// CreateAs is Create on behalf of a tenant: the write pipeline's plane
+// charges carry the tenant, and the capacity-failure borrow is admitted
+// against the tenant's ledger budget — a tenant at quota gets
+// dfs.ErrNoCapacity even while the pool has room.
+func (s *ShardedServer) CreateAs(path string, size int64, tenant storage.TenantID) error {
 	clean, err := canonicalPath(path)
 	if err != nil {
 		return err
 	}
 	sh := s.shardOf(clean)
-	err = sh.srv.Create(clean, size)
+	err = sh.srv.CreateAs(clean, size, tenant)
 	if err != nil && errors.Is(err, dfs.ErrNoCapacity) {
 		borrowed := false
-		sh.srv.Exec(func(fs *dfs.FileSystem) { borrowed = sh.quota.EnsureCreate(fs, size) })
+		sh.srv.Exec(func(fs *dfs.FileSystem) { borrowed = sh.quota.EnsureCreateFor(tenant, fs, size) })
 		if borrowed {
-			err = sh.srv.Create(clean, size)
+			err = sh.srv.CreateAs(clean, size, tenant)
 		}
 	}
 	return err
@@ -335,6 +350,24 @@ func (s *ShardedServer) AccessAt(path string, at time.Time) (AccessResult, error
 		return AccessResult{}, err
 	}
 	return s.shardOf(clean).srv.AccessAt(clean, at)
+}
+
+// AccessAs records a tenant's access on the owning shard.
+func (s *ShardedServer) AccessAs(path string, tenant storage.TenantID) (AccessResult, error) {
+	clean, err := canonicalPath(path)
+	if err != nil {
+		return AccessResult{}, err
+	}
+	return s.shardOf(clean).srv.AccessAs(clean, tenant)
+}
+
+// AccessAtAs records a tenant's access at an explicit virtual time.
+func (s *ShardedServer) AccessAtAs(path string, at time.Time, tenant storage.TenantID) (AccessResult, error) {
+	clean, err := canonicalPath(path)
+	if err != nil {
+		return AccessResult{}, err
+	}
+	return s.shardOf(clean).srv.AccessAtAs(clean, at, tenant)
 }
 
 // Stat returns the metadata snapshot of a served file.
@@ -546,6 +579,7 @@ func (s *ShardedServer) ExecutorStats() ExecutorStats {
 		if st.VirtualSeconds > out.VirtualSeconds {
 			out.VirtualSeconds = st.VirtualSeconds
 		}
+		out.Defers += st.Defers
 		for i := range out.PerTier {
 			a, b := &out.PerTier[i], st.PerTier[i]
 			a.Scheduled += b.Scheduled
@@ -606,6 +640,33 @@ func (s *ShardedServer) ReadLatency(m storage.Media) *Histogram {
 	return out
 }
 
+// TenantReadLatency merges the per-shard read-latency histograms of one
+// configured tenant (nil for an unknown tenant).
+func (s *ShardedServer) TenantReadLatency(t storage.TenantID) *Histogram {
+	var out *Histogram
+	for _, sh := range s.shards {
+		h := sh.srv.TenantReadLatency(t)
+		if h == nil {
+			continue
+		}
+		if out == nil {
+			out = &Histogram{}
+		}
+		out.AddFrom(h)
+	}
+	return out
+}
+
+// SLOStats sums the admission-controller counters across shards.
+func (s *ShardedServer) SLOStats() SLOStats {
+	var out SLOStats
+	for _, sh := range s.shards {
+		st := sh.srv.SLOStats()
+		out.add(st)
+	}
+	return out
+}
+
 // Plane returns the data plane shared by every shard's cluster view (nil
 // when none is attached).
 func (s *ShardedServer) Plane() storage.DataPlane { return s.cfg.Cluster.Plane }
@@ -615,8 +676,10 @@ func (s *ShardedServer) Plane() storage.DataPlane { return s.cfg.Cluster.Plane }
 // with a flag.
 type Service interface {
 	Create(path string, size int64) error
+	CreateAs(path string, size int64, tenant storage.TenantID) error
 	Delete(path string) error
 	Access(path string) (AccessResult, error)
+	AccessAs(path string, tenant storage.TenantID) (AccessResult, error)
 	Stat(path string) (FileInfo, error)
 	Exists(path string) bool
 	List(dir string) []string
