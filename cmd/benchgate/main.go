@@ -29,18 +29,39 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // testEvent is the subset of the `go test -json` event stream we read.
 type testEvent struct {
-	Action string `json:"Action"`
-	Output string `json:"Output"`
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
 }
 
 // benchLine matches e.g. "BenchmarkSelectFile/lru-8   20   59143 ns/op ...".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
 
-// parse extracts benchmark -> min ns/op from a go test -json stream.
+// customUnits are the b.ReportMetric units the gate also tracks, all
+// smaller-is-better. Each appears in the result map as "name:unit", so a
+// benchmark can regress on its custom metric (e.g. the namespace's
+// bytes/file footprint) without touching ns/op.
+var customUnits = map[string]bool{"bytes/file": true, "allocs/file": true}
+
+// customMetric matches "<value> <unit>" pairs after the iteration count.
+var customMetric = regexp.MustCompile(`([0-9.]+) ([A-Za-z]+/[A-Za-z]+)`)
+
+// Top-level benchmarks (no sub-benchmark path) arrive split across two
+// output events — "BenchmarkFoo \t" then "       1\t 518873404 ns/op ..." —
+// while sub-benchmarks arrive as one line. benchNameOnly spots the bare
+// name event; resultOnly spots the measurement tail that follows it.
+var (
+	benchNameOnly = regexp.MustCompile(`^(Benchmark\S+)[ \t]*\n?$`)
+	resultOnly    = regexp.MustCompile(`^\s+\d+\t\s*[0-9.]+ ns/op`)
+)
+
+// parse extracts benchmark -> min ns/op (plus whitelisted custom metrics,
+// keyed "name:unit") from a go test -json stream.
 func parse(path string) (map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -50,6 +71,12 @@ func parse(path string) (map[string]float64, error) {
 	out := make(map[string]float64)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	record := func(key string, v float64) {
+		if prev, ok := out[key]; !ok || v < prev {
+			out[key] = v
+		}
+	}
+	pending := make(map[string]string) // package -> bare name awaiting its result event
 	for sc.Scan() {
 		var ev testEvent
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
@@ -58,7 +85,16 @@ func parse(path string) (map[string]float64, error) {
 		if ev.Action != "output" {
 			continue
 		}
-		m := benchLine.FindStringSubmatch(ev.Output)
+		line := ev.Output
+		if nm := benchNameOnly.FindStringSubmatch(line); nm != nil {
+			pending[ev.Package] = nm[1]
+			continue
+		}
+		if name := pending[ev.Package]; name != "" && resultOnly.MatchString(line) {
+			line = name + " " + line
+			delete(pending, ev.Package)
+		}
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -66,8 +102,14 @@ func parse(path string) (map[string]float64, error) {
 		if err != nil {
 			continue
 		}
-		if prev, ok := out[m[1]]; !ok || ns < prev {
-			out[m[1]] = ns
+		record(m[1], ns)
+		for _, cm := range customMetric.FindAllStringSubmatch(line, -1) {
+			if !customUnits[cm[2]] {
+				continue
+			}
+			if v, err := strconv.ParseFloat(cm[1], 64); err == nil {
+				record(m[1]+":"+cm[2], v)
+			}
 		}
 	}
 	return out, sc.Err()
@@ -81,7 +123,10 @@ type serveReport struct {
 		P99us float64 `json:"p99_us"`
 	} `json:"read"`
 	ReadTenants []tenantRead `json:"read_tenants"`
-	Violations  []string     `json:"violations"`
+	TimeSeries  *struct {
+		PeakOpsPerSec float64 `json:"peak_ops_per_sec"`
+	} `json:"timeseries"`
+	Violations []string `json:"violations"`
 }
 
 type tenantRead struct {
@@ -174,6 +219,29 @@ func gateServe(oldPath, newPath string, threshold, latThreshold float64) int {
 	default:
 		fmt.Printf("OK    %-60s %12.0f µs vs baseline %.0f (%.2fx)\n",
 			"serve:read_p99", cur.Read.P99us, base.Read.P99us, cur.Read.P99us/base.Read.P99us)
+	}
+	// Peak sustained ops/s comes from the report's over-time curve: the
+	// best full window, which catches a throughput knee that the whole-run
+	// average smears over. Reports from before the time-series collector
+	// (or runs without -window) carry no timeseries block; skip loudly
+	// rather than silently disarm.
+	switch {
+	case base.TimeSeries == nil || base.TimeSeries.PeakOpsPerSec <= 0:
+		if cur.TimeSeries != nil && cur.TimeSeries.PeakOpsPerSec > 0 {
+			fmt.Printf("SKIP  %-60s baseline has no timeseries block (predates the collector); peak gate arms next run\n", "serve:peak_ops_per_sec")
+		}
+	case cur.TimeSeries == nil || cur.TimeSeries.PeakOpsPerSec <= 0:
+		fmt.Printf("SLOW  %-60s baseline has a timeseries block but current run has none (window disabled?)\n", "serve:peak_ops_per_sec")
+		regressions++
+	case cur.TimeSeries.PeakOpsPerSec < base.TimeSeries.PeakOpsPerSec/threshold:
+		fmt.Printf("SLOW  %-60s %12.0f ops/s vs baseline %.0f (%.2fx < 1/%.2fx gate)\n",
+			"serve:peak_ops_per_sec", cur.TimeSeries.PeakOpsPerSec, base.TimeSeries.PeakOpsPerSec,
+			cur.TimeSeries.PeakOpsPerSec/base.TimeSeries.PeakOpsPerSec, threshold)
+		regressions++
+	default:
+		fmt.Printf("OK    %-60s %12.0f ops/s vs baseline %.0f (%.2fx)\n",
+			"serve:peak_ops_per_sec", cur.TimeSeries.PeakOpsPerSec, base.TimeSeries.PeakOpsPerSec,
+			cur.TimeSeries.PeakOpsPerSec/base.TimeSeries.PeakOpsPerSec)
 	}
 	// The victim-tenant gate is the multi-tenant QoS regression floor: the
 	// heaviest-weight (lowest-id) tenant's read p99 must not drift up, or
@@ -272,17 +340,29 @@ func main() {
 	for _, name := range names {
 		cur := newNS[name]
 		base, ok := oldNS[name]
+		// Custom metrics ("name:unit", e.g. the footprint benchmark's
+		// bytes/file) are deterministic counts, not timings: the jitter
+		// floor does not apply, and a missing baseline means the baseline
+		// predates the metric — skip loudly, the gate arms itself once the
+		// baseline refreshes from this run.
+		custom := strings.Contains(name, ":")
+		unit := "ns/op"
+		if custom {
+			unit = name[strings.IndexByte(name, ':')+1:]
+		}
 		switch {
+		case !ok && custom:
+			fmt.Printf("SKIP  %-60s %12.2f %s (baseline predates this metric; gate arms next run)\n", name, cur, unit)
 		case !ok:
 			fmt.Printf("NEW   %-60s %12.0f ns/op (no baseline)\n", name, cur)
-		case base < *floorNS:
+		case !custom && base < *floorNS:
 			fmt.Printf("SKIP  %-60s %12.0f ns/op (baseline %.0f ns under jitter floor)\n", name, cur, base)
 		case cur > base*(*threshold):
-			fmt.Printf("SLOW  %-60s %12.0f ns/op vs baseline %.0f (%.2fx > %.2fx gate)\n",
-				name, cur, base, cur/base, *threshold)
+			fmt.Printf("SLOW  %-60s %12.2f %s vs baseline %.2f (%.2fx > %.2fx gate)\n",
+				name, cur, unit, base, cur/base, *threshold)
 			regressions++
 		default:
-			fmt.Printf("OK    %-60s %12.0f ns/op vs baseline %.0f (%.2fx)\n", name, cur, base, cur/base)
+			fmt.Printf("OK    %-60s %12.2f %s vs baseline %.2f (%.2fx)\n", name, cur, unit, base, cur/base)
 		}
 	}
 	if regressions > 0 || serveRegressions > 0 {

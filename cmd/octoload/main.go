@@ -41,6 +41,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +50,7 @@ import (
 	"octostore/internal/cluster"
 	"octostore/internal/core"
 	"octostore/internal/dfs"
+	"octostore/internal/metrics"
 	"octostore/internal/ml"
 	"octostore/internal/policy"
 	"octostore/internal/scenario"
@@ -62,6 +65,7 @@ type config struct {
 	dur       time.Duration
 	files     int
 	workloadN string
+	fileSzMB  int64
 	scenarioN string
 	zipfS     float64
 	readFrac  float64
@@ -70,10 +74,17 @@ type config struct {
 	workers   int
 	memCapMB  int64
 	ssdCapMB  int64
+	hddCapMB  int64
 	down, up  string
 	timeScale float64
 	seed      int64
 	out       string
+
+	arrival    string
+	rate       float64
+	window     time.Duration
+	drain      time.Duration
+	memProfile string
 
 	shards      int
 	quotaFrac   float64
@@ -93,7 +104,8 @@ func parseFlags() config {
 	flag.IntVar(&c.clients, "clients", 8, "concurrent closed-loop clients")
 	flag.DurationVar(&c.dur, "dur", 5*time.Second, "load duration (wall clock)")
 	flag.IntVar(&c.files, "files", 150, "approximate staged file population (scales the workload generator)")
-	flag.StringVar(&c.workloadN, "workload", "fb", "file population shape: fb or cmu (internal/workload profiles)")
+	flag.StringVar(&c.workloadN, "workload", "fb", "file population shape: fb, cmu (internal/workload profiles), or fixed (-files uniform files of -filesize MB; cheap to stage at million-file scale)")
+	flag.Int64Var(&c.fileSzMB, "filesize", 1, "file size in MB for -workload fixed")
 	flag.StringVar(&c.scenarioN, "scenario", "", "attach to a scenario catalog entry: its cluster, population, and perturbations compose with the client load (see internal/scenario)")
 	flag.Float64Var(&c.zipfS, "zipf", 1.1, "zipf skew of the access key distribution (>1)")
 	flag.Float64Var(&c.readFrac, "readfrac", 0.82, "fraction of ops that are accesses")
@@ -101,11 +113,17 @@ func parseFlags() config {
 	flag.IntVar(&c.workers, "workers", 5, "cluster worker count")
 	flag.Int64Var(&c.memCapMB, "memcap", 256, "memory-tier capacity per worker in MB (small keeps movement busy)")
 	flag.Int64Var(&c.ssdCapMB, "ssdcap", 16*1024, "SSD-tier capacity per worker in MB (small forces HDD-resident files, so all three tiers serve)")
+	flag.Int64Var(&c.hddCapMB, "hddcap", 128*1024, "HDD capacity per device in MB (two devices per worker; raise for million-file populations)")
 	flag.StringVar(&c.down, "down", "lru", "downgrade policy")
 	flag.StringVar(&c.up, "up", "osa", "upgrade policy")
 	flag.Float64Var(&c.timeScale, "timescale", 120, "virtual seconds advanced per wall second")
 	flag.Int64Var(&c.seed, "seed", 1, "population/placement/client seed")
 	flag.StringVar(&c.out, "out", "BENCH_serve.json", "JSON report path (empty disables)")
+	flag.StringVar(&c.arrival, "arrival", "closed", "arrival process: closed (N clients, next op after previous completes) or open (ops fire at a precomputed Poisson schedule regardless of completion; latency is measured from the intended arrival, so queueing delay is not coordinated away)")
+	flag.Float64Var(&c.rate, "rate", 0, "open-loop target arrival rate in ops/s (required with -arrival open)")
+	flag.DurationVar(&c.window, "window", 0, "time-series window for the over-time ops/s + read-latency curve (0 = 1s in open mode, disabled in closed mode)")
+	flag.DurationVar(&c.drain, "drain", 30*time.Second, "how long to wait after the deadline for in-flight/queued ops before abandoning them")
+	flag.StringVar(&c.memProfile, "memprofile", "", "write a heap profile here at the end of the run (population still live)")
 	flag.IntVar(&c.shards, "shards", 1, "namespace shards (each with its own engine, manager, and shard loop)")
 	flag.Float64Var(&c.quotaFrac, "quota-frac", 0.5, "fraction of tier capacity granted to shard quotas up front (rest is borrowable pool)")
 	flag.IntVar(&c.moveWorkers, "move-workers", 2, "movement executor slots per destination tier")
@@ -171,6 +189,29 @@ func parseFlags() config {
 			c.tenantCfg = append(c.tenantCfg, tc)
 		}
 	}
+	if c.arrival != "closed" && c.arrival != "open" {
+		fmt.Fprintln(os.Stderr, "octoload: -arrival must be closed or open")
+		os.Exit(2)
+	}
+	if c.arrival == "open" {
+		if c.rate <= 0 {
+			fmt.Fprintln(os.Stderr, "octoload: -arrival open requires -rate > 0")
+			os.Exit(2)
+		}
+		if c.timeScale <= 0 {
+			// Open-loop ops carry virtual stamps derived from the service
+			// clock; replay mode (timescale 0) has no live clock to stamp from.
+			fmt.Fprintln(os.Stderr, "octoload: -arrival open requires -timescale > 0")
+			os.Exit(2)
+		}
+		if c.window == 0 {
+			c.window = time.Second
+		}
+	}
+	if c.fileSzMB < 1 {
+		fmt.Fprintln(os.Stderr, "octoload: -filesize must be at least 1")
+		os.Exit(2)
+	}
 	if c.scenarioN != "" && c.shards != 1 {
 		// Scenario perturbations mutate one replay's engine/fs; the sharded
 		// core would need the fan-out churn API instead. Keep the
@@ -191,6 +232,18 @@ func population(c config) []workload.FileSpec {
 		p = workload.FB()
 	case "cmu", "CMU":
 		p = workload.CMU()
+	case "fixed":
+		// Uniform fixed-size files, generated locally: the bin-profile
+		// generators walk heavy-tailed job shapes and are needlessly slow at
+		// million-file scale when all the smoke test needs is "N files exist".
+		files := make([]workload.FileSpec, c.files)
+		for i := range files {
+			files[i] = workload.FileSpec{
+				Path: fmt.Sprintf("/load/d%04d/f%07d", i/1024, i),
+				Size: c.fileSzMB * storage.MB,
+			}
+		}
+		return files
 	default:
 		fmt.Fprintf(os.Stderr, "octoload: unknown workload %q\n", c.workloadN)
 		os.Exit(2)
@@ -201,11 +254,11 @@ func population(c config) []workload.FileSpec {
 	return workload.Generate(p, c.seed).Files
 }
 
-func workerSpec(memCapMB, ssdCapMB int64) storage.NodeSpec {
+func workerSpec(memCapMB, ssdCapMB, hddCapMB int64) storage.NodeSpec {
 	return storage.NodeSpec{
 		{Media: storage.Memory, Capacity: memCapMB * storage.MB, ReadBW: 4000e6, WriteBW: 3000e6, Count: 1},
 		{Media: storage.SSD, Capacity: ssdCapMB * storage.MB, ReadBW: 500e6, WriteBW: 400e6, Count: 1},
-		{Media: storage.HDD, Capacity: 128 * storage.GB, ReadBW: 160e6, WriteBW: 140e6, Count: 2},
+		{Media: storage.HDD, Capacity: hddCapMB * storage.MB, ReadBW: 160e6, WriteBW: 140e6, Count: 2},
 	}
 }
 
@@ -226,7 +279,12 @@ type report struct {
 	// (present only on -tenants runs); the CI victim gate watches the
 	// lowest-id (heaviest-weight) tenant's p99.
 	ReadTenants []tenantLatencyBlock `json:"read_tenants,omitempty"`
-	SLO         *sloReport           `json:"slo,omitempty"`
+	// Open and TimeSeries are present only on -arrival open runs (and
+	// TimeSeries on closed runs with an explicit -window): the closed-loop
+	// default schema stays exactly as it was.
+	Open       *openBlock       `json:"open,omitempty"`
+	TimeSeries *timeSeriesBlock `json:"timeseries,omitempty"`
+	SLO        *sloReport       `json:"slo,omitempty"`
 	Plane       []planeTierReport    `json:"plane,omitempty"`
 	Serve       server.ServeStats    `json:"serve"`
 	Executor    []tierReport         `json:"executor"`
@@ -251,6 +309,37 @@ type tenantLatencyBlock struct {
 	latencyBlock
 }
 
+// openBlock reports the open-loop arrival process: how faithfully the
+// dispatcher hit the schedule and what latency looks like when measured
+// from the *intended* arrival time rather than the dispatch time — the
+// coordinated-omission-corrected numbers a closed loop cannot produce.
+type openBlock struct {
+	RateOpsPerSec float64 `json:"rate_ops_per_sec"`
+	Scheduled     int64   `json:"scheduled"`
+	Dispatched    int64   `json:"dispatched"`
+	Completed     int64   `json:"completed"`
+	// Drained counts ops that completed after the deadline (the backlog the
+	// drain phase worked off); Abandoned counts queued ops discarded when
+	// the -drain budget ran out.
+	Drained   int64 `json:"drained"`
+	Abandoned int64 `json:"abandoned"`
+	// LateDispatch counts ops handed to a worker more than 1ms past their
+	// intended arrival; BacklogPeak is the queue high-water mark.
+	LateDispatch int64 `json:"late_dispatch"`
+	BacklogPeak  int64 `json:"backlog_peak"`
+	// Lateness is dequeue-time minus intended arrival; Access/Mutate are
+	// completion minus intended arrival (service time plus queueing delay).
+	Lateness latencyBlock `json:"lateness"`
+	Access   latencyBlock `json:"access"`
+	Mutate   latencyBlock `json:"mutate"`
+}
+
+type timeSeriesBlock struct {
+	WindowSeconds float64         `json:"window_seconds"`
+	PeakOpsPerSec float64         `json:"peak_ops_per_sec"`
+	Points        []metrics.Point `json:"points"`
+}
+
 type sloReport struct {
 	Checks   int64 `json:"checks"`
 	Breaches int64 `json:"breaches"`
@@ -272,6 +361,206 @@ func toLatencyBlock(h *server.Histogram) latencyBlock {
 		Count: h.Count(),
 		P50us: float64(h.Quantile(0.50).Nanoseconds()) / 1e3,
 		P99us: float64(h.Quantile(0.99).Nanoseconds()) / 1e3,
+	}
+}
+
+// Open-loop machinery. The schedule is precomputed before the load phase —
+// virtual arrival times, op kinds, and targets are all decided by the seeded
+// rng up front, so the op sequence is deterministic for a given seed and the
+// dispatcher's only job at runtime is to fire each op at its wall time.
+type openOp struct {
+	offset time.Duration // intended arrival, relative to load start
+	kind   uint8
+	seq    int32 // schedule index (tenant assignment)
+	path   string
+	size   int64
+}
+
+const (
+	opAccess = iota
+	opStat
+	opCreate
+	opDelete
+)
+
+// buildOpenSchedule draws Poisson arrivals (exponential inter-arrival times
+// at -rate) over the run duration and pre-assigns each arrival an op from
+// the same mix the closed loop uses. Deletes target earlier scheduled
+// creates, mirroring the closed loop's own-files-only delete discipline.
+func buildOpenSchedule(c config, paths []string) []openOp {
+	rng := rand.New(rand.NewSource(c.seed * 7717))
+	zipf := rand.NewZipf(rng, c.zipfS, 1, uint64(len(paths)-1))
+	mean := float64(time.Second) / c.rate
+	var schedule []openOp
+	var own []string
+	scratch := 0
+	var at time.Duration
+	for {
+		at += time.Duration(rng.ExpFloat64() * mean)
+		if at >= c.dur {
+			return schedule
+		}
+		op := openOp{offset: at, seq: int32(len(schedule))}
+		switch r := rng.Float64(); {
+		case r < c.readFrac:
+			op.kind, op.path = opAccess, paths[zipf.Uint64()]
+		case r < c.readFrac+c.statFrac:
+			op.kind, op.path = opStat, paths[rng.Intn(len(paths))]
+		case rng.Float64() < 0.5 || len(own) == 0:
+			op.kind = opCreate
+			op.path = fmt.Sprintf("/scratch/open/f%07d", scratch)
+			scratch++
+			op.size = (4 + rng.Int63n(60)) * storage.MB
+			own = append(own, op.path)
+		default:
+			op.kind = opDelete
+			op.path = own[len(own)-1]
+			own = own[:len(own)-1]
+		}
+		schedule = append(schedule, op)
+	}
+}
+
+// runOpen drives the precomputed schedule: a dispatcher enqueues each op at
+// its intended wall time (never blocking on completions — the queue holds
+// the whole schedule), c.clients workers execute them, and latency is
+// measured from the intended arrival so queueing delay under overload shows
+// up in the histograms instead of silently stretching the arrival process.
+func runOpen(c config, svc server.Service, tenantOf func(int) storage.TenantID, schedule []openOp, ops *atomic.Int64) (*openBlock, time.Duration) {
+	work := make(chan openOp, len(schedule)+1)
+	var completed, drained, abandoned, late atomic.Int64
+	var backlogPeak int64 // dispatcher-only
+	var abandon atomic.Bool
+	var accessHist, mutateHist, latenessHist server.Histogram
+
+	wallBase := time.Now()
+	virtBase := svc.Clock()
+	deadline := wallBase.Add(c.dur)
+
+	var wg sync.WaitGroup
+	for w := 0; w < c.clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for op := range work {
+				if abandon.Load() {
+					abandoned.Add(1)
+					continue
+				}
+				intended := wallBase.Add(op.offset)
+				if lateness := time.Since(intended); lateness > 0 {
+					latenessHist.Observe(lateness)
+					if lateness > time.Millisecond {
+						late.Add(1)
+					}
+				} else {
+					latenessHist.Observe(0) // clamped to the smallest bucket
+				}
+				// The virtual stamp tracks the intended arrival, not the
+				// dispatch: the policy layer sees the arrival process even
+				// when the dispatcher runs behind.
+				virt := virtBase.Add(time.Duration(float64(op.offset) * c.timeScale))
+				tid := tenantOf(int(op.seq))
+				switch op.kind {
+				case opAccess:
+					if tid != storage.DefaultTenant {
+						svc.AccessAtAs(op.path, virt, tid)
+					} else {
+						svc.AccessAt(op.path, virt)
+					}
+				case opStat:
+					svc.Stat(op.path)
+				case opCreate:
+					if tid != storage.DefaultTenant {
+						<-svc.CreateAtAs(op.path, op.size, virt, tid)
+					} else {
+						<-svc.CreateAt(op.path, op.size, virt)
+					}
+				case opDelete:
+					<-svc.DeleteAt(op.path, virt) // busy/not-found are expected outcomes
+				}
+				d := time.Since(intended)
+				if op.kind == opAccess || op.kind == opStat {
+					accessHist.Observe(d)
+				} else {
+					mutateHist.Observe(d)
+				}
+				ops.Add(1)
+				completed.Add(1)
+				if time.Now().After(deadline) {
+					drained.Add(1)
+				}
+			}
+		}()
+	}
+
+	var dispatched int64
+	for _, op := range schedule {
+		if d := time.Until(wallBase.Add(op.offset)); d > 0 {
+			time.Sleep(d)
+		}
+		work <- op // never blocks: capacity covers the whole schedule
+		dispatched++
+		if q := int64(len(work)); q > backlogPeak {
+			backlogPeak = q
+		}
+	}
+	close(work)
+
+	// Drain: give the backlog c.drain to flush, then discard what's left.
+	// Workers check the abandon flag per op, so after the timeout the queue
+	// empties at memory speed and wg.Wait is bounded by one in-flight op per
+	// worker.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(c.drain):
+		abandon.Store(true)
+		<-done
+	}
+	elapsed := time.Since(wallBase)
+
+	return &openBlock{
+		RateOpsPerSec: c.rate,
+		Scheduled:     int64(len(schedule)),
+		Dispatched:    dispatched,
+		Completed:     completed.Load(),
+		Drained:       drained.Load(),
+		Abandoned:     abandoned.Load(),
+		LateDispatch:  late.Load(),
+		BacklogPeak:   backlogPeak,
+		Lateness:      toLatencyBlock(&latenessHist),
+		Access:        toLatencyBlock(&accessHist),
+		Mutate:        toLatencyBlock(&mutateHist),
+	}, elapsed
+}
+
+// startSampler runs the time-series collector on a ticker: every window it
+// snapshots the cumulative op counter and the merged read histogram and
+// closes a window. The returned stop function halts sampling and hands back
+// the collector.
+func startSampler(window time.Duration, ops *atomic.Int64, readCounts func() [64]int64) func() *metrics.Collector {
+	coll := metrics.NewCollector(time.Now(), metrics.Snapshot{Read: readCounts()})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(window)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-t.C:
+				coll.Sample(now, metrics.Snapshot{Ops: ops.Load(), Read: readCounts()})
+			}
+		}
+	}()
+	return func() *metrics.Collector {
+		close(stop)
+		<-done
+		return coll
 	}
 }
 
@@ -444,7 +733,7 @@ func main() {
 
 	// Resolve the world: either the driver's own cluster and generated
 	// population, or a scenario catalog entry's.
-	clCfg := cluster.Config{Workers: c.workers, SlotsPerNode: 4, Spec: workerSpec(c.memCapMB, c.ssdCapMB)}
+	clCfg := cluster.Config{Workers: c.workers, SlotsPerNode: 4, Spec: workerSpec(c.memCapMB, c.ssdCapMB, c.hddCapMB)}
 	var files []workload.FileSpec
 	var sc *scenario.Scenario
 	if c.scenarioN != "" {
@@ -492,86 +781,179 @@ func main() {
 		return c.tenantCfg[cli%len(c.tenantCfg)].ID
 	}
 
-	// Stage the population through the serving layer, concurrently.
+	// Stage the population through the serving layer.
 	paths := make([]string, len(files))
 	var wg sync.WaitGroup
-	for cli := 0; cli < c.clients; cli++ {
-		wg.Add(1)
-		go func(cli int) {
-			defer wg.Done()
-			tid := tenantOf(cli)
-			for i := cli; i < len(files); i += c.clients {
-				paths[i] = files[i].Path
-				var err error
-				if tid != storage.DefaultTenant {
-					err = svc.CreateAs(files[i].Path, files[i].Size, tid)
-				} else {
-					err = svc.Create(files[i].Path, files[i].Size)
-				}
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "octoload: preload %s: %v\n", files[i].Path, err)
+	if c.arrival == "open" {
+		// Pipelined stamped preload: fire CreateAt and reap completions
+		// through a bounded FIFO instead of blocking per create. A blocking
+		// create pays one pacer tick of wall latency; at a million files
+		// that dominates the run, while the pipeline keeps the core loop fed
+		// and completes creates in bulk as virtual time advances.
+		type pend struct {
+			path string
+			ch   <-chan error
+		}
+		pending := make(chan pend, 1024)
+		reaped := make(chan struct{})
+		go func() {
+			defer close(reaped)
+			var errs int
+			for p := range pending {
+				if err := <-p.ch; err != nil {
+					if errs < 5 {
+						fmt.Fprintf(os.Stderr, "octoload: preload %s: %v\n", p.path, err)
+					}
+					errs++
 				}
 			}
-		}(cli)
+			if errs > 5 {
+				fmt.Fprintf(os.Stderr, "octoload: preload: %d errors total\n", errs)
+			}
+		}()
+		for i := range files {
+			paths[i] = files[i].Path
+			at := svc.Clock()
+			tid := tenantOf(i)
+			var ch <-chan error
+			if tid != storage.DefaultTenant {
+				ch = svc.CreateAtAs(files[i].Path, files[i].Size, at, tid)
+			} else {
+				ch = svc.CreateAt(files[i].Path, files[i].Size, at)
+			}
+			pending <- pend{path: files[i].Path, ch: ch}
+		}
+		close(pending)
+		<-reaped
+	} else {
+		for cli := 0; cli < c.clients; cli++ {
+			wg.Add(1)
+			go func(cli int) {
+				defer wg.Done()
+				tid := tenantOf(cli)
+				for i := cli; i < len(files); i += c.clients {
+					paths[i] = files[i].Path
+					var err error
+					if tid != storage.DefaultTenant {
+						err = svc.CreateAs(files[i].Path, files[i].Size, tid)
+					} else {
+						err = svc.Create(files[i].Path, files[i].Size)
+					}
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "octoload: preload %s: %v\n", files[i].Path, err)
+					}
+				}
+			}(cli)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	// Scenario perturbations start with the load phase, after preload.
 	attach()
 
-	// Closed-loop load phase.
-	stop := make(chan struct{})
+	// Load phase. The time-series sampler runs alongside either arrival
+	// process, windowing the cumulative op counter and the merged read
+	// histogram into the over-time curve.
 	var ops atomic.Int64
-	start := time.Now()
-	for cli := 0; cli < c.clients; cli++ {
-		wg.Add(1)
-		go func(cli int) {
-			defer wg.Done()
-			tid := tenantOf(cli)
-			rng := rand.New(rand.NewSource(c.seed*1000 + int64(cli)))
-			zipf := rand.NewZipf(rng, c.zipfS, 1, uint64(len(paths)-1))
-			var own []string
-			scratch := 0
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				switch r := rng.Float64(); {
-				case r < c.readFrac:
-					if tid != storage.DefaultTenant {
-						svc.AccessAs(paths[zipf.Uint64()], tid)
-					} else {
-						svc.Access(paths[zipf.Uint64()])
-					}
-				case r < c.readFrac+c.statFrac:
-					svc.Stat(paths[rng.Intn(len(paths))])
-				case rng.Float64() < 0.5 || len(own) == 0:
-					path := fmt.Sprintf("/scratch/c%d/f%06d", cli, scratch)
-					scratch++
-					var err error
-					if tid != storage.DefaultTenant {
-						err = svc.CreateAs(path, (4+rng.Int63n(60))*storage.MB, tid)
-					} else {
-						err = svc.Create(path, (4+rng.Int63n(60))*storage.MB)
-					}
-					if err == nil {
-						own = append(own, path)
-					}
-				default:
-					path := own[len(own)-1]
-					own = own[:len(own)-1]
-					svc.Delete(path) // busy under movement is an expected outcome
-				}
-				ops.Add(1)
+	readCounts := func() [64]int64 {
+		var total [64]int64
+		for _, m := range storage.AllMedia {
+			cts := sys.readTier(m).Counts()
+			for i := range total {
+				total[i] += cts[i]
 			}
-		}(cli)
+		}
+		return total
 	}
-	time.Sleep(c.dur)
-	close(stop)
-	wg.Wait()
-	elapsed := time.Since(start)
+	var stopSampler func() *metrics.Collector
+	if c.window > 0 {
+		stopSampler = startSampler(c.window, &ops, readCounts)
+	}
+
+	var elapsed time.Duration
+	var open *openBlock
+	if c.arrival == "open" {
+		open, elapsed = runOpen(c, svc, tenantOf, buildOpenSchedule(c, paths), &ops)
+	} else {
+		stop := make(chan struct{})
+		var inflight atomic.Int64
+		start := time.Now()
+		for cli := 0; cli < c.clients; cli++ {
+			wg.Add(1)
+			go func(cli int) {
+				defer wg.Done()
+				tid := tenantOf(cli)
+				rng := rand.New(rand.NewSource(c.seed*1000 + int64(cli)))
+				zipf := rand.NewZipf(rng, c.zipfS, 1, uint64(len(paths)-1))
+				var own []string
+				scratch := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					inflight.Add(1)
+					switch r := rng.Float64(); {
+					case r < c.readFrac:
+						if tid != storage.DefaultTenant {
+							svc.AccessAs(paths[zipf.Uint64()], tid)
+						} else {
+							svc.Access(paths[zipf.Uint64()])
+						}
+					case r < c.readFrac+c.statFrac:
+						svc.Stat(paths[rng.Intn(len(paths))])
+					case rng.Float64() < 0.5 || len(own) == 0:
+						path := fmt.Sprintf("/scratch/c%d/f%06d", cli, scratch)
+						scratch++
+						var err error
+						if tid != storage.DefaultTenant {
+							err = svc.CreateAs(path, (4+rng.Int63n(60))*storage.MB, tid)
+						} else {
+							err = svc.Create(path, (4+rng.Int63n(60))*storage.MB)
+						}
+						if err == nil {
+							own = append(own, path)
+						}
+					default:
+						path := own[len(own)-1]
+						own = own[:len(own)-1]
+						svc.Delete(path) // busy under movement is an expected outcome
+					}
+					inflight.Add(-1)
+					ops.Add(1)
+				}
+			}(cli)
+		}
+		// Deadline stop with a bounded drain: close the stop channel at the
+		// deadline and give the (at most one per client) in-flight ops
+		// c.drain to finish. A closed-loop op cannot be interrupted
+		// mid-call, so on timeout we warn loudly and keep waiting rather
+		// than tear the server down under live clients.
+		deadline := time.NewTimer(c.dur)
+		<-deadline.C
+		close(stop)
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(c.drain):
+			fmt.Fprintf(os.Stderr, "octoload: drain exceeded %v with %d ops in flight; waiting\n",
+				c.drain, inflight.Load())
+			<-done
+		}
+		elapsed = time.Since(start)
+	}
+
+	var ts *timeSeriesBlock
+	if stopSampler != nil {
+		coll := stopSampler()
+		ts = &timeSeriesBlock{
+			WindowSeconds: c.window.Seconds(),
+			PeakOpsPerSec: coll.PeakOpsPerSec(),
+			Points:        coll.Points(),
+		}
+	}
 
 	svc.Flush()
 	violations := sys.finish()
@@ -604,9 +986,18 @@ func main() {
 		Mutate:         toLatencyBlock(mutateHist),
 		Read:           toLatencyBlock(readAll),
 		ReadTiers:      readTiers,
+		Open:           open,
+		TimeSeries:     ts,
 		Serve:          sys.stats(),
 		Quota:          sys.quota(),
 		Violations:     violations,
+	}
+	if c.arrival == "open" {
+		// New config keys only appear on open runs: the closed-loop default
+		// report keeps the PR 6 schema byte-for-byte.
+		rep.Config["arrival"] = c.arrival
+		rep.Config["rate"] = c.rate
+		rep.Config["window"] = c.window.String()
 	}
 	for _, m := range storage.AllMedia {
 		rep.Executor = append(rep.Executor, tierReport{Tier: m.String(), TierMoveStats: exStats.PerTier[m]})
@@ -635,6 +1026,19 @@ func main() {
 		fmt.Printf("  scenario   %s (perturbations composed with client load)\n", c.scenarioN)
 	}
 	fmt.Printf("  ops        %d (%.0f ops/s)\n", rep.Ops, rep.OpsPerSec)
+	if open != nil {
+		fmt.Printf("  open       %.0f ops/s target: %d scheduled, %d completed (%d drained, %d abandoned)\n",
+			open.RateOpsPerSec, open.Scheduled, open.Completed, open.Drained, open.Abandoned)
+		fmt.Printf("  lateness   p50 %.1fµs  p99 %.1fµs  (%d late dispatches, backlog peak %d)\n",
+			open.Lateness.P50us, open.Lateness.P99us, open.LateDispatch, open.BacklogPeak)
+		fmt.Printf("  open acc   p50 %.1fµs  p99 %.1fµs  (completion − intended arrival)\n",
+			open.Access.P50us, open.Access.P99us)
+		fmt.Printf("  open mut   p50 %.1fµs  p99 %.1fµs\n", open.Mutate.P50us, open.Mutate.P99us)
+	}
+	if ts != nil {
+		fmt.Printf("  timeseries %d windows of %.1fs, peak %.0f ops/s\n",
+			len(ts.Points), ts.WindowSeconds, ts.PeakOpsPerSec)
+	}
 	fmt.Printf("  access     p50 %.1fµs  p99 %.1fµs  (%d samples)\n", rep.Access.P50us, rep.Access.P99us, rep.Access.Count)
 	fmt.Printf("  mutate     p50 %.1fµs  p99 %.1fµs  (%d samples)\n", rep.Mutate.P50us, rep.Mutate.P99us, rep.Mutate.Count)
 	if c.dataplane != "none" {
@@ -687,6 +1091,25 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("  report written to %s\n", c.out)
+	}
+	if c.memProfile != "" {
+		// The KeepAlives below hold the served world live across the
+		// profile write: without them the GC (liveness-based, not
+		// scope-based) would have collected the namespace already and the
+		// inuse profile would show an empty heap instead of the retained
+		// per-file footprint.
+		runtime.GC()
+		f, err := os.Create(c.memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		runtime.KeepAlive(sys)
+		runtime.KeepAlive(paths)
+		fmt.Printf("  heap profile written to %s\n", c.memProfile)
 	}
 	if len(violations) > 0 {
 		os.Exit(1)

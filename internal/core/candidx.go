@@ -34,11 +34,25 @@ import (
 )
 
 // HeapKey orders files inside a FileHeap: ascending weight, then time, then
-// file id. Policies use the fields they need and zero the rest.
+// file id. Policies use the fields they need and zero the rest. The time
+// component is kept as Unix nanoseconds (see timeKey) rather than a
+// time.Time: a key is stored once per heap membership, and at a million
+// indexed files the 16-byte difference per entry is real memory.
 type HeapKey struct {
 	W  float64
-	T  time.Time
+	T  int64 // timeKey-encoded ordering time
 	ID dfs.FileID
+}
+
+// timeKey encodes a time for HeapKey ordering: Unix nanoseconds, with the
+// zero time mapping to 0 so "no time" keys compare equal regardless of how
+// they were produced. Simulation times are all well past 1970, so they
+// order identically to time.Time.Before and never collide with 0.
+func timeKey(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
 }
 
 // Less is the ascending HeapKey order.
@@ -46,16 +60,19 @@ func (a HeapKey) Less(b HeapKey) bool {
 	if a.W != b.W {
 		return a.W < b.W
 	}
-	if !a.T.Equal(b.T) {
-		return a.T.Before(b.T)
+	if a.T != b.T {
+		return a.T < b.T
 	}
 	return a.ID < b.ID
 }
 
+// heapEntry is one indexed file, stored by value in the heap's slot table.
+// Entries hold only the ordering key (which embeds the file id); the
+// *dfs.File is resolved on demand through the heap's resolver, so a
+// million-entry heap retains ids and keys, not pointers into the namespace.
 type heapEntry struct {
-	file *dfs.File
-	key  HeapKey
-	pos  int
+	key HeapKey
+	pos int32 // index into items, or the next free slot when on the free list
 }
 
 // FileHeap is an indexed binary min-heap of files with O(log N)
@@ -63,27 +80,40 @@ type heapEntry struct {
 // entries are restored from a reused scratch buffer). The comparator is
 // fixed at construction, so the same structure serves ascending recency
 // (LRU), descending recency (upgrade MRU), frequency, and weight orders.
+//
+// Entries live by value in a slot table addressed through small int32
+// handles (items/byID hold slots, not pointers): one table allocation
+// amortises over its capacity, and per-entry footprint stays at key +
+// handle instead of a heap object per file.
 type FileHeap struct {
-	byID  map[dfs.FileID]*heapEntry
-	items []*heapEntry
-	stash []*heapEntry
-	less  func(a, b HeapKey) bool
+	slots   []int32 // file id → slot in store, -1 when not indexed
+	store   []heapEntry
+	free    int32   // head of the free-slot list (-1 when empty)
+	items   []int32 // heap order → slot
+	stash   []int32 // reused scratch for pop-and-restore walks
+	less    func(a, b HeapKey) bool
+	resolve func(dfs.FileID) *dfs.File
 }
 
 // NewFileHeap builds an empty heap with the given comparator (nil means
-// the ascending HeapKey.Less order).
-func NewFileHeap(less func(a, b HeapKey) bool) *FileHeap {
+// the ascending HeapKey.Less order) and file resolver. The resolver maps
+// an indexed id back to its file when a selection or visit callback needs
+// one; ids that no longer resolve are treated as ineligible.
+func NewFileHeap(less func(a, b HeapKey) bool, resolve func(dfs.FileID) *dfs.File) *FileHeap {
 	if less == nil {
 		less = HeapKey.Less
 	}
-	return &FileHeap{byID: make(map[dfs.FileID]*heapEntry), less: less}
+	if resolve == nil {
+		panic("core: NewFileHeap needs a file resolver")
+	}
+	return &FileHeap{free: -1, less: less, resolve: resolve}
 }
 
 // TimeDescending orders by most recent time first (ties toward lower id);
 // the weight component is ignored.
 func TimeDescending(a, b HeapKey) bool {
-	if !a.T.Equal(b.T) {
-		return a.T.After(b.T)
+	if a.T != b.T {
+		return a.T > b.T
 	}
 	return a.ID < b.ID
 }
@@ -91,70 +121,104 @@ func TimeDescending(a, b HeapKey) bool {
 // Len returns the number of indexed files.
 func (h *FileHeap) Len() int { return len(h.items) }
 
+// slotOf returns the store slot of a file id, or -1. File ids are dense
+// (assigned sequentially by the file system), so the id index is a flat
+// int32 slice rather than a map: four bytes per id instead of a map entry,
+// and no bucket arrays pinned at the namespace's high-water mark.
+func (h *FileHeap) slotOf(id dfs.FileID) int32 {
+	if id < 0 || int64(id) >= int64(len(h.slots)) {
+		return -1
+	}
+	return h.slots[id]
+}
+
 // Has reports whether the file is indexed.
-func (h *FileHeap) Has(id dfs.FileID) bool {
-	_, ok := h.byID[id]
-	return ok
+func (h *FileHeap) Has(id dfs.FileID) bool { return h.slotOf(id) >= 0 }
+
+// alloc takes a slot off the free list or extends the slot table.
+func (h *FileHeap) alloc() int32 {
+	if h.free >= 0 {
+		s := h.free
+		h.free = h.store[s].pos
+		return s
+	}
+	h.store = append(h.store, heapEntry{})
+	return int32(len(h.store) - 1)
 }
 
 // Update inserts the file or re-keys it in place.
 func (h *FileHeap) Update(f *dfs.File, w float64, t time.Time) {
-	key := HeapKey{W: w, T: t, ID: f.ID()}
-	if e, ok := h.byID[f.ID()]; ok {
-		e.key = key
-		h.fix(e.pos)
+	id := f.ID()
+	key := HeapKey{W: w, T: timeKey(t), ID: id}
+	if s := h.slotOf(id); s >= 0 {
+		h.store[s].key = key
+		h.fix(h.store[s].pos)
 		return
 	}
-	e := &heapEntry{file: f, key: key, pos: len(h.items)}
-	h.byID[f.ID()] = e
-	h.items = append(h.items, e)
-	h.up(e.pos)
+	s := h.alloc()
+	h.store[s] = heapEntry{key: key, pos: int32(len(h.items))}
+	for int64(len(h.slots)) <= int64(id) {
+		h.slots = append(h.slots, -1)
+	}
+	h.slots[id] = s
+	h.items = append(h.items, s)
+	h.up(h.store[s].pos)
 }
 
 // Remove drops the file if present.
 func (h *FileHeap) Remove(id dfs.FileID) {
-	e, ok := h.byID[id]
-	if !ok {
+	s := h.slotOf(id)
+	if s < 0 {
 		return
 	}
-	delete(h.byID, id)
-	last := len(h.items) - 1
-	pos := e.pos
+	h.slots[id] = -1
+	last := int32(len(h.items) - 1)
+	pos := h.store[s].pos
 	h.items[pos] = h.items[last]
-	h.items[pos].pos = pos
-	h.items[last] = nil
+	h.store[h.items[pos]].pos = pos
 	h.items = h.items[:last]
 	if pos < last {
 		h.fix(pos)
 	}
+	h.store[s] = heapEntry{pos: h.free} // return the slot to the free list
+	h.free = s
 }
 
 // Rekey recomputes every entry's key with fn and re-heapifies in O(N); the
-// lazy weight heaps use it when their evaluation horizon advances.
+// lazy weight heaps use it when their evaluation horizon advances. Entries
+// whose id no longer resolves keep their stored key.
 func (h *FileHeap) Rekey(fn func(f *dfs.File) (float64, time.Time)) {
-	for _, e := range h.items {
-		w, t := fn(e.file)
-		e.key = HeapKey{W: w, T: t, ID: e.file.ID()}
+	for _, s := range h.items {
+		e := &h.store[s]
+		f := h.resolve(e.key.ID)
+		if f == nil {
+			continue
+		}
+		w, t := fn(f)
+		e.key = HeapKey{W: w, T: timeKey(t), ID: e.key.ID}
 	}
-	for i := len(h.items)/2 - 1; i >= 0; i-- {
+	for i := int32(len(h.items))/2 - 1; i >= 0; i-- {
 		h.down(i)
 	}
 }
 
-// Each visits every indexed entry in unspecified order.
+// Each visits every indexed entry in unspecified order. Entries whose id
+// no longer resolves are skipped.
 func (h *FileHeap) Each(fn func(f *dfs.File, key HeapKey)) {
-	for _, e := range h.items {
-		fn(e.file, e.key)
+	for _, s := range h.items {
+		if f := h.resolve(h.store[s].key.ID); f != nil {
+			fn(f, h.store[s].key)
+		}
 	}
 }
 
 // Key returns the stored key of a file.
 func (h *FileHeap) Key(id dfs.FileID) (HeapKey, bool) {
-	e, ok := h.byID[id]
-	if !ok {
+	s := h.slotOf(id)
+	if s < 0 {
 		return HeapKey{}, false
 	}
-	return e.key, true
+	return h.store[s].key, true
 }
 
 // SelectMin returns the minimum-key file passing the eligibility filter,
@@ -167,8 +231,9 @@ func (h *FileHeap) SelectMin(eligible func(*dfs.File) bool) *dfs.File {
 	for len(h.items) > 0 {
 		top := h.popTop()
 		h.stash = append(h.stash, top)
-		if eligible == nil || eligible(top.file) {
-			best = top.file
+		f := h.resolve(h.store[top].key.ID)
+		if f != nil && (eligible == nil || eligible(f)) {
+			best = f
 			break
 		}
 	}
@@ -186,17 +251,18 @@ func (h *FileHeap) SelectMinLazy(eligible func(*dfs.File) bool, trueW func(*dfs.
 	var bestKey HeapKey
 	h.stash = h.stash[:0]
 	for len(h.items) > 0 {
-		if best != nil && h.less(bestKey, h.items[0].key) {
+		if best != nil && h.less(bestKey, h.store[h.items[0]].key) {
 			break
 		}
 		top := h.popTop()
 		h.stash = append(h.stash, top)
-		if eligible != nil && !eligible(top.file) {
+		f := h.resolve(h.store[top].key.ID)
+		if f == nil || (eligible != nil && !eligible(f)) {
 			continue
 		}
-		tk := HeapKey{W: trueW(top.file), ID: top.file.ID()}
+		tk := HeapKey{W: trueW(f), ID: f.ID()}
 		if best == nil || h.less(tk, bestKey) {
-			best, bestKey = top.file, tk
+			best, bestKey = f, tk
 		}
 	}
 	h.restore()
@@ -213,11 +279,12 @@ func (h *FileHeap) SelectMinLazy(eligible func(*dfs.File) bool, trueW func(*dfs.
 // the tier). Cost is O((v+s) log N) for v visited and s skipped entries.
 func (h *FileHeap) AscendWhile(keep func(HeapKey) bool, eligible func(*dfs.File) bool, visit func(*dfs.File)) {
 	h.stash = h.stash[:0]
-	for len(h.items) > 0 && keep(h.items[0].key) {
+	for len(h.items) > 0 && keep(h.store[h.items[0]].key) {
 		top := h.popTop()
 		h.stash = append(h.stash, top)
-		if eligible == nil || eligible(top.file) {
-			visit(top.file)
+		f := h.resolve(h.store[top].key.ID)
+		if f != nil && (eligible == nil || eligible(f)) {
+			visit(f)
 		}
 	}
 	h.restore()
@@ -234,8 +301,9 @@ func (h *FileHeap) TopK(k int, eligible func(*dfs.File) bool, out []*dfs.File) [
 	for len(h.items) > 0 && taken < k {
 		top := h.popTop()
 		h.stash = append(h.stash, top)
-		if eligible == nil || eligible(top.file) {
-			out = append(out, top.file)
+		f := h.resolve(h.store[top].key.ID)
+		if f != nil && (eligible == nil || eligible(f)) {
+			out = append(out, f)
 			taken++
 		}
 	}
@@ -243,12 +311,11 @@ func (h *FileHeap) TopK(k int, eligible func(*dfs.File) bool, out []*dfs.File) [
 	return out
 }
 
-func (h *FileHeap) popTop() *heapEntry {
+func (h *FileHeap) popTop() int32 {
 	top := h.items[0]
-	last := len(h.items) - 1
+	last := int32(len(h.items) - 1)
 	h.items[0] = h.items[last]
-	h.items[0].pos = 0
-	h.items[last] = nil
+	h.store[h.items[0]].pos = 0
 	h.items = h.items[:last]
 	if len(h.items) > 0 {
 		h.down(0)
@@ -257,25 +324,25 @@ func (h *FileHeap) popTop() *heapEntry {
 }
 
 func (h *FileHeap) restore() {
-	for _, e := range h.stash {
-		e.pos = len(h.items)
-		h.items = append(h.items, e)
-		h.up(e.pos)
+	for _, s := range h.stash {
+		h.store[s].pos = int32(len(h.items))
+		h.items = append(h.items, s)
+		h.up(h.store[s].pos)
 	}
 	h.stash = h.stash[:0]
 }
 
-func (h *FileHeap) fix(pos int) {
+func (h *FileHeap) fix(pos int32) {
 	if !h.up(pos) {
 		h.down(pos)
 	}
 }
 
-func (h *FileHeap) up(pos int) bool {
+func (h *FileHeap) up(pos int32) bool {
 	moved := false
 	for pos > 0 {
 		parent := (pos - 1) / 2
-		if !h.less(h.items[pos].key, h.items[parent].key) {
+		if !h.less(h.store[h.items[pos]].key, h.store[h.items[parent]].key) {
 			break
 		}
 		h.swap(pos, parent)
@@ -285,18 +352,18 @@ func (h *FileHeap) up(pos int) bool {
 	return moved
 }
 
-func (h *FileHeap) down(pos int) {
-	n := len(h.items)
+func (h *FileHeap) down(pos int32) {
+	n := int32(len(h.items))
 	for {
 		left := 2*pos + 1
 		if left >= n {
 			return
 		}
 		child := left
-		if right := left + 1; right < n && h.less(h.items[right].key, h.items[left].key) {
+		if right := left + 1; right < n && h.less(h.store[h.items[right]].key, h.store[h.items[left]].key) {
 			child = right
 		}
-		if !h.less(h.items[child].key, h.items[pos].key) {
+		if !h.less(h.store[h.items[child]].key, h.store[h.items[pos]].key) {
 			return
 		}
 		h.swap(pos, child)
@@ -304,10 +371,10 @@ func (h *FileHeap) down(pos int) {
 	}
 }
 
-func (h *FileHeap) swap(i, j int) {
+func (h *FileHeap) swap(i, j int32) {
 	h.items[i], h.items[j] = h.items[j], h.items[i]
-	h.items[i].pos = i
-	h.items[j].pos = j
+	h.store[h.items[i]].pos = i
+	h.store[h.items[j]].pos = j
 }
 
 // ResidencySubscriber receives per-tier membership events derived from the
@@ -347,7 +414,7 @@ func (ix *CandidateIndex) RequireRecency() {
 		return
 	}
 	for _, m := range storage.AllMedia {
-		ix.recency[m] = NewFileHeap(nil)
+		ix.recency[m] = NewFileHeap(nil, ix.ctx.FS.FileByID)
 	}
 	ix.bootstrap(func(f *dfs.File, m storage.Media) {
 		ix.recency[m].Update(f, 0, ix.ctx.LastTouch(f))
@@ -360,7 +427,7 @@ func (ix *CandidateIndex) RequireFrequency() {
 		return
 	}
 	for _, m := range storage.AllMedia {
-		ix.freq[m] = NewFileHeap(nil)
+		ix.freq[m] = NewFileHeap(nil, ix.ctx.FS.FileByID)
 	}
 	ix.bootstrap(func(f *dfs.File, m storage.Media) {
 		ix.freq[m].Update(f, float64(ix.ctx.AccessCount(f)), ix.ctx.LastTouch(f))
@@ -373,7 +440,7 @@ func (ix *CandidateIndex) RequireUpgradeMRU() {
 	if ix.mru != nil {
 		return
 	}
-	ix.mru = NewFileHeap(TimeDescending)
+	ix.mru = NewFileHeap(TimeDescending, ix.ctx.FS.FileByID)
 	ix.bootstrap(nil, func(f *dfs.File) {
 		if ix.upgradeIndexable(f) {
 			ix.mru.Update(f, 0, ix.ctx.LastTouch(f))
@@ -575,7 +642,7 @@ func (ix *CandidateIndex) Audit() error {
 					err = fmt.Errorf("core: index tier %v holds stray file %q", m, f.Path())
 					return
 				}
-				if !key.T.Equal(ix.ctx.LastTouch(f)) {
+				if key.T != timeKey(ix.ctx.LastTouch(f)) {
 					err = fmt.Errorf("core: index tier %v key time stale for %q", m, f.Path())
 				}
 			})
@@ -616,7 +683,7 @@ func (ix *CandidateIndex) Audit() error {
 				err = fmt.Errorf("core: upgrade MRU holds stray file %q", f.Path())
 				return
 			}
-			if !key.T.Equal(ix.ctx.LastTouch(f)) {
+			if key.T != timeKey(ix.ctx.LastTouch(f)) {
 				err = fmt.Errorf("core: upgrade MRU key time stale for %q", f.Path())
 			}
 		})

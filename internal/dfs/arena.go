@@ -1,0 +1,38 @@
+package dfs
+
+// arena is a monotonic chunked allocator for the namespace's long-lived
+// metadata objects (File, Block, Replica, entry). A million-file namespace
+// holds millions of these tiny structs; allocating each one individually
+// costs a malloc header and size-class rounding per object and scatters
+// them across the heap. The arena batches them into fixed-size chunks —
+// one allocation amortised over arenaChunk objects, tight value packing,
+// and far fewer pointers for the garbage collector to trace.
+//
+// Chunks are append-only and never reallocated (each chunk slice is grown
+// to capacity up front), so &chunk[i] stays stable for the lifetime of the
+// FileSystem — callers hold ordinary pointers into the arena. Objects are
+// never recycled: asynchronous machinery (in-flight block moves, copy
+// barriers, churn settlement) holds *Replica/*Block pointers across
+// simulated time, so reuse would alias live references. Deleted files'
+// slots are simply unreachable garbage within their chunk; namespaces here
+// grow hot and die whole, which is exactly the profile arenas favour.
+type arena[T any] struct {
+	chunks [][]T
+}
+
+// arenaChunk is the number of objects per chunk. At typical element sizes
+// (32–128 bytes) a chunk lands in the 32–128 KiB range: large enough to
+// amortise allocation, small enough not to strand memory on tiny worlds.
+const arenaChunk = 1024
+
+// alloc returns a pointer to a new zero-valued T with a stable address.
+func (a *arena[T]) alloc() *T {
+	n := len(a.chunks)
+	if n == 0 || len(a.chunks[n-1]) == cap(a.chunks[n-1]) {
+		a.chunks = append(a.chunks, make([]T, 0, arenaChunk))
+		n++
+	}
+	c := &a.chunks[n-1]
+	*c = append(*c, *new(T))
+	return &(*c)[len(*c)-1]
+}

@@ -23,8 +23,10 @@ import (
 // FileID uniquely identifies a file for the lifetime of a FileSystem.
 type FileID int64
 
-// ReplicaState tracks the lifecycle of a block replica.
-type ReplicaState int
+// ReplicaState tracks the lifecycle of a block replica. It is a single
+// byte so a Replica packs into 32 bytes (three pointers plus state bits);
+// a million-file namespace holds three of these per block.
+type ReplicaState uint8
 
 const (
 	// ReplicaCreating means the initial write transfer is still running.
@@ -54,7 +56,9 @@ func (s ReplicaState) String() string {
 	}
 }
 
-// Replica is one stored copy of a block on a specific device.
+// Replica is one stored copy of a block on a specific device. Replicas are
+// allocated from the FileSystem's arena (see arena.go): stable addresses,
+// no per-object malloc.
 type Replica struct {
 	block   *Block
 	node    *cluster.Node
@@ -84,12 +88,22 @@ func (r *Replica) Readable() bool {
 }
 
 // Block is one fixed-size chunk of a file (the last block may be short).
+// Blocks are arena-allocated; the replicas slice is backed by the inline
+// replArr for the common replication≤3 case, so a standard 3-replica block
+// costs no separate replica-list allocation (a fourth replica — the
+// HDFS-cache mode's extra memory copy — spills to a heap-grown slice via
+// ordinary append).
 type Block struct {
 	id       int64
 	file     *File
 	size     int64
 	replicas []*Replica
+	replArr  [3]*Replica // inline backing for the replicas slice
 }
+
+// initReplicas points the replicas slice at the inline array. Must be
+// called once the Block has its final (arena) address.
+func (b *Block) initReplicas() { b.replicas = b.replArr[:0] }
 
 // ID returns the block id (unique within the FileSystem).
 func (b *Block) ID() int64 { return b.id }
@@ -180,21 +194,36 @@ func (b *Block) noteUnreadable(r *Replica, media storage.Media) {
 	}
 }
 
-// File is a stored file: an ordered list of blocks plus metadata.
+// File is a stored file: an ordered list of blocks plus metadata. Files
+// are arena-allocated; the blocks slice is backed by the inline blkArr for
+// the dominant single-block case, so small files cost no block-list
+// allocation. The path string is interned with the namespace entry: the
+// entry's name is a substring of the same backing array.
 type File struct {
 	id          FileID
 	fs          *FileSystem // owner; carries residency-flip notifications
 	path        string
 	size        int64
 	created     time.Time
-	replication int
 	blocks      []*Block
+	blkArr      [1]*Block // inline backing for single-block files
+	replication int32
 	deleted     bool
 	// tierBlocks[m] counts blocks having at least one readable replica on
 	// media m, maintained incrementally on every replica transition so the
 	// manager's per-tick file scans answer HasReplicaOn in O(1) instead of
 	// walking every replica of every block.
 	tierBlocks [3]int32
+}
+
+// initBlocks sizes the blocks slice for n blocks, using the inline array
+// when n ≤ 1. Must be called once the File has its final (arena) address.
+func (f *File) initBlocks(n int) {
+	if n <= 1 {
+		f.blocks = f.blkArr[:0]
+	} else {
+		f.blocks = make([]*Block, 0, n)
+	}
 }
 
 // ID returns the file id.
@@ -210,7 +239,7 @@ func (f *File) Size() int64 { return f.size }
 func (f *File) Created() time.Time { return f.created }
 
 // Replication returns the target replica count per block.
-func (f *File) Replication() int { return f.replication }
+func (f *File) Replication() int { return int(f.replication) }
 
 // Blocks returns the file's blocks in order (do not mutate).
 func (f *File) Blocks() []*Block { return f.blocks }

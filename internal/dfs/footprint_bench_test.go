@@ -1,0 +1,104 @@
+package dfs_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"octostore/internal/cluster"
+	"octostore/internal/core"
+	"octostore/internal/dfs"
+	"octostore/internal/sim"
+	"octostore/internal/storage"
+)
+
+// footprintFiles is the population size for the footprint benchmark. Large
+// enough that per-file costs dominate fixed overheads (engine, cluster,
+// maps' initial capacity), small enough to iterate quickly in CI.
+const footprintFiles = 20_000
+
+// footprintWorld holds everything a populated namespace retains, so the
+// benchmark can measure live-heap bytes with the population reachable and
+// nothing else.
+type footprintWorld struct {
+	engine *sim.Engine
+	fs     *dfs.FileSystem
+	ctx    *core.Context
+}
+
+func buildFootprintWorld(files int) *footprintWorld {
+	e := sim.NewEngine()
+	spec := storage.NodeSpec{
+		{Media: storage.Memory, Capacity: 16 * storage.GB, ReadBW: 4000e6, WriteBW: 3000e6, Count: 1},
+		{Media: storage.SSD, Capacity: 64 * storage.GB, ReadBW: 500e6, WriteBW: 400e6, Count: 1},
+		{Media: storage.HDD, Capacity: 256 * storage.GB, ReadBW: 160e6, WriteBW: 140e6, Count: 2},
+	}
+	c := cluster.MustNew(e, cluster.Config{Workers: 4, SlotsPerNode: 8, Spec: spec})
+	fs := dfs.MustNew(c, dfs.Config{Mode: ModeForFootprint(), BlockSize: 8 * storage.MB, Seed: 1})
+	ctx := core.NewContext(fs, core.DefaultConfig())
+	ctx.Index().RequireRecency()
+	ctx.Index().RequireFrequency()
+	ctx.Index().RequireUpgradeMRU()
+
+	for i := 0; i < files; i++ {
+		path := fmt.Sprintf("/pop/d%03d/f%06d", i/256, i)
+		fs.Create(path, 1*storage.MB, func(_ *dfs.File, err error) {
+			if err != nil {
+				panic(err)
+			}
+		})
+	}
+	e.Run() // drain create transfers so replicas commit
+
+	// One access pass populates the tracker records and re-keys the
+	// recency/frequency/MRU heaps, so the measured footprint covers the
+	// steady managed state, not just the post-create skeleton.
+	for _, f := range fs.LiveFiles() {
+		fs.RecordAccess(f)
+	}
+	return &footprintWorld{engine: e, fs: fs, ctx: ctx}
+}
+
+// ModeForFootprint picks the placement mode for the footprint population:
+// octopus spreads replicas across tiers so all three per-tier heaps and the
+// residency counters carry real entries.
+func ModeForFootprint() dfs.Mode { return dfs.ModeOctopus }
+
+// BenchmarkPopulationFootprint reports the retained heap bytes and the
+// allocation count per namespace file for a fully managed population
+// (filesystem + namespace + candidate indexes + tracker). These two custom
+// metrics — bytes/file and allocs/file — are gated in CI against the
+// cache-carried baseline; ns/op additionally tracks population build time.
+func BenchmarkPopulationFootprint(b *testing.B) {
+	var (
+		world        *footprintWorld
+		bytesPerFile float64
+		allocsTotal  uint64
+	)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		world = nil // release the previous iteration's population
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		b.StartTimer()
+
+		world = buildFootprintWorld(footprintFiles)
+
+		b.StopTimer()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		allocsTotal += after.Mallocs - before.Mallocs
+		runtime.GC()
+		var retained runtime.MemStats
+		runtime.ReadMemStats(&retained)
+		bytesPerFile = float64(retained.HeapAlloc-before.HeapAlloc) / footprintFiles
+		b.StartTimer()
+	}
+	if world == nil || world.fs.Stats().FilesCreated == 0 {
+		b.Fatal("population not built")
+	}
+	b.ReportMetric(bytesPerFile, "bytes/file")
+	b.ReportMetric(float64(allocsTotal)/float64(uint64(b.N)*footprintFiles), "allocs/file")
+	runtime.KeepAlive(world)
+}

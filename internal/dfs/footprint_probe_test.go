@@ -1,0 +1,28 @@
+package dfs_test
+
+// Temporary probe: writes an inuse heap profile with the population alive.
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+)
+
+func TestFootprintProbe(t *testing.T) {
+	if os.Getenv("FOOTPRINT_PROBE") == "" {
+		t.Skip("probe disabled")
+	}
+	world := buildFootprintWorld(20000)
+	runtime.GC()
+	runtime.GC()
+	f, err := os.Create("/tmp/inuse.out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	runtime.KeepAlive(world)
+}

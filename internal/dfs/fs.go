@@ -141,13 +141,28 @@ type FileSystem struct {
 
 	nextFileID  FileID
 	nextBlockID int64
-	creating    map[FileID]bool
-	stats       Stats
+	// creatingBits marks files whose initial write is still in flight, one
+	// bit per FileID. A bitset instead of a map: Go maps never release
+	// their bucket arrays, so a create burst would pin a high-water mark of
+	// empty buckets for the life of the namespace.
+	creatingBits []uint64
+	stats        Stats
+
+	// Arenas for the long-lived metadata objects (see arena.go). Objects
+	// are allocated for the FileSystem's lifetime and never recycled:
+	// in-flight moves and copy barriers hold replica pointers across
+	// simulated time, so slot reuse would alias live references.
+	fileArena    arena[File]
+	blockArena   arena[Block]
+	replicaArena arena[Replica]
 
 	// fileList/filePos index every live file so manager scans iterate a
 	// flat slice instead of walking (and sorting) the namespace tree.
+	// filePos is dense — indexed by FileID (ids are assigned sequentially),
+	// -1 for ids that are not live — so the per-file index cost is four
+	// bytes instead of a map entry.
 	fileList []*File
-	filePos  map[FileID]int
+	filePos  []int32
 
 	// liveBytes tracks the block bytes of all attached, non-deleting
 	// replicas; pendingMoveBytes tracks destination reservations of
@@ -169,8 +184,6 @@ func New(c *cluster.Cluster, cfg Config) (*FileSystem, error) {
 		ns:           NewNamespace(),
 		cfg:          cfg,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
-		creating:     make(map[FileID]bool),
-		filePos:      make(map[FileID]int),
 		moves:        make(map[*blockMove]bool),
 		removedNodes: make(map[int]bool),
 	}
@@ -298,26 +311,68 @@ func (fs *FileSystem) LiveFiles() []*File { return fs.fileList }
 
 // trackFile adds f to the live-file index.
 func (fs *FileSystem) trackFile(f *File) {
-	fs.filePos[f.id] = len(fs.fileList)
+	for int64(len(fs.filePos)) <= int64(f.id) {
+		fs.filePos = append(fs.filePos, -1)
+	}
+	fs.filePos[f.id] = int32(len(fs.fileList))
 	fs.fileList = append(fs.fileList, f)
 }
 
 // untrackFile removes f from the live-file index by swapping the tail in.
 func (fs *FileSystem) untrackFile(f *File) {
-	pos, ok := fs.filePos[f.id]
-	if !ok {
+	pos := fs.posOf(f.id)
+	if pos < 0 {
 		return
 	}
 	last := len(fs.fileList) - 1
 	fs.fileList[pos] = fs.fileList[last]
-	fs.filePos[fs.fileList[pos].id] = pos
+	fs.filePos[fs.fileList[pos].id] = int32(pos)
 	fs.fileList[last] = nil
 	fs.fileList = fs.fileList[:last]
-	delete(fs.filePos, f.id)
+	fs.filePos[f.id] = -1
+}
+
+// posOf returns f's index in fileList, or -1 when the id is not live.
+func (fs *FileSystem) posOf(id FileID) int {
+	if id < 0 || int64(id) >= int64(len(fs.filePos)) {
+		return -1
+	}
+	return int(fs.filePos[id])
+}
+
+// isCreating reports whether the file's initial write is still in flight.
+func (fs *FileSystem) isCreating(id FileID) bool {
+	w := int(id >> 6)
+	return w >= 0 && w < len(fs.creatingBits) && fs.creatingBits[w]&(1<<(uint64(id)&63)) != 0
+}
+
+func (fs *FileSystem) setCreating(id FileID) {
+	w := int(id >> 6)
+	for len(fs.creatingBits) <= w {
+		fs.creatingBits = append(fs.creatingBits, 0)
+	}
+	fs.creatingBits[w] |= 1 << (uint64(id) & 63)
+}
+
+func (fs *FileSystem) clearCreating(id FileID) {
+	if w := int(id >> 6); w < len(fs.creatingBits) {
+		fs.creatingBits[w] &^= 1 << (uint64(id) & 63)
+	}
 }
 
 // Complete reports whether the file's initial write has finished.
-func (fs *FileSystem) Complete(f *File) bool { return !fs.creating[f.id] }
+func (fs *FileSystem) Complete(f *File) bool { return !fs.isCreating(f.id) }
+
+// FileByID resolves a live file by id in O(1), or nil when the id is not
+// live. The candidate indexes store FileID keys and resolve through this
+// on selection, so index entries do not pin namespace objects.
+func (fs *FileSystem) FileByID(id FileID) *File {
+	pos := fs.posOf(id)
+	if pos < 0 {
+		return nil
+	}
+	return fs.fileList[pos]
+}
 
 // Open resolves a path to its file.
 func (fs *FileSystem) Open(path string) (*File, error) {
@@ -325,7 +380,7 @@ func (fs *FileSystem) Open(path string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	if fs.creating[f.id] {
+	if fs.isCreating(f.id) {
 		return nil, fmt.Errorf("%w: %q", ErrFileIncomplete, path)
 	}
 	return f, nil
@@ -380,14 +435,13 @@ func (fs *FileSystem) Create(path string, size int64, done func(*File, error)) {
 		fail(fmt.Errorf("dfs: negative file size %d", size))
 		return
 	}
-	f := &File{
-		id:          fs.nextFileID,
-		fs:          fs,
-		path:        clean,
-		size:        size,
-		created:     fs.engine.Now(),
-		replication: fs.cfg.Replication,
-	}
+	f := fs.fileArena.alloc()
+	f.id = fs.nextFileID
+	f.fs = fs
+	f.path = clean
+	f.size = size
+	f.created = fs.engine.Now()
+	f.replication = int32(fs.cfg.Replication)
 	fs.nextFileID++
 	if err := fs.ns.insertFile(clean, f); err != nil {
 		fail(err)
@@ -395,17 +449,24 @@ func (fs *FileSystem) Create(path string, size int64, done func(*File, error)) {
 	}
 	fs.trackFile(f)
 	// Cut the file into blocks.
+	nblocks := int((size + fs.cfg.BlockSize - 1) / fs.cfg.BlockSize)
+	f.initBlocks(nblocks)
 	for remaining := size; remaining > 0; remaining -= fs.cfg.BlockSize {
 		bs := remaining
 		if bs > fs.cfg.BlockSize {
 			bs = fs.cfg.BlockSize
 		}
-		f.blocks = append(f.blocks, &Block{id: fs.nextBlockID, file: f, size: bs})
+		b := fs.blockArena.alloc()
+		b.id = fs.nextBlockID
+		b.file = f
+		b.size = bs
+		b.initReplicas()
+		f.blocks = append(f.blocks, b)
 		fs.nextBlockID++
 	}
-	fs.creating[f.id] = true
+	fs.setCreating(f.id)
 	finish := func(err error) {
-		delete(fs.creating, f.id)
+		fs.clearCreating(f.id)
 		if err != nil {
 			// Failed writes are unlinked, mirroring an aborted HDFS lease.
 			fs.releaseAllReplicas(f)
@@ -446,7 +507,7 @@ func (fs *FileSystem) Create(path string, size int64, done func(*File, error)) {
 // writeBlock places and writes one block; onDone fires when the replication
 // pipeline completes.
 func (fs *FileSystem) writeBlock(b *Block, onDone func()) error {
-	targets, err := fs.placement.PlaceBlock(b.size, b.file.replication)
+	targets, err := fs.placement.PlaceBlock(b.size, int(b.file.replication))
 	if err != nil {
 		return err
 	}
@@ -459,7 +520,8 @@ func (fs *FileSystem) writeBlock(b *Block, onDone func()) error {
 	}
 	replicas := make([]*Replica, 0, len(targets))
 	for _, t := range targets {
-		r := &Replica{block: b, node: t.Node, device: t.Device, state: ReplicaCreating}
+		r := fs.replicaArena.alloc()
+		r.block, r.node, r.device, r.state = b, t.Node, t.Device, ReplicaCreating
 		replicas = append(replicas, r)
 		b.replicas = append(b.replicas, r)
 		fs.liveBytes += b.size
@@ -486,7 +548,7 @@ func (fs *FileSystem) writeBlock(b *Block, onDone func()) error {
 // carries the full starting residency once the write commits, and aborted
 // writes tear down replicas that no listener ever saw.
 func (fs *FileSystem) notifyResidency(f *File, media storage.Media, resident bool) {
-	if f.deleted || fs.creating[f.id] {
+	if f.deleted || fs.isCreating(f.id) {
 		return
 	}
 	for _, l := range fs.listeners {
@@ -535,7 +597,8 @@ func (fs *FileSystem) cacheFile(f *File) {
 			continue
 		}
 		b := b
-		r := &Replica{block: b, node: node, device: target, state: ReplicaCreating, isCache: true}
+		r := fs.replicaArena.alloc()
+		r.block, r.node, r.device, r.state, r.isCache = b, node, target, ReplicaCreating, true
 		b.replicas = append(b.replicas, r)
 		fs.liveBytes += b.size
 		fs.stats.BytesUpgradedTo[storage.Memory] += b.size
@@ -624,7 +687,7 @@ func (fs *FileSystem) Delete(path string) error {
 	if err != nil {
 		return err
 	}
-	if fs.creating[f.id] {
+	if fs.isCreating(f.id) {
 		return fmt.Errorf("%w: %q", ErrFileIncomplete, path)
 	}
 	if fs.inTransition(f) {

@@ -2,6 +2,7 @@ package dfs
 
 import (
 	"fmt"
+	mathbits "math/bits"
 
 	"octostore/internal/storage"
 )
@@ -47,7 +48,7 @@ func (fs *FileSystem) CheckAccounting() error {
 func (fs *FileSystem) TierResidency() map[string][3]bool {
 	out := make(map[string][3]bool, len(fs.fileList))
 	for _, f := range fs.fileList {
-		if fs.creating[f.id] {
+		if fs.isCreating(f.id) {
 			continue
 		}
 		var res [3]bool
@@ -94,7 +95,7 @@ func (fs *FileSystem) CheckInvariants() error {
 			}
 		}
 		if nsErr == nil {
-			if pos, ok := fs.filePos[f.id]; !ok || fs.fileList[pos] != f {
+			if pos := fs.posOf(f.id); pos < 0 || fs.fileList[pos] != f {
 				nsErr = fmt.Errorf("dfs: file %q missing from the live-file index", f.path)
 			}
 		}
@@ -160,9 +161,13 @@ func (fs *FileSystem) CheckInvariants() error {
 	}
 
 	// Every file still being created must exist in the namespace.
-	for id := range fs.creating {
-		if _, ok := fs.filePos[id]; !ok {
-			return fmt.Errorf("dfs: creating file id %d not in live index", id)
+	for w, word := range fs.creatingBits {
+		for word != 0 {
+			id := FileID(w<<6 + mathbits.TrailingZeros64(word))
+			word &= word - 1
+			if fs.posOf(id) < 0 {
+				return fmt.Errorf("dfs: creating file id %d not in live index", id)
+			}
 		}
 	}
 	return nil

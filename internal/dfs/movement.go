@@ -37,7 +37,7 @@ func (fs *FileSystem) MoveFileReplicas(f *File, from, to storage.Media, done fun
 	if from == to {
 		return fmt.Errorf("dfs: move from %s to itself", from)
 	}
-	if fs.creating[f.id] || fs.inTransition(f) {
+	if fs.isCreating(f.id) || fs.inTransition(f) {
 		return fmt.Errorf("%w: %q", ErrBusy, f.path)
 	}
 	var moves []*blockMove
@@ -171,7 +171,7 @@ func (fs *FileSystem) CopyFileReplicas(f *File, to storage.Media, done func(erro
 	if f.deleted {
 		return fmt.Errorf("dfs: copy on deleted file %q", f.path)
 	}
-	if fs.creating[f.id] || fs.inTransition(f) {
+	if fs.isCreating(f.id) || fs.inTransition(f) {
 		return fmt.Errorf("%w: %q", ErrBusy, f.path)
 	}
 	type copyPlan struct {
@@ -225,7 +225,8 @@ func (fs *FileSystem) CopyFileReplicas(f *File, to storage.Media, done func(erro
 	for _, p := range plans {
 		p := p
 		size := p.block.size
-		newReplica := &Replica{block: p.block, node: p.dstNod, device: p.dstDev, state: ReplicaCreating}
+		newReplica := fs.replicaArena.alloc()
+		newReplica.block, newReplica.node, newReplica.device, newReplica.state = p.block, p.dstNod, p.dstDev, ReplicaCreating
 		p.block.replicas = append(p.block.replicas, newReplica)
 		fs.liveBytes += size
 		fs.stats.BytesUpgradedTo[to] += size
@@ -256,7 +257,7 @@ func (fs *FileSystem) DeleteFileReplicas(f *File, from storage.Media) error {
 	if f.deleted {
 		return fmt.Errorf("dfs: delete replicas on deleted file %q", f.path)
 	}
-	if fs.creating[f.id] || fs.inTransition(f) {
+	if fs.isCreating(f.id) || fs.inTransition(f) {
 		return fmt.Errorf("%w: %q", ErrBusy, f.path)
 	}
 	victims := make([]*Replica, 0, len(f.blocks))
@@ -288,11 +289,11 @@ func (fs *FileSystem) DeleteFileReplicas(f *File, from storage.Media) error {
 func (fs *FileSystem) UnderReplicatedFiles() []*File {
 	var out []*File
 	for _, f := range fs.fileList {
-		if fs.creating[f.id] {
+		if fs.isCreating(f.id) {
 			continue
 		}
 		for _, b := range f.blocks {
-			if n := b.ReadableReplicas(); n < f.replication && n > 0 {
+			if n := b.ReadableReplicas(); n < int(f.replication) && n > 0 {
 				out = append(out, f)
 				break
 			}

@@ -18,27 +18,91 @@ var (
 	ErrFileIncomplete = errors.New("dfs: file write not yet complete")
 )
 
-// entry is one node in the namespace tree: a directory (children != nil) or
-// a file (file != nil).
+// entry is one directory in the namespace tree. Files are not entries:
+// a directory holds its files directly as a name-sorted *File slice, so a
+// file's entire namespace footprint is one pointer in its parent — its
+// name is the last component of File.path (shared backing, no copy), and
+// there is no per-file tree node to allocate. Directories are rare
+// relative to files (one per few hundred files in typical layouts), so
+// their slices and names are noise at scale. Entries come from the
+// namespace's arena.
 type entry struct {
-	name     string
-	parent   *entry
-	children map[string]*entry
-	file     *File
+	name    string
+	parent  *entry
+	subdirs []*entry // sorted by name
+	files   []*File  // sorted by fileBase
 }
 
-func (e *entry) isDir() bool { return e.children != nil }
+// fileBase returns the file's name: the last component of its path.
+func fileBase(f *File) string {
+	return f.path[strings.LastIndexByte(f.path, '/')+1:]
+}
+
+// findDir returns the child directory with the given name, or nil.
+func (e *entry) findDir(name string) *entry {
+	k := sort.Search(len(e.subdirs), func(i int) bool { return e.subdirs[i].name >= name })
+	if k < len(e.subdirs) && e.subdirs[k].name == name {
+		return e.subdirs[k]
+	}
+	return nil
+}
+
+// findFile returns the contained file with the given name, or nil.
+func (e *entry) findFile(name string) *File {
+	k := sort.Search(len(e.files), func(i int) bool { return fileBase(e.files[i]) >= name })
+	if k < len(e.files) && fileBase(e.files[k]) == name {
+		return e.files[k]
+	}
+	return nil
+}
+
+// insertDir links a child directory, keeping subdirs sorted.
+func (e *entry) insertDir(sub *entry) {
+	k := sort.Search(len(e.subdirs), func(i int) bool { return e.subdirs[i].name >= sub.name })
+	e.subdirs = append(e.subdirs, nil)
+	copy(e.subdirs[k+1:], e.subdirs[k:])
+	e.subdirs[k] = sub
+}
+
+// insertFile links a file, keeping files sorted. The file's path must
+// already end in its name.
+func (e *entry) insertFile(f *File) {
+	name := fileBase(f)
+	k := sort.Search(len(e.files), func(i int) bool { return fileBase(e.files[i]) >= name })
+	e.files = append(e.files, nil)
+	copy(e.files[k+1:], e.files[k:])
+	e.files[k] = f
+}
+
+// removeDir unlinks the named child directory.
+func (e *entry) removeDir(name string) {
+	k := sort.Search(len(e.subdirs), func(i int) bool { return e.subdirs[i].name >= name })
+	if k < len(e.subdirs) && e.subdirs[k].name == name {
+		e.subdirs = append(e.subdirs[:k], e.subdirs[k+1:]...)
+	}
+}
+
+// removeFile unlinks the named file.
+func (e *entry) removeFile(name string) {
+	k := sort.Search(len(e.files), func(i int) bool { return fileBase(e.files[i]) >= name })
+	if k < len(e.files) && fileBase(e.files[k]) == name {
+		e.files = append(e.files[:k], e.files[k+1:]...)
+	}
+}
 
 // Namespace is the FS Directory component of the Master: a conventional
 // hierarchical file organisation (Section 3.3).
 type Namespace struct {
-	root  *entry
-	files int
+	root    *entry
+	files   int
+	entries arena[entry]
 }
 
 // NewNamespace returns an empty namespace containing only "/".
 func NewNamespace() *Namespace {
-	return &Namespace{root: &entry{name: "", children: map[string]*entry{}}}
+	ns := &Namespace{}
+	ns.root = ns.entries.alloc()
+	return ns
 }
 
 // FileCount returns the number of files (not directories) in the namespace.
@@ -105,13 +169,14 @@ func CleanPath(path string) (string, error) {
 	return "/" + strings.Join(parts, "/"), nil
 }
 
-// lookup resolves a path to its entry. It is the hottest namespace path
-// (every Open/Exists/GetFile goes through it), so it scans components in
-// place instead of splitting the path: substring map probes do not allocate,
-// making resolution zero-allocation for valid paths.
-func (ns *Namespace) lookup(path string) (*entry, error) {
+// lookup resolves a path. For a directory it returns (dir, nil); for a
+// file it returns (containing directory, file). It is the hottest
+// namespace path (every Open/Exists/GetFile goes through it), so it scans
+// components in place instead of splitting the path: substring searches do
+// not allocate, making resolution zero-allocation for valid paths.
+func (ns *Namespace) lookup(path string) (*entry, *File, error) {
 	if !strings.HasPrefix(path, "/") {
-		return nil, fmt.Errorf("%w: %q is not absolute", ErrInvalidPath, path)
+		return nil, nil, fmt.Errorf("%w: %q is not absolute", ErrInvalidPath, path)
 	}
 	cur := ns.root
 	for i := 1; i < len(path); {
@@ -131,18 +196,38 @@ func (ns *Namespace) lookup(path string) (*entry, error) {
 		case ".":
 			continue
 		case "..":
-			return nil, fmt.Errorf("%w: %q contains '..'", ErrInvalidPath, path)
+			return nil, nil, fmt.Errorf("%w: %q contains '..'", ErrInvalidPath, path)
 		}
-		if !cur.isDir() {
-			return nil, fmt.Errorf("%w: %q", ErrNotDirectory, path)
+		if sub := cur.findDir(comp); sub != nil {
+			cur = sub
+			continue
 		}
-		next, ok := cur.children[comp]
-		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrNotFound, path)
+		if f := cur.findFile(comp); f != nil {
+			// A file resolves only as the final component; anything past
+			// it (other than slashes and ".") descends through a non-dir.
+			for i < len(path) {
+				for i < len(path) && path[i] == '/' {
+					i++
+				}
+				j = i
+				for j < len(path) && path[j] != '/' {
+					j++
+				}
+				switch path[i:j] {
+				case "", ".":
+					i = j
+					continue
+				case "..":
+					return nil, nil, fmt.Errorf("%w: %q contains '..'", ErrInvalidPath, path)
+				default:
+					return nil, nil, fmt.Errorf("%w: %q", ErrNotDirectory, path)
+				}
+			}
+			return cur, f, nil
 		}
-		cur = next
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, path)
 	}
-	return cur, nil
+	return cur, nil, nil
 }
 
 // MkdirAll creates the directory and any missing parents, like HDFS mkdirs.
@@ -153,127 +238,167 @@ func (ns *Namespace) MkdirAll(path string) error {
 	}
 	cur := ns.root
 	for _, p := range parts {
-		next, ok := cur.children[p]
-		if !ok {
-			next = &entry{name: p, parent: cur, children: map[string]*entry{}}
-			cur.children[p] = next
-		} else if !next.isDir() {
+		if sub := cur.findDir(p); sub != nil {
+			cur = sub
+			continue
+		}
+		if cur.findFile(p) != nil {
 			return fmt.Errorf("%w: %q", ErrNotDirectory, path)
 		}
-		cur = next
+		sub := ns.entries.alloc()
+		sub.name = p
+		sub.parent = cur
+		cur.insertDir(sub)
+		cur = sub
 	}
 	return nil
 }
 
-// insertFile registers a file at path, creating parent directories.
+// insertFile registers a file at path, creating parent directories. The
+// file's cached path is set to the canonical path, so its name (the last
+// component) shares the path string's backing — no separate name storage
+// per file. The whole insert is a single in-place walk: canonical paths
+// allocate nothing beyond directory growth.
 func (ns *Namespace) insertFile(path string, f *File) error {
-	parts, err := splitPath(path)
-	if err != nil {
-		return err
+	if !IsCanonicalPath(path) {
+		clean, err := CleanPath(path)
+		if err != nil {
+			return err
+		}
+		path = clean
 	}
-	if len(parts) == 0 {
+	if path == "/" {
 		return fmt.Errorf("%w: cannot create file at root", ErrInvalidPath)
 	}
-	dir := "/" + strings.Join(parts[:len(parts)-1], "/")
-	if err := ns.MkdirAll(dir); err != nil {
-		return err
+	f.path = path
+	cur := ns.root
+	for i := 1; ; {
+		j := i
+		for j < len(path) && path[j] != '/' {
+			j++
+		}
+		comp := path[i:j]
+		if j >= len(path) { // final component: the file's name
+			if cur.findDir(comp) != nil || cur.findFile(comp) != nil {
+				return fmt.Errorf("%w: %q", ErrExists, path)
+			}
+			cur.insertFile(f)
+			ns.files++
+			return nil
+		}
+		if sub := cur.findDir(comp); sub != nil {
+			cur = sub
+		} else if cur.findFile(comp) != nil {
+			return fmt.Errorf("%w: %q", ErrNotDirectory, path)
+		} else {
+			sub = ns.entries.alloc()
+			sub.name = comp
+			sub.parent = cur
+			cur.insertDir(sub)
+			cur = sub
+		}
+		i = j + 1
 	}
-	parentEntry, err := ns.lookup(dir)
-	if err != nil {
-		return err
-	}
-	name := parts[len(parts)-1]
-	if _, ok := parentEntry.children[name]; ok {
-		return fmt.Errorf("%w: %q", ErrExists, path)
-	}
-	parentEntry.children[name] = &entry{name: name, parent: parentEntry, file: f}
-	ns.files++
-	return nil
 }
 
 // GetFile resolves a path to a file.
 func (ns *Namespace) GetFile(path string) (*File, error) {
-	e, err := ns.lookup(path)
+	_, f, err := ns.lookup(path)
 	if err != nil {
 		return nil, err
 	}
-	if e.isDir() {
+	if f == nil {
 		return nil, fmt.Errorf("%w: %q", ErrIsDirectory, path)
 	}
-	return e.file, nil
+	return f, nil
 }
 
 // Exists reports whether a path resolves to a file or directory.
 func (ns *Namespace) Exists(path string) bool {
-	_, err := ns.lookup(path)
+	_, _, err := ns.lookup(path)
 	return err == nil
 }
 
 // IsDir reports whether path exists and is a directory.
 func (ns *Namespace) IsDir(path string) bool {
-	e, err := ns.lookup(path)
-	return err == nil && e.isDir()
+	_, f, err := ns.lookup(path)
+	return err == nil && f == nil
 }
 
 // removeFile unlinks a file entry. The caller is responsible for replica
 // teardown.
 func (ns *Namespace) removeFile(path string) (*File, error) {
-	e, err := ns.lookup(path)
+	dir, f, err := ns.lookup(path)
 	if err != nil {
 		return nil, err
 	}
-	if e.isDir() {
+	if f == nil {
 		return nil, fmt.Errorf("%w: %q", ErrIsDirectory, path)
 	}
-	delete(e.parent.children, e.name)
+	dir.removeFile(fileBase(f))
 	ns.files--
-	return e.file, nil
+	return f, nil
 }
 
 // Rmdir removes an empty directory.
 func (ns *Namespace) Rmdir(path string) error {
-	e, err := ns.lookup(path)
+	e, f, err := ns.lookup(path)
 	if err != nil {
 		return err
 	}
-	if !e.isDir() {
+	if f != nil {
 		return fmt.Errorf("%w: %q", ErrNotDirectory, path)
 	}
 	if e == ns.root {
 		return fmt.Errorf("%w: cannot remove root", ErrInvalidPath)
 	}
-	if len(e.children) > 0 {
+	if len(e.subdirs) > 0 || len(e.files) > 0 {
 		return fmt.Errorf("%w: %q", ErrNotEmpty, path)
 	}
-	delete(e.parent.children, e.name)
+	e.parent.removeDir(e.name)
 	return nil
 }
 
 // List returns the sorted child names of a directory.
 func (ns *Namespace) List(path string) ([]string, error) {
-	e, err := ns.lookup(path)
+	e, f, err := ns.lookup(path)
 	if err != nil {
 		return nil, err
 	}
-	if !e.isDir() {
+	if f != nil {
 		return nil, fmt.Errorf("%w: %q", ErrNotDirectory, path)
 	}
-	names := make([]string, 0, len(e.children))
-	for name := range e.children {
-		names = append(names, name)
+	names := make([]string, 0, len(e.subdirs)+len(e.files))
+	di, fi := 0, 0
+	for di < len(e.subdirs) || fi < len(e.files) {
+		if fi >= len(e.files) ||
+			(di < len(e.subdirs) && e.subdirs[di].name < fileBase(e.files[fi])) {
+			names = append(names, e.subdirs[di].name)
+			di++
+		} else {
+			names = append(names, fileBase(e.files[fi]))
+			fi++
+		}
 	}
-	sort.Strings(names)
 	return names, nil
+}
+
+// dirPath reconstructs the absolute path of a directory entry.
+func (ns *Namespace) dirPath(e *entry) string {
+	if e == ns.root {
+		return ""
+	}
+	return ns.dirPath(e.parent) + "/" + e.name
 }
 
 // Rename moves a file or directory to a new path. The destination must not
 // exist; destination parents are created.
 func (ns *Namespace) Rename(from, to string) error {
-	e, err := ns.lookup(from)
+	e, f, err := ns.lookup(from)
 	if err != nil {
 		return err
 	}
-	if e == ns.root {
+	if f == nil && e == ns.root {
 		return fmt.Errorf("%w: cannot rename root", ErrInvalidPath)
 	}
 	if ns.Exists(to) {
@@ -290,9 +415,16 @@ func (ns *Namespace) Rename(from, to string) error {
 	if err := ns.MkdirAll(dir); err != nil {
 		return err
 	}
-	newParent, err := ns.lookup(dir)
+	newParent, _, err := ns.lookup(dir)
 	if err != nil {
 		return err
+	}
+	name := toParts[len(toParts)-1]
+	if f != nil {
+		e.removeFile(fileBase(f))
+		f.path = ns.dirPath(newParent) + "/" + name
+		newParent.insertFile(f)
+		return nil
 	}
 	// Reject moving a directory underneath itself.
 	for p := newParent; p != nil; p = p.parent {
@@ -300,50 +432,44 @@ func (ns *Namespace) Rename(from, to string) error {
 			return fmt.Errorf("%w: cannot move %q inside itself", ErrInvalidPath, from)
 		}
 	}
-	delete(e.parent.children, e.name)
-	name := toParts[len(toParts)-1]
+	e.parent.removeDir(e.name)
 	e.name = name
 	e.parent = newParent
-	newParent.children[name] = e
+	newParent.insertDir(e)
 	ns.rewritePaths(e)
 	return nil
 }
 
-// rewritePaths updates the cached path strings of files under e.
+// rewritePaths updates the cached path strings of files under the moved
+// directory e. File names (the last path component) are unchanged by a
+// directory move, so each directory's sorted file order is preserved.
 func (ns *Namespace) rewritePaths(e *entry) {
-	var walk func(e *entry, prefix string)
-	walk = func(e *entry, prefix string) {
-		full := prefix + "/" + e.name
-		if e.file != nil {
-			e.file.path = full
-			return
+	var walk func(e *entry, full string)
+	walk = func(e *entry, full string) {
+		for _, f := range e.files {
+			f.path = full + "/" + fileBase(f)
 		}
-		for _, child := range e.children {
-			walk(child, full)
+		for _, sub := range e.subdirs {
+			walk(sub, full+"/"+sub.name)
 		}
 	}
-	prefix := ""
-	for p := e.parent; p != nil && p != ns.root; p = p.parent {
-		prefix = "/" + p.name + prefix
-	}
-	walk(e, prefix)
+	walk(e, ns.dirPath(e))
 }
 
 // Walk visits every file in the namespace in sorted path order.
 func (ns *Namespace) Walk(fn func(f *File)) {
 	var walk func(e *entry)
 	walk = func(e *entry) {
-		if e.file != nil {
-			fn(e.file)
-			return
-		}
-		names := make([]string, 0, len(e.children))
-		for name := range e.children {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			walk(e.children[name])
+		di, fi := 0, 0
+		for di < len(e.subdirs) || fi < len(e.files) {
+			if fi >= len(e.files) ||
+				(di < len(e.subdirs) && e.subdirs[di].name < fileBase(e.files[fi])) {
+				walk(e.subdirs[di])
+				di++
+			} else {
+				fn(e.files[fi])
+				fi++
+			}
 		}
 	}
 	walk(ns.root)

@@ -42,7 +42,7 @@ func BenchmarkNamespaceLookup(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ns.lookup(paths[i%len(paths)]); err != nil {
+		if _, _, err := ns.lookup(paths[i%len(paths)]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -54,7 +54,7 @@ func TestCleanPathCorners(t *testing.T) {
 	// lookup must agree with CleanPath on rejection.
 	ns := NewNamespace()
 	for _, bad := range []string{"", "a", "/a/../b"} {
-		if _, err := ns.lookup(bad); err == nil {
+		if _, _, err := ns.lookup(bad); err == nil {
 			t.Fatalf("lookup(%q) should fail", bad)
 		}
 	}

@@ -27,8 +27,20 @@ type PlacementPolicy interface {
 	Name() string
 	// PlaceBlock returns up to `replication` targets for a block of the
 	// given size. Fewer targets than requested may be returned when the
-	// cluster lacks space; zero targets is an error.
+	// cluster lacks space; zero targets is an error. The returned slice is
+	// scratch storage owned by the policy: it is only valid until the next
+	// PlaceBlock call.
 	PlaceBlock(size int64, replication int) ([]Target, error)
+}
+
+// targetsHaveNode reports whether a node already received a replica.
+func targetsHaveNode(targets []Target, nodeID int) bool {
+	for _, t := range targets {
+		if t.Node.ID() == nodeID {
+			return true
+		}
+	}
+	return false
 }
 
 // hddPlacement reproduces stock HDFS: every replica on an HDD, replicas on
@@ -36,6 +48,7 @@ type PlacementPolicy interface {
 type hddPlacement struct {
 	cluster *cluster.Cluster
 	rng     *rand.Rand
+	scratch []Target // reused PlaceBlock result buffer
 }
 
 func (p *hddPlacement) Name() string { return "hdfs-3xHDD" }
@@ -43,13 +56,14 @@ func (p *hddPlacement) Name() string { return "hdfs-3xHDD" }
 func (p *hddPlacement) PlaceBlock(size int64, replication int) ([]Target, error) {
 	nodes := p.cluster.Nodes()
 	start := p.rng.Intn(len(nodes))
-	var targets []Target
+	targets := p.scratch[:0]
 	for i := 0; i < len(nodes) && len(targets) < replication; i++ {
 		n := nodes[(start+i)%len(nodes)]
 		if d := n.PickDevice(storage.HDD, size); d != nil {
 			targets = append(targets, Target{Node: n, Device: d})
 		}
 	}
+	p.scratch = targets
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("%w: %d bytes on HDD tier", ErrNoCapacity, size)
 	}
@@ -66,6 +80,7 @@ type octopusPlacement struct {
 	cluster *cluster.Cluster
 	rng     *rand.Rand
 	weights PlacementWeights
+	scratch []Target // reused PlaceBlock result buffer
 }
 
 // PlacementWeights are the relative objective weights of the OctopusFS
@@ -100,16 +115,15 @@ func mediaSpeed(m storage.Media) float64 {
 
 func (p *octopusPlacement) PlaceBlock(size int64, replication int) ([]Target, error) {
 	nodes := p.cluster.Nodes()
-	usedNodes := make(map[int]bool, replication)
-	usedMedia := make(map[storage.Media]int, 3)
-	var targets []Target
+	var usedMedia [3]int // indexed by storage.Media
+	targets := p.scratch[:0]
 	start := p.rng.Intn(len(nodes))
 	for len(targets) < replication {
 		var best Target
 		bestScore := math.Inf(-1)
 		for i := 0; i < len(nodes); i++ {
 			n := nodes[(start+i)%len(nodes)]
-			if usedNodes[n.ID()] {
+			if targetsHaveNode(targets, n.ID()) {
 				continue
 			}
 			for _, media := range storage.AllMedia {
@@ -130,10 +144,10 @@ func (p *octopusPlacement) PlaceBlock(size int64, replication int) ([]Target, er
 		if best.Device == nil {
 			break // out of eligible nodes or space
 		}
-		usedNodes[best.Node.ID()] = true
 		usedMedia[best.Device.Media()]++
 		targets = append(targets, best)
 	}
+	p.scratch = targets
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("%w: %d bytes on any tier", ErrNoCapacity, size)
 	}
@@ -147,6 +161,7 @@ type pinnedPlacement struct {
 	cluster *cluster.Cluster
 	rng     *rand.Rand
 	media   storage.Media
+	scratch []Target // reused PlaceBlock result buffer
 }
 
 func (p *pinnedPlacement) Name() string { return "pinned-" + p.media.String() }
@@ -154,13 +169,14 @@ func (p *pinnedPlacement) Name() string { return "pinned-" + p.media.String() }
 func (p *pinnedPlacement) PlaceBlock(size int64, replication int) ([]Target, error) {
 	nodes := p.cluster.Nodes()
 	start := p.rng.Intn(len(nodes))
-	var targets []Target
+	targets := p.scratch[:0]
 	for i := 0; i < len(nodes) && len(targets) < replication; i++ {
 		n := nodes[(start+i)%len(nodes)]
 		if d := n.PickDevice(p.media, size); d != nil {
 			targets = append(targets, Target{Node: n, Device: d})
 		}
 	}
+	p.scratch = targets
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("%w: %d bytes on %s tier", ErrNoCapacity, size, p.media)
 	}

@@ -82,7 +82,7 @@ type weightIndex struct {
 func newWeightIndex(ctx *core.Context, book *weightBook, decay func(float64, time.Duration) float64) *weightIndex {
 	wi := &weightIndex{ctx: ctx, book: book, decay: decay}
 	for _, m := range storage.AllMedia {
-		wi.tiers[m] = core.NewFileHeap(nil)
+		wi.tiers[m] = core.NewFileHeap(nil, ctx.FS.FileByID)
 	}
 	wi.elig = ctx.Selectable
 	wi.trueFn = func(f *dfs.File) float64 { return wi.weightAt(f, wi.selectNow) }

@@ -61,6 +61,14 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return quantileOf(h.Counts(), q)
 }
 
+// QuantileOf answers the q-quantile over an arbitrary bucket-count vector
+// in the Histogram.Counts layout — a live snapshot, or a windowed delta of
+// two snapshots. The time-series collector (internal/metrics) diffs
+// successive snapshots and quantiles each window through this.
+func QuantileOf(counts [64]int64, q float64) time.Duration {
+	return quantileOf(counts, q)
+}
+
 // quantileOf answers the q-quantile over an arbitrary bucket-count vector
 // (a live snapshot, or a windowed delta of two snapshots).
 func quantileOf(counts [64]int64, q float64) time.Duration {

@@ -299,6 +299,11 @@ func (s *Server) Close() {
 	}
 }
 
+// Clock returns the current wall-mapped virtual time (zero in replay mode,
+// meaning "at the core loop's current virtual time"). Open-loop drivers use
+// it as the base for stamping intended arrival times onto submitted ops.
+func (s *Server) Clock() time.Time { return s.clock() }
+
 // clock maps wall time to the virtual timeline under live pacing; in replay
 // mode it returns the zero time, meaning "at the core loop's current
 // virtual time".

@@ -199,6 +199,11 @@ func NewSharded(cfg ShardedConfig) (*ShardedServer, error) {
 // NumShards returns the shard count.
 func (s *ShardedServer) NumShards() int { return len(s.shards) }
 
+// Clock returns the wall-mapped virtual time of the first shard. Shards
+// start within microseconds of each other on the same timescale, so one
+// shard's clock serves as the stamping base for all of them.
+func (s *ShardedServer) Clock() time.Time { return s.shards[0].srv.Clock() }
+
 // Ledger exposes the global capacity ledger (all reads are atomic).
 func (s *ShardedServer) Ledger() *cluster.TierLedger { return s.ledger }
 
@@ -310,6 +315,18 @@ func (s *ShardedServer) CreateAt(path string, size int64, at time.Time) <-chan e
 		return res
 	}
 	return s.shardOf(clean).srv.CreateAt(clean, size, at)
+}
+
+// CreateAtAs is CreateAt with a tenant identity. Like CreateAt it skips the
+// borrow-retry: explicitly stamped traffic handles capacity errors itself.
+func (s *ShardedServer) CreateAtAs(path string, size int64, at time.Time, tenant storage.TenantID) <-chan error {
+	clean, err := canonicalPath(path)
+	if err != nil {
+		res := make(chan error, 1)
+		res <- err
+		return res
+	}
+	return s.shardOf(clean).srv.CreateAtAs(clean, size, at, tenant)
 }
 
 // Delete removes a file, blocking for the outcome.
@@ -684,6 +701,15 @@ type Service interface {
 	Exists(path string) bool
 	List(dir string) []string
 	Flush()
+	// Stamped variants and the wall-mapped virtual clock: open-loop drivers
+	// stamp each op with its intended arrival time so the policy layer sees
+	// the arrival process, not the dispatch process.
+	Clock() time.Time
+	CreateAt(path string, size int64, at time.Time) <-chan error
+	CreateAtAs(path string, size int64, at time.Time, tenant storage.TenantID) <-chan error
+	DeleteAt(path string, at time.Time) <-chan error
+	AccessAt(path string, at time.Time) (AccessResult, error)
+	AccessAtAs(path string, at time.Time, tenant storage.TenantID) (AccessResult, error)
 }
 
 var (

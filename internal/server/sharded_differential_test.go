@@ -120,11 +120,10 @@ func shardedOracle(t *testing.T, ops []diffOp) *dfs.FileSystem {
 	return fs
 }
 
-// runShardedReplay replays the same trace through the sharded engine in
-// replay mode, fencing after every op, and returns the server un-closed so
-// the caller can inspect and then close it. plane (optional) is attached to
-// every shard's cluster view.
-func runShardedReplay(t *testing.T, ops []diffOp, shards int, plane storage.DataPlane) *server.ShardedServer {
+// newShardedReplayServer builds and starts the replay-mode sharded server
+// the differential tests share: PinnedHDD placement, OSA upgrades, quarter
+// quotas. plane (optional) is attached to every shard's cluster view.
+func newShardedReplayServer(t *testing.T, shards int, plane storage.DataPlane) *server.ShardedServer {
 	t.Helper()
 	huge := int64(1) << 60
 	inf := math.Inf(1)
@@ -165,6 +164,15 @@ func runShardedReplay(t *testing.T, ops []diffOp, shards int, plane storage.Data
 		t.Fatal(err)
 	}
 	srv.Start()
+	return srv
+}
+
+// runShardedReplay replays the trace through the sharded engine in replay
+// mode, fencing after every op, and returns the server un-closed so the
+// caller can inspect and then close it.
+func runShardedReplay(t *testing.T, ops []diffOp, shards int, plane storage.DataPlane) *server.ShardedServer {
+	t.Helper()
+	srv := newShardedReplayServer(t, shards, plane)
 	base := sim.Epoch
 	for _, o := range ops {
 		at := base.Add(o.at)

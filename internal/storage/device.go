@@ -291,14 +291,21 @@ func (p *pool) onCompletion() {
 	p.nextEvent = nil
 	p.settle()
 	var finished []*Transfer
-	live := p.transfers[:0]
-	for _, t := range p.transfers {
+	old := p.transfers
+	live := old[:0]
+	for _, t := range old {
 		if t.remaining <= remainderEpsilon {
 			t.finished = true
 			finished = append(finished, t)
 		} else {
 			live = append(live, t)
 		}
+	}
+	// Clear the stale tail so finished transfers (and everything their done
+	// closures capture) become collectable; a burst can push the slice to a
+	// high-water mark that would otherwise pin every completed transfer.
+	for i := len(live); i < len(old); i++ {
+		old[i] = nil
 	}
 	p.transfers = live
 	p.reschedule()
@@ -321,7 +328,9 @@ func (p *pool) remove(t *Transfer) {
 	p.settle()
 	for i, other := range p.transfers {
 		if other == t {
+			n := len(p.transfers)
 			p.transfers = append(p.transfers[:i], p.transfers[i+1:]...)
+			p.transfers[:n][n-1] = nil // drop the stale duplicate slot
 			break
 		}
 	}
