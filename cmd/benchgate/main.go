@@ -16,8 +16,15 @@
 //
 //	benchgate -serve-old BENCH_serve.baseline.json -serve-new BENCH_serve.json -threshold 1.25
 //
-// Both gates may run in one invocation; each pair of flags is optional but
-// at least one pair is required.
+// A third gate bounds the observability tax: given two load reports from the
+// same configuration — one without and one with -obs-listen/-trace — it
+// fails when the instrumented run's ops/s falls more than -overhead-threshold
+// below the uninstrumented run's.
+//
+//	benchgate -overhead-off BENCH_off.json -overhead-on BENCH_obs.json -overhead-threshold 1.05
+//
+// Any combination of gates may run in one invocation; each flag pair is
+// optional but at least one pair is required.
 package main
 
 import (
@@ -269,6 +276,38 @@ func gateServe(oldPath, newPath string, threshold, latThreshold float64) int {
 	return regressions
 }
 
+// gateOverhead compares two load reports from the same configuration — one
+// with observability off, one with the hub, tracer, and HTTP endpoint on —
+// and fails when instrumentation costs more throughput than the threshold
+// allows. The obs plane is designed to be a nil check when off and sampled
+// spans plus pull-based closures when on; this gate keeps that promise
+// honest. Both runs come from the same CI job, so the comparison is
+// same-machine, same-commit.
+func gateOverhead(offPath, onPath string, threshold float64) int {
+	off, err := parseServe(offPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: overhead-off:", err)
+		os.Exit(2)
+	}
+	on, err := parseServe(onPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: overhead-on:", err)
+		os.Exit(2)
+	}
+	if off.OpsPerSec <= 0 || on.OpsPerSec <= 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: overhead reports need nonzero ops_per_sec on both sides")
+		os.Exit(2)
+	}
+	if on.OpsPerSec < off.OpsPerSec/threshold {
+		fmt.Printf("SLOW  %-60s %12.0f ops/s instrumented vs %.0f plain (%.2fx < 1/%.2fx gate)\n",
+			"serve:obs_overhead", on.OpsPerSec, off.OpsPerSec, on.OpsPerSec/off.OpsPerSec, threshold)
+		return 1
+	}
+	fmt.Printf("OK    %-60s %12.0f ops/s instrumented vs %.0f plain (%.2fx)\n",
+		"serve:obs_overhead", on.OpsPerSec, off.OpsPerSec, on.OpsPerSec/off.OpsPerSec)
+	return 0
+}
+
 func main() {
 	var (
 		oldPath      = flag.String("old", "", "baseline go test -json bench output")
@@ -278,12 +317,16 @@ func main() {
 		threshold    = flag.Float64("threshold", 1.25, "fail when new > old * threshold (ns/op) or new < old / threshold (ops/s)")
 		latThreshold = flag.Float64("lat-threshold", 1.5, "fail when the serve report's read p99 exceeds baseline * this (virtual tier-real latency)")
 		floorNS      = flag.Float64("floor-ns", 1000, "ignore benchmarks faster than this baseline (jitter floor)")
+		overheadOff  = flag.String("overhead-off", "", "load report from an obs-disabled run (overhead gate)")
+		overheadOn   = flag.String("overhead-on", "", "load report from the same configuration with -obs-listen/-trace on (overhead gate)")
+		overheadMax  = flag.Float64("overhead-threshold", 1.05, "fail when the instrumented run's ops/s < plain / this")
 	)
 	flag.Parse()
 	haveBench := *oldPath != "" && *newPath != ""
 	haveServe := *serveOld != "" && *serveNew != ""
-	if !haveBench && !haveServe {
-		fmt.Fprintln(os.Stderr, "benchgate: need -old/-new and/or -serve-old/-serve-new")
+	haveOverhead := *overheadOff != "" && *overheadOn != ""
+	if !haveBench && !haveServe && !haveOverhead {
+		fmt.Fprintln(os.Stderr, "benchgate: need -old/-new, -serve-old/-serve-new, and/or -overhead-off/-overhead-on")
 		os.Exit(2)
 	}
 	// Run every configured gate before deciding the exit status, so a serve
@@ -292,14 +335,17 @@ func main() {
 	serveRegressions := 0
 	if haveServe {
 		serveRegressions = gateServe(*serveOld, *serveNew, *threshold, *latThreshold)
-		if !haveBench {
-			if serveRegressions > 0 {
-				fmt.Printf("benchgate: %d serving metric(s) regressed\n", serveRegressions)
-				os.Exit(1)
-			}
-			fmt.Println("benchgate: no regressions")
-			return
+	}
+	if haveOverhead {
+		serveRegressions += gateOverhead(*overheadOff, *overheadOn, *overheadMax)
+	}
+	if !haveBench {
+		if serveRegressions > 0 {
+			fmt.Printf("benchgate: %d serving metric(s) regressed\n", serveRegressions)
+			os.Exit(1)
 		}
+		fmt.Println("benchgate: no regressions")
+		return
 	}
 	oldNS, err := parse(*oldPath)
 	if err != nil {

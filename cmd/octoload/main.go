@@ -41,10 +41,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"octostore/internal/cluster"
@@ -52,6 +54,7 @@ import (
 	"octostore/internal/dfs"
 	"octostore/internal/metrics"
 	"octostore/internal/ml"
+	"octostore/internal/obs"
 	"octostore/internal/policy"
 	"octostore/internal/scenario"
 	"octostore/internal/server"
@@ -97,6 +100,10 @@ type config struct {
 	tenants   int
 	readSLO   time.Duration
 	tenantCfg []server.TenantConfig
+
+	obsListen string
+	tracePath string
+	hub       *obs.Hub // set in main when either obs flag is on
 }
 
 func parseFlags() config {
@@ -137,6 +144,8 @@ func parseFlags() config {
 	flag.StringVar(&c.dataplane, "dataplane", "none", "data-plane profile: none (free reads, uncontended movement — the pre-data-plane semantics) or contended (per-physical-device service time + shared bandwidth arbitration across shards)")
 	flag.IntVar(&c.tenants, "tenants", 0, "tenant count: >= 2 tags client traffic round-robin (tenant 1 heaviest) and schedules the contended plane weighted-fair; requires -dataplane contended")
 	flag.DurationVar(&c.readSLO, "read-slo", 0, "tenant 1's read p99 target (tier-real virtual latency); breaches defer background movement; requires -tenants >= 2")
+	flag.StringVar(&c.obsListen, "obs-listen", "", "serve /metrics (Prometheus text), /metrics.json, /flight, and /debug/pprof on this address for the duration of the run (e.g. :9100 or 127.0.0.1:0; empty disables)")
+	flag.StringVar(&c.tracePath, "trace", "", "write sampled per-op spans, movement provenance, and events as JSONL to this file (empty disables)")
 	flag.Parse()
 	c.muteFrac = 1 - c.readFrac - c.statFrac
 	if c.muteFrac < 0 {
@@ -636,6 +645,7 @@ func buildSingle(c config, clCfg cluster.Config, sc *scenario.Scenario) (*system
 		TimeScale: c.timeScale,
 		Executor:  executorConfig(c),
 		Tenants:   c.tenantCfg,
+		Obs:       c.hub,
 	})
 	srv.Start()
 
@@ -705,6 +715,7 @@ func buildSharded(c config, clCfg cluster.Config) *system {
 			TimeScale: c.timeScale,
 			Executor:  executorConfig(c),
 			Tenants:   c.tenantCfg,
+			Obs:       c.hub,
 		},
 	})
 	if err != nil {
@@ -730,6 +741,50 @@ func buildSharded(c config, clCfg cluster.Config) *system {
 
 func main() {
 	c := parseFlags()
+	partialOut = c.out
+	partialCfg = map[string]any{
+		"clients": c.clients, "dur": c.dur.String(), "files": c.files,
+		"workload": c.workloadN, "scenario": c.scenarioN, "seed": c.seed,
+		"shards": c.shards, "dataplane": c.dataplane, "tenants": c.tenants,
+		"partial": true,
+	}
+
+	// Observability plane: one hub spans every shard's server (metrics carry
+	// a shard label). Built before the servers so registration happens inside
+	// server.Start; the trace sink is flushed by hub.Close on every exit path.
+	var stopObs = func() {}
+	if c.obsListen != "" || c.tracePath != "" {
+		hcfg := obs.HubConfig{}
+		if c.tracePath != "" {
+			f, err := os.Create(c.tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			hcfg.Trace = f
+		}
+		c.hub = obs.NewHub(hcfg)
+		obsHub = c.hub
+		if c.obsListen != "" {
+			bound, stop, err := c.hub.ListenAndServe(c.obsListen)
+			if err != nil {
+				fatal(err)
+			}
+			stopObs = stop
+			fmt.Printf("octoload: obs serving on http://%s/metrics (and /metrics.json, /flight, /debug/pprof)\n", bound)
+		}
+		// SIGQUIT dumps the flight recorder — the last few thousand spans,
+		// movement records, and events — instead of the default stack dump,
+		// then exits. `kill -QUIT <pid>` is the hung-run postmortem tool.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			<-quit
+			fmt.Fprintln(os.Stderr, "octoload: SIGQUIT — dumping flight recorder")
+			obsHub.DumpFlight(os.Stderr)
+			obsHub.Close()
+			os.Exit(2)
+		}()
+	}
 
 	// Resolve the world: either the driver's own cluster and generated
 	// population, or a scenario catalog entry's.
@@ -761,6 +816,21 @@ func main() {
 			Tenants: server.PlaneTenants(c.tenantCfg),
 		})
 		clCfg.Plane = plane
+		if c.hub != nil {
+			// Per-device plane signals as a dynamic collector: the channel set
+			// changes under node churn, so membership is resolved per scrape.
+			p := plane
+			c.hub.Registry().Collector(func(emit obs.Emit) {
+				for _, d := range p.DeviceStats() {
+					l := obs.Labels{"device": d.ID}
+					emit("octo_plane_device_grants_total", l, "counter", float64(d.Grants))
+					emit("octo_plane_device_saturated_total", l, "counter", float64(d.Saturated))
+					emit("octo_plane_device_avg_queue_ns", l, "gauge", float64(d.AvgQueue.Nanoseconds()))
+					emit("octo_plane_device_read_horizon_ns", l, "gauge", float64(d.ReadHorizonNS))
+					emit("octo_plane_device_write_horizon_ns", l, "gauge", float64(d.WriteHorizonNS))
+				}
+			})
+		}
 	}
 
 	var sys *system
@@ -1078,6 +1148,19 @@ func main() {
 		for _, v := range violations {
 			fmt.Println("   ", v)
 		}
+		if c.hub != nil {
+			if c.shards == 1 {
+				// The sharded Verify already emitted these into the hub.
+				for _, v := range violations {
+					c.hub.EmitEvent(&obs.Event{What: "invariant-violation", Detail: v})
+				}
+			}
+			if f, err := os.Create(flightDumpPath); err == nil {
+				c.hub.DumpFlight(f)
+				f.Close()
+				fmt.Printf("  flight recorder dumped to %s\n", flightDumpPath)
+			}
+		}
 	} else {
 		fmt.Println("  invariants OK (accounting, deep structural, index audit, ledger, budgets)")
 	}
@@ -1111,12 +1194,45 @@ func main() {
 		runtime.KeepAlive(paths)
 		fmt.Printf("  heap profile written to %s\n", c.memProfile)
 	}
+	if c.hub != nil {
+		if t := c.hub.Tracer(); t != nil {
+			fmt.Printf("  trace      %d records written to %s\n", t.Records(), c.tracePath)
+		}
+		stopObs()
+		c.hub.Close()
+	}
 	if len(violations) > 0 {
 		os.Exit(1)
 	}
 }
 
+// flightDumpPath is where the flight recorder lands when the run ends with
+// invariant violations (CI uploads it as an artifact).
+const flightDumpPath = "octoload-flight.jsonl"
+
+// Partial-report state for fatal(): populated right after flag parsing so a
+// mid-run abort still leaves a machine-readable report at -out with a
+// violations block, instead of only a stderr line and a stale file from the
+// previous run.
+var (
+	partialOut string
+	partialCfg map[string]any
+	obsHub     *obs.Hub
+)
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "octoload:", err)
+	if partialOut != "" {
+		rep := report{
+			Config:     partialCfg,
+			Violations: []string{"fatal: " + err.Error()},
+		}
+		if data, merr := json.MarshalIndent(rep, "", "  "); merr == nil {
+			if werr := os.WriteFile(partialOut, append(data, '\n'), 0o644); werr == nil {
+				fmt.Fprintf(os.Stderr, "octoload: partial report written to %s\n", partialOut)
+			}
+		}
+	}
+	obsHub.Close() // nil-safe: flushes the trace sink if one was open
 	os.Exit(1)
 }

@@ -341,7 +341,7 @@ func TestEffectiveUtilizationAccountsPendingReleases(t *testing.T) {
 		ev.create(t, pathN(i), 16*storage.MB)
 	}
 	// Trigger a downgrade cycle manually while moves are in flight.
-	m.runDowngrade(storage.Memory)
+	m.runDowngrade(storage.Memory, "test")
 	raw := ev.fs.TierUtilization(storage.Memory)
 	eff := ev.ctx.EffectiveUtilization(storage.Memory)
 	if eff > raw {
@@ -410,7 +410,7 @@ func TestCooldownAfterFailedMove(t *testing.T) {
 			}
 		}
 	}
-	m.scheduleDowngrade(f, storage.Memory, storage.SSD)
+	m.scheduleDowngrade(f, storage.Memory, storage.SSD, "test")
 	ev.engine.Run()
 	if m.Metrics().DowngradeErrors != 1 {
 		t.Fatalf("downgrade errors = %d", m.Metrics().DowngradeErrors)

@@ -127,9 +127,9 @@ func (m *Manager) tick() {
 	// re-check tier pressure and let the upgrade policy act without an
 	// accessed file.
 	for _, tier := range storage.AllMedia {
-		m.runDowngrade(tier)
+		m.runDowngrade(tier, "tick")
 	}
-	m.runUpgrade(nil)
+	m.runUpgrade(nil, "tick")
 	m.monitor.CheckReplication()
 }
 
@@ -175,7 +175,7 @@ func (m *Manager) FileAccessed(f *dfs.File) {
 	if m.up != nil {
 		m.up.OnFileAccessed(f)
 	}
-	m.runUpgrade(f)
+	m.runUpgrade(f, "access")
 }
 
 // FileDeleted implements dfs.Listener.
@@ -199,12 +199,12 @@ func (m *Manager) FileTierChanged(*dfs.File, storage.Media, bool) {}
 // trigger for the downgrade process (Algorithm 1 "invoked every time some
 // data is added to a storage tier").
 func (m *Manager) TierDataAdded(tier storage.Media) {
-	m.runDowngrade(tier)
+	m.runDowngrade(tier, "tier-data-added")
 }
 
 // --- Algorithm 1: downgrade process ---
 
-func (m *Manager) runDowngrade(tier storage.Media) {
+func (m *Manager) runDowngrade(tier storage.Media, trigger string) {
 	if m.down == nil {
 		return
 	}
@@ -220,7 +220,7 @@ func (m *Manager) runDowngrade(tier storage.Media) {
 		if del {
 			m.deleteReplicas(f, tier)
 		} else {
-			m.scheduleDowngrade(f, tier, to)
+			m.scheduleDowngrade(f, tier, to, trigger)
 		}
 		if m.down.StopDowngrade(tier) {
 			return
@@ -237,14 +237,18 @@ func (m *Manager) deleteReplicas(f *dfs.File, tier storage.Media) {
 	m.metrics.ReplicaDeletes++
 }
 
-func (m *Manager) scheduleDowngrade(f *dfs.File, from, to storage.Media) {
+func (m *Manager) scheduleDowngrade(f *dfs.File, from, to storage.Media, trigger string) {
 	released := f.BytesOn(from)
 	m.busy[f.ID()] = true
 	m.pendingRelease[from] += released
 	m.mover.Enqueue(MoveRequest{
-		File: f,
-		From: from,
-		To:   to,
+		File:        f,
+		From:        from,
+		To:          to,
+		Policy:      m.down.Name(),
+		Trigger:     trigger,
+		AccessCount: m.ctx.AccessCount(f),
+		LastAccess:  m.ctx.LastTouch(f),
 		Done: func(err error) {
 			delete(m.busy, f.ID())
 			m.pendingRelease[from] -= released
@@ -260,7 +264,7 @@ func (m *Manager) scheduleDowngrade(f *dfs.File, from, to storage.Media) {
 
 // --- Algorithm 2: upgrade process ---
 
-func (m *Manager) runUpgrade(accessed *dfs.File) {
+func (m *Manager) runUpgrade(accessed *dfs.File, trigger string) {
 	if m.up == nil {
 		return
 	}
@@ -275,14 +279,14 @@ func (m *Manager) runUpgrade(accessed *dfs.File) {
 		if f == nil {
 			return
 		}
-		m.tryUpgrade(f)
+		m.tryUpgrade(f, trigger)
 		if m.up.StopUpgrade() {
 			return
 		}
 	}
 }
 
-func (m *Manager) tryUpgrade(f *dfs.File) {
+func (m *Manager) tryUpgrade(f *dfs.File, trigger string) {
 	if f.Deleted() || m.busy[f.ID()] || m.inCooldown(f) || !m.ctx.FS.Complete(f) {
 		return
 	}
@@ -296,9 +300,13 @@ func (m *Manager) tryUpgrade(f *dfs.File) {
 	}
 	m.busy[f.ID()] = true
 	m.mover.Enqueue(MoveRequest{
-		File: f,
-		From: from,
-		To:   to,
+		File:        f,
+		From:        from,
+		To:          to,
+		Policy:      m.up.Name(),
+		Trigger:     trigger,
+		AccessCount: m.ctx.AccessCount(f),
+		LastAccess:  m.ctx.LastTouch(f),
 		Done: func(err error) {
 			delete(m.busy, f.ID())
 			if err != nil {

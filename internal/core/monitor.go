@@ -14,6 +14,16 @@ type MoveRequest struct {
 	To   storage.Media
 	// Done fires when the move commits or fails (never nil after Enqueue).
 	Done func(error)
+
+	// Provenance: which policy decided this move, what triggered the
+	// decision, and the file's tracker stats at decision time. Inert in the
+	// core (the monitor ignores them); the serving layer's executor exports
+	// them as movement-provenance records so "why did this file move" is
+	// answerable post-hoc.
+	Policy      string
+	Trigger     string
+	AccessCount int64
+	LastAccess  time.Time
 }
 
 // Monitor is the Replication Monitor (Section 3.3): it executes data

@@ -15,7 +15,7 @@ package metrics
 import (
 	"time"
 
-	"octostore/internal/server"
+	"octostore/internal/obs"
 )
 
 // Snapshot is one monotonic counter sample. Counters must be cumulative
@@ -24,7 +24,7 @@ type Snapshot struct {
 	// Ops is the cumulative operation count.
 	Ops int64
 	// Read is the cumulative read-latency histogram in the
-	// server.Histogram.Counts bucket layout.
+	// obs.Histogram.Counts bucket layout.
 	Read [64]int64
 }
 
@@ -74,8 +74,8 @@ func (c *Collector) Sample(now time.Time, s Snapshot) {
 		EndSeconds: now.Sub(c.start).Seconds(),
 		Ops:        ops,
 		OpsPerSec:  float64(ops) / dt,
-		ReadP50us:  float64(server.QuantileOf(delta, 0.50).Nanoseconds()) / 1e3,
-		ReadP99us:  float64(server.QuantileOf(delta, 0.99).Nanoseconds()) / 1e3,
+		ReadP50us:  float64(obs.QuantileOf(delta, 0.50).Nanoseconds()) / 1e3,
+		ReadP99us:  float64(obs.QuantileOf(delta, 0.99).Nanoseconds()) / 1e3,
 	})
 	c.prev, c.prevAt = s, now
 }

@@ -5,12 +5,12 @@ import (
 	"testing"
 	"time"
 
-	"octostore/internal/server"
+	"octostore/internal/obs"
 )
 
-// bucketFor places a duration in the server.Histogram bucket layout.
+// bucketFor places a duration in the obs.Histogram bucket layout.
 func bucketFor(d time.Duration) int {
-	h := &server.Histogram{}
+	h := &obs.Histogram{}
 	h.Observe(d)
 	counts := h.Counts()
 	for i, c := range counts {
@@ -56,11 +56,11 @@ func TestCollectorWindows(t *testing.T) {
 	// Window quantiles come from the delta, not the cumulative counts: the
 	// second window's p50 must reflect only its own 100 reads, and its p99
 	// must land in the slow bucket (1 of 100 at ~100ms).
-	wantFast := float64(server.QuantileOf(deltaOf(time.Millisecond, 1), 0.5).Nanoseconds()) / 1e3
+	wantFast := float64(obs.QuantileOf(deltaOf(time.Millisecond, 1), 0.5).Nanoseconds()) / 1e3
 	if pts[1].ReadP50us != wantFast {
 		t.Fatalf("window 2 p50 %v, want %v", pts[1].ReadP50us, wantFast)
 	}
-	wantSlow := float64(server.QuantileOf(deltaOf(100*time.Millisecond, 1), 0.99).Nanoseconds()) / 1e3
+	wantSlow := float64(obs.QuantileOf(deltaOf(100*time.Millisecond, 1), 0.99).Nanoseconds()) / 1e3
 	if pts[1].ReadP99us != wantSlow {
 		t.Fatalf("window 2 p99 %v, want %v (slow tail must surface)", pts[1].ReadP99us, wantSlow)
 	}
@@ -98,5 +98,49 @@ func TestCollectorZeroWindow(t *testing.T) {
 	pts = c.Points()
 	if len(pts) != 2 || pts[1].Ops != 0 || pts[1].OpsPerSec != 0 || pts[1].ReadP99us != 0 {
 		t.Fatalf("idle window: %+v", pts)
+	}
+}
+
+func TestCollectorEmpty(t *testing.T) {
+	c := NewCollector(time.Unix(1000, 0), Snapshot{})
+	if pts := c.Points(); len(pts) != 0 {
+		t.Fatalf("fresh collector has points: %+v", pts)
+	}
+	if peak := c.PeakOpsPerSec(); peak != 0 {
+		t.Fatalf("fresh collector peak %v, want 0", peak)
+	}
+}
+
+func TestCollectorNonMonotonicSamples(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	c := NewCollector(t0, Snapshot{})
+	c.Sample(t0.Add(time.Second), Snapshot{Ops: 100})
+
+	// A sample whose wall time runs backwards (clock step, scheduler
+	// reordering) must be dropped, not produce a negative-duration window.
+	c.Sample(t0.Add(500*time.Millisecond), Snapshot{Ops: 150})
+	pts := c.Points()
+	if len(pts) != 1 {
+		t.Fatalf("backwards sample produced a point: %+v", pts)
+	}
+
+	// The series resumes cleanly from the last accepted sample: the next
+	// in-order window covers [1s, 2s) and its delta is against Ops=100.
+	c.Sample(t0.Add(2*time.Second), Snapshot{Ops: 180})
+	pts = c.Points()
+	if len(pts) != 2 || pts[1].Ops != 80 || math.Abs(pts[1].OpsPerSec-80) > 1e-9 {
+		t.Fatalf("post-recovery window: %+v", pts)
+	}
+	if pts[1].EndSeconds != 2 {
+		t.Fatalf("post-recovery end %v, want 2", pts[1].EndSeconds)
+	}
+}
+
+func TestCollectorPeakSinglePoint(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	c := NewCollector(t0, Snapshot{})
+	c.Sample(t0.Add(2*time.Second), Snapshot{Ops: 500})
+	if peak := c.PeakOpsPerSec(); math.Abs(peak-250) > 1e-9 {
+		t.Fatalf("single-point peak %v, want 250", peak)
 	}
 }

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ListenAndServe exposes the hub over HTTP on addr (e.g. ":9090"):
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  flat JSON snapshot of the same registry
+//	/flight        current flight-recorder contents as JSONL
+//	/debug/pprof/  the standard Go profiles
+//
+// It binds synchronously (so a bad addr fails fast) and serves in a
+// background goroutine; the returned function closes the listener, and the
+// returned address is the bound host:port (useful with ":0"). Serving is
+// read-only and pull-based: a scrape evaluates registered closures over the
+// subsystems' live atomics and never blocks the serving stack.
+func (h *Hub) ListenAndServe(addr string) (bound string, stop func(), err error) {
+	if h == nil {
+		return "", func() {}, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = h.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = h.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = h.DumpFlight(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

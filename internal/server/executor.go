@@ -8,6 +8,7 @@ import (
 
 	"octostore/internal/core"
 	"octostore/internal/dfs"
+	"octostore/internal/obs"
 	"octostore/internal/sim"
 	"octostore/internal/storage"
 )
@@ -159,6 +160,12 @@ type MovementExecutor struct {
 	// updated on the owning loop at refills and read by Stats from any
 	// goroutine.
 	virtualNS atomic.Int64
+
+	// hub, when non-nil, receives a movement-provenance record per request
+	// at admission (queued/shed) and at completion (completed/failed);
+	// obsShard labels the records on a sharded hub.
+	hub      *obs.Hub
+	obsShard int
 }
 
 type tierPool struct {
@@ -175,6 +182,9 @@ type tierPool struct {
 	shed        atomic.Int64
 	admitted    atomic.Int64
 	maxInFlight atomic.Int64
+	// depth mirrors len(queue) atomically so observability scrapes read the
+	// backlog from other goroutines without touching core-loop-owned state.
+	depth atomic.Int64
 }
 
 type pendingMove struct {
@@ -197,6 +207,41 @@ func NewMovementExecutor(fs *dfs.FileSystem, cfg ExecutorConfig) *MovementExecut
 // Config returns the resolved configuration.
 func (e *MovementExecutor) Config() ExecutorConfig { return e.cfg }
 
+// setObs attaches the observability hub (nil = disabled). Called by
+// server.New before any request flows.
+func (e *MovementExecutor) setObs(hub *obs.Hub, shard int) {
+	e.hub = hub
+	e.obsShard = shard
+}
+
+// emitMove publishes one movement-provenance record. The file's path is
+// read here, so callers must be on the loop that owns the executor (they
+// already are — admission and completion both run there).
+func (e *MovementExecutor) emitMove(r core.MoveRequest, size int64, outcome string, err error) {
+	if e.hub == nil {
+		return
+	}
+	rec := &obs.MoveRecord{
+		Shard:       e.obsShard,
+		VirtNS:      e.engine.Now().Sub(e.virtStart).Nanoseconds(),
+		Path:        r.File.Path(),
+		From:        r.From.String(),
+		To:          r.To.String(),
+		Bytes:       size,
+		Policy:      r.Policy,
+		Trigger:     r.Trigger,
+		AccessCount: r.AccessCount,
+		Outcome:     outcome,
+	}
+	if !r.LastAccess.IsZero() {
+		rec.LastAccessNS = r.LastAccess.Sub(e.virtStart).Nanoseconds()
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	e.hub.EmitMove(rec)
+}
+
 // Enqueue implements core.Mover. Core loop only.
 func (e *MovementExecutor) Enqueue(r core.MoveRequest) {
 	if r.Done == nil {
@@ -210,12 +255,15 @@ func (e *MovementExecutor) Enqueue(r core.MoveRequest) {
 	size := moveBytes(r.File)
 	if size > e.cfg.BudgetBytes[r.To] || len(pool.queue) >= e.cfg.QueueDepth {
 		pool.shed.Add(1)
+		e.emitMove(r, size, "shed", ErrMovementShed)
 		r.Done(ErrMovementShed)
 		return
 	}
 	pool.queue = append(pool.queue, pendingMove{req: r, size: size})
+	pool.depth.Store(int64(len(pool.queue)))
 	pool.scheduled.Add(1)
 	e.busy.Add(1)
+	e.emitMove(r, size, "queued", nil)
 	e.pump(r.To)
 }
 
@@ -266,6 +314,7 @@ func (e *MovementExecutor) pump(tier storage.Media) {
 		pool.tokens -= float64(head.size)
 		pool.admitted.Add(head.size)
 		pool.queue = pool.queue[1:]
+		pool.depth.Store(int64(len(pool.queue)))
 		e.start(tier, head)
 	}
 }
@@ -333,8 +382,10 @@ func (e *MovementExecutor) start(tier storage.Media, pm pendingMove) {
 		pool.inFlightBytes -= pm.size
 		if err != nil {
 			pool.failed.Add(1)
+			e.emitMove(pm.req, pm.size, "failed", err)
 		} else {
 			pool.completed.Add(1)
+			e.emitMove(pm.req, pm.size, "completed", nil)
 		}
 		pm.req.Done(err)
 		e.busy.Add(-1)

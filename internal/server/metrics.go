@@ -1,104 +1,23 @@
 package server
 
 import (
-	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"octostore/internal/obs"
 )
 
-// Histogram is a lock-free log2-bucketed latency histogram: bucket i counts
-// observations with ceil(log2(ns)) == i, giving ~2x resolution from 1 ns to
-// ~9 years in 64 fixed buckets. Concurrent Observe calls are a single
-// atomic add, so every client goroutine records into one shared histogram
-// without coordination; quantiles are answered from the bucket counts using
-// each bucket's geometric midpoint.
-type Histogram struct {
-	buckets [64]atomic.Int64
-}
-
-// Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
-	ns := uint64(d.Nanoseconds())
-	if ns == 0 {
-		ns = 1
-	}
-	h.buckets[bits.Len64(ns)-1].Add(1)
-}
-
-// AddFrom accumulates another histogram's buckets into h (used to merge
-// per-shard histograms into one report).
-func (h *Histogram) AddFrom(o *Histogram) {
-	for i := range h.buckets {
-		if n := o.buckets[i].Load(); n != 0 {
-			h.buckets[i].Add(n)
-		}
-	}
-}
-
-// Count returns the number of recorded samples.
-func (h *Histogram) Count() int64 {
-	var n int64
-	for i := range h.buckets {
-		n += h.buckets[i].Load()
-	}
-	return n
-}
-
-// Counts snapshots the bucket counters; the SLO controller diffs snapshots
-// to answer quantiles over a window, and the differential tests compare
-// whole histograms bit-for-bit.
-func (h *Histogram) Counts() [64]int64 {
-	var out [64]int64
-	for i := range h.buckets {
-		out[i] = h.buckets[i].Load()
-	}
-	return out
-}
-
-// Quantile returns the q-quantile (0..1) as a duration, approximated by the
-// geometric midpoint of the bucket containing the rank. Zero when empty.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	return quantileOf(h.Counts(), q)
-}
+// Histogram is the observability plane's lock-free log2-bucketed latency
+// histogram. The implementation lives in internal/obs so the serving layer,
+// the time-series collector, and the metrics registry share one type; the
+// alias keeps the serving API (and every existing call site) unchanged.
+type Histogram = obs.Histogram
 
 // QuantileOf answers the q-quantile over an arbitrary bucket-count vector
 // in the Histogram.Counts layout — a live snapshot, or a windowed delta of
-// two snapshots. The time-series collector (internal/metrics) diffs
-// successive snapshots and quantiles each window through this.
+// two snapshots. Forwarded from internal/obs for API stability.
 func QuantileOf(counts [64]int64, q float64) time.Duration {
-	return quantileOf(counts, q)
-}
-
-// quantileOf answers the q-quantile over an arbitrary bucket-count vector
-// (a live snapshot, or a windowed delta of two snapshots).
-func quantileOf(counts [64]int64, q float64) time.Duration {
-	var total int64
-	for _, c := range counts {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := int64(q * float64(total-1))
-	var seen int64
-	for i, c := range counts {
-		if c == 0 {
-			continue
-		}
-		seen += c
-		if seen > rank {
-			lo := int64(1) << uint(i)
-			// Geometric midpoint of [2^i, 2^(i+1)): lo * sqrt(2).
-			return time.Duration(float64(lo) * 1.41421356)
-		}
-	}
-	return 0
+	return obs.QuantileOf(counts, q)
 }
 
 // ServeStats is the serving layer's atomic counter set; every field is

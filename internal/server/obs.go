@@ -1,0 +1,157 @@
+package server
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"octostore/internal/obs"
+	"octostore/internal/storage"
+)
+
+// This file is the serving layer's observability wiring: metric
+// registration into the hub's registry (pull-based closures over the
+// existing atomics — a scrape reads live values with zero hot-path cost)
+// and the span-capture helpers the client API uses. Everything degrades to
+// a single nil check when no hub is configured.
+
+// sampleSpan starts a span for one in N operations. Returns (nil, zero)
+// when obs is disabled or the op is not sampled — the caller's stage stamps
+// are all guarded on the span pointer.
+func (s *Server) sampleSpan(op, path string, tenant storage.TenantID) (*obs.Span, time.Time) {
+	if !s.obs.SampleOp() {
+		return nil, time.Time{}
+	}
+	sp := &obs.Span{Op: op, Path: path, Shard: s.cfg.ObsShard, Tenant: int(tenant)}
+	return sp, time.Now()
+}
+
+// finishSpan stamps the total wall time and the op's virtual instant
+// (relative to the server's virtual start) and publishes the span. No-op on
+// a nil span.
+func (s *Server) finishSpan(sp *obs.Span, start time.Time, at time.Time, errMsg string) {
+	if sp == nil {
+		return
+	}
+	sp.TotalNS = time.Since(start).Nanoseconds()
+	if !at.IsZero() {
+		sp.VirtNS = at.Sub(s.virtStart).Nanoseconds()
+	}
+	sp.Err = errMsg
+	s.obs.EmitSpan(sp)
+}
+
+// busyStart/busyEnd bracket core-loop work for the utilization gauge. With
+// obs disabled they are a nil check — the loop takes no clock readings.
+func (s *Server) busyStart() time.Time {
+	if s.obs == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (s *Server) busyEnd(t0 time.Time) {
+	if t0.IsZero() {
+		return
+	}
+	s.loopBusyNS.Add(time.Since(t0).Nanoseconds())
+}
+
+// registerObs publishes the server's signals into the hub's registry:
+// serve counters, ring occupancy/drops, per-tier executor queues and
+// budgets, the latency histograms, and the core loop's utilization.
+func (s *Server) registerObs() {
+	if s.obs == nil {
+		return
+	}
+	r := s.obs.Registry()
+	shard := strconv.Itoa(s.cfg.ObsShard)
+	lbl := func(kv ...string) obs.Labels {
+		l := obs.Labels{"shard": shard}
+		for i := 0; i+1 < len(kv); i += 2 {
+			l[kv[i]] = kv[i+1]
+		}
+		return l
+	}
+	ctr := func(name string, v *atomic.Int64, kv ...string) {
+		r.CounterFunc(name, lbl(kv...), func() float64 { return float64(v.Load()) })
+	}
+
+	ctr("octo_accesses_total", &s.counters.accesses)
+	ctr("octo_access_misses_total", &s.counters.accessMisses)
+	ctr("octo_access_noreplica_total", &s.counters.noReplica)
+	ctr("octo_bytes_served_total", &s.counters.bytesServed)
+	ctr("octo_creates_total", &s.counters.creates)
+	ctr("octo_create_errors_total", &s.counters.createErrors)
+	ctr("octo_deletes_total", &s.counters.deletes)
+	ctr("octo_events_drained_total", &s.counters.drained)
+	ctr("octo_drain_batches_total", &s.counters.batches)
+	for _, m := range storage.AllMedia {
+		m := m
+		r.CounterFunc("octo_served_total", lbl("tier", m.String()),
+			func() float64 { return float64(s.counters.servedByTier[m].Load()) })
+	}
+
+	// Ring occupancy from the producer/consumer cursors: enq counts claimed
+	// slots, deq consumed ones, so the difference bounds the published
+	// backlog (claimed-not-yet-published slots inflate it by at most the
+	// number of mid-push producers).
+	r.Gauge("octo_ring_occupancy", lbl(), func() float64 {
+		return float64(s.ring.enq.Load() - s.ring.deq.Load())
+	})
+	r.CounterFunc("octo_ring_dropped_total", lbl(), func() float64 {
+		return float64(s.ring.Dropped())
+	})
+
+	// Core-loop utilization: busy wall time over elapsed wall time since
+	// Start. The loop only accumulates busy time when obs is enabled.
+	start := s.wallStart
+	r.Gauge("octo_loop_utilization", lbl(), func() float64 {
+		elapsed := time.Since(start).Nanoseconds()
+		if elapsed <= 0 {
+			return 0
+		}
+		return float64(s.loopBusyNS.Load()) / float64(elapsed)
+	})
+
+	r.Histogram("octo_access_latency_ns", lbl(), &s.accessHist)
+	r.Histogram("octo_mutate_latency_ns", lbl(), &s.mutateHist)
+	for _, m := range storage.AllMedia {
+		r.Histogram("octo_read_latency_ns", lbl("tier", m.String()), &s.readLat[m])
+	}
+	for id, slot := range s.tenantSlot {
+		r.Histogram("octo_tenant_read_latency_ns",
+			lbl("tenant", strconv.Itoa(int(id))), &s.tenantLat[slot])
+	}
+	if s.slo != nil {
+		ctr("octo_slo_checks_total", &s.slo.checks)
+		ctr("octo_slo_breaches_total", &s.slo.breaches)
+	}
+
+	s.exec.registerObs(r, lbl)
+}
+
+// registerObs publishes the executor's per-tier queue depths, counters, and
+// the defer state.
+func (e *MovementExecutor) registerObs(r *obs.Registry, lbl func(kv ...string) obs.Labels) {
+	for _, m := range storage.AllMedia {
+		p := &e.tiers[m]
+		tier := m.String()
+		r.Gauge("octo_exec_queue_depth", lbl("tier", tier),
+			func() float64 { return float64(p.depth.Load()) })
+		r.CounterFunc("octo_exec_scheduled_total", lbl("tier", tier),
+			func() float64 { return float64(p.scheduled.Load()) })
+		r.CounterFunc("octo_exec_completed_total", lbl("tier", tier),
+			func() float64 { return float64(p.completed.Load()) })
+		r.CounterFunc("octo_exec_failed_total", lbl("tier", tier),
+			func() float64 { return float64(p.failed.Load()) })
+		r.CounterFunc("octo_exec_shed_total", lbl("tier", tier),
+			func() float64 { return float64(p.shed.Load()) })
+		r.CounterFunc("octo_exec_admitted_bytes_total", lbl("tier", tier),
+			func() float64 { return float64(p.admitted.Load()) })
+	}
+	r.CounterFunc("octo_exec_defers_total", lbl(),
+		func() float64 { return float64(e.defers.Load()) })
+	r.Gauge("octo_exec_busy", lbl(),
+		func() float64 { return float64(e.busy.Load()) })
+}

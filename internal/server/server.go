@@ -36,10 +36,12 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"octostore/internal/core"
 	"octostore/internal/dfs"
+	"octostore/internal/obs"
 	"octostore/internal/sim"
 	"octostore/internal/storage"
 )
@@ -76,6 +78,14 @@ type Config struct {
 	// SLO tunes the admission controller (used only when a tenant sets a
 	// ReadSLO).
 	SLO SLOConfig
+	// Obs attaches the observability hub: metric registration at Start,
+	// sampled per-op spans, and movement-provenance records from the
+	// executor. Nil (the default) disables every hook behind a single
+	// pointer check, leaving the differential suites bit-for-bit.
+	Obs *obs.Hub
+	// ObsShard labels this server's metrics and spans when several shards
+	// share one hub.
+	ObsShard int
 }
 
 func (c *Config) applyDefaults() {
@@ -162,6 +172,12 @@ type Server struct {
 	wallStart time.Time
 	virtStart time.Time
 
+	// obs mirrors cfg.Obs (nil = disabled); loopBusyNS accumulates the core
+	// loop's busy wall time for the utilization gauge, written only when obs
+	// is enabled so the disabled loop stays free of clock reads.
+	obs        *obs.Hub
+	loopBusyNS atomic.Int64
+
 	pacerStop chan struct{}
 	wg        sync.WaitGroup
 	started   bool
@@ -198,6 +214,8 @@ func New(fs *dfs.FileSystem, mgr *core.Manager, cfg Config) *Server {
 		}
 		s.slo = newSLOController(s, cfg.SLO, cfg.Tenants)
 	}
+	s.obs = cfg.Obs
+	s.exec.setObs(cfg.Obs, cfg.ObsShard)
 	if mgr != nil {
 		mgr.SetMover(s.exec)
 	}
@@ -260,6 +278,7 @@ func (s *Server) Start() {
 	}
 	s.wallStart = time.Now()
 	s.virtStart = s.engine.Now()
+	s.registerObs()
 	if s.slo != nil {
 		// Installed before the core loop launches (the engine still belongs
 		// to this goroutine here); ticks then run as engine events on the
@@ -342,10 +361,14 @@ func (s *Server) loop() {
 	for !s.closed {
 		select {
 		case c := <-s.cmds:
+			t0 := s.busyStart()
 			s.drainRing()
 			s.applyCmd(c)
+			s.busyEnd(t0)
 		case <-s.ring.wake:
+			t0 := s.busyStart()
 			s.drainRing()
+			s.busyEnd(t0)
 		}
 	}
 	// Final drain so no published event is silently lost.
@@ -489,8 +512,17 @@ func (s *Server) CreateAt(path string, size int64, at time.Time) <-chan error {
 // tenant around it suffices).
 func (s *Server) CreateAtAs(path string, size int64, at time.Time, tenant storage.TenantID) <-chan error {
 	res := make(chan error, 1)
+	sp, spStart := s.sampleSpan("create", path, tenant)
+	if sp != nil {
+		sp.Bytes = size
+	}
 	start := time.Now()
 	s.cmds <- command{at: at, run: func() {
+		if sp != nil {
+			// Time from submission until the core loop picks the command up —
+			// the create's queueing delay behind other commands and drains.
+			sp.RingNS = time.Since(spStart).Nanoseconds()
+		}
 		s.createsInFlight++
 		s.fs.SetActiveTenant(tenant)
 		s.fs.Create(path, size, func(f *dfs.File, err error) {
@@ -502,6 +534,13 @@ func (s *Server) CreateAtAs(path string, size int64, at time.Time, tenant storag
 				s.indexFile(f)
 			}
 			s.mutateHist.Observe(time.Since(start))
+			if sp != nil {
+				msg := ""
+				if err != nil {
+					msg = err.Error()
+				}
+				s.finishSpan(sp, spStart, s.engine.Now(), msg)
+			}
 			res <- err
 		})
 		s.fs.SetActiveTenant(storage.DefaultTenant)
@@ -574,21 +613,37 @@ func (s *Server) AccessAt(path string, at time.Time) (AccessResult, error) {
 // the tenant (weighted-fair arbitration on a multi-tenant plane) and the
 // read latency lands in the tenant's histogram as well as the tier's.
 func (s *Server) AccessAtAs(path string, at time.Time, tenant storage.TenantID) (AccessResult, error) {
+	// Span capture costs one nil-check call when obs is off; the stage
+	// stamps below are all guarded on sp.
+	sp, spStart := s.sampleSpan("access", path, tenant)
 	h, ok := s.resolve(path)
 	if !ok {
 		s.counters.accessMisses.Add(1)
+		s.finishSpan(sp, spStart, at, "not found")
 		return AccessResult{}, fmt.Errorf("server: %w: %q", dfs.ErrNotFound, path)
+	}
+	if sp != nil {
+		sp.ResolveNS = time.Since(spStart).Nanoseconds()
 	}
 	s.counters.accesses.Add(1)
 	s.ring.push(accessEvent{id: h.id, at: at})
+	if sp != nil {
+		sp.RingNS = time.Since(spStart).Nanoseconds()
+	}
 	tier, served := h.bestTier()
 	if !served {
 		s.counters.noReplica.Add(1)
+		s.finishSpan(sp, spStart, at, "no resident tier")
 		return AccessResult{}, nil
 	}
 	s.counters.servedByTier[tier].Add(1)
 	s.counters.bytesServed.Add(h.size)
 	res := AccessResult{Tier: tier, Served: true}
+	if sp != nil {
+		sp.DecideNS = time.Since(spStart).Nanoseconds()
+		sp.Tier = tier.String()
+		sp.Bytes = h.size
+	}
 	// Charge the read's service time against the physical device channel.
 	// A zero stamp (replay-mode Access with no pacer) carries no usable
 	// virtual instant, so those reads stay unmodeled.
@@ -608,8 +663,15 @@ func (s *Server) AccessAtAs(path string, at time.Time, tenant storage.TenantID) 
 			if slot, ok := s.tenantSlot[tenant]; ok {
 				s.tenantLat[slot].Observe(res.Latency)
 			}
+			if sp != nil {
+				sp.QueueNS = g.Queue.Nanoseconds()
+				sp.BaseNS = g.Base.Nanoseconds()
+				sp.TransferNS = g.Transfer.Nanoseconds()
+				sp.Saturated = g.Saturated
+			}
 		}
 	}
+	s.finishSpan(sp, spStart, at, "")
 	return res, nil
 }
 

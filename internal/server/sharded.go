@@ -3,11 +3,13 @@ package server
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"octostore/internal/cluster"
 	"octostore/internal/core"
 	"octostore/internal/dfs"
+	"octostore/internal/obs"
 	"octostore/internal/sim"
 	"octostore/internal/storage"
 )
@@ -179,6 +181,9 @@ func NewSharded(cfg ShardedConfig) (*ShardedServer, error) {
 			mgr.Context().SetTierHeadroom(s.ledger.FreeBytes)
 		}
 		innerCfg := cfg.Inner
+		// Each inner server labels its metrics and spans with its shard index
+		// on the shared hub (innerCfg.Obs rides in on cfg.Inner).
+		innerCfg.ObsShard = i
 		// Movement destinations borrow quota right before each admitted
 		// move, on the shard loop, through the two-phase protocol.
 		innerCfg.Executor.PreMove = func(tier storage.Media, bytes int64) {
@@ -193,7 +198,52 @@ func NewSharded(cfg ShardedConfig) (*ShardedServer, error) {
 			quota:   quota,
 		})
 	}
+	s.registerObs()
 	return s, nil
+}
+
+// registerObs publishes the unpartitionable state — the global capacity
+// ledger's conservation terms and per-tenant borrow accounts, plus each
+// shard's quota-protocol traffic — into the hub's registry. Per-shard
+// serving metrics register inside each inner server's Start.
+func (s *ShardedServer) registerObs() {
+	hub := s.cfg.Inner.Obs
+	if hub == nil {
+		return
+	}
+	r := hub.Registry()
+	for _, m := range storage.AllMedia {
+		m := m
+		tier := obs.Labels{"tier": m.String()}
+		r.Gauge("octo_ledger_free_bytes", tier, func() float64 { return float64(s.ledger.FreeBytes(m)) })
+		r.Gauge("octo_ledger_reserved_bytes", tier, func() float64 { return float64(s.ledger.ReservedBytes(m)) })
+		r.Gauge("octo_ledger_total_bytes", tier, func() float64 { return float64(s.ledger.TotalBytes(m)) })
+		r.Gauge("octo_ledger_deficit_bytes", tier, func() float64 { return float64(s.ledger.DeficitBytes(m)) })
+	}
+	r.CounterFunc("octo_ledger_reserves_total", nil, func() float64 { return float64(s.ledger.Reserves()) })
+	r.CounterFunc("octo_ledger_commits_total", nil, func() float64 { return float64(s.ledger.Commits()) })
+	r.CounterFunc("octo_ledger_aborts_total", nil, func() float64 { return float64(s.ledger.Aborts()) })
+	// Per-tenant borrow accounts, dynamic over the configured tenant table.
+	tenants := s.cfg.Inner.Tenants
+	if len(tenants) > 0 {
+		r.Collector(func(emit obs.Emit) {
+			for _, tc := range tenants {
+				for _, m := range storage.AllMedia {
+					l := obs.Labels{"tenant": strconv.Itoa(int(tc.ID)), "tier": m.String()}
+					emit("octo_ledger_tenant_committed_bytes", l, "gauge", float64(s.ledger.TenantCommittedBytes(tc.ID, m)))
+					emit("octo_ledger_tenant_quota_bytes", l, "gauge", float64(s.ledger.TenantQuota(tc.ID, m)))
+				}
+			}
+		})
+	}
+	for i, sh := range s.shards {
+		sh := sh
+		l := obs.Labels{"shard": strconv.Itoa(i)}
+		r.CounterFunc("octo_quota_borrows_total", l, func() float64 { return float64(sh.quota.stats().Borrows) })
+		r.CounterFunc("octo_quota_borrow_failures_total", l, func() float64 { return float64(sh.quota.stats().BorrowFailures) })
+		r.CounterFunc("octo_quota_borrowed_bytes_total", l, func() float64 { return float64(sh.quota.stats().BorrowedBytes) })
+		r.CounterFunc("octo_quota_returned_bytes_total", l, func() float64 { return float64(sh.quota.stats().ReturnedBytes) })
+	}
 }
 
 // NumShards returns the shard count.
@@ -570,6 +620,12 @@ func (s *ShardedServer) Verify() []string {
 		if v := sh.srv.Executor().Stats().CheckBudgets(); v != "" {
 			violations = append(violations, fmt.Sprintf("shard %d: %s", i, v))
 		}
+	}
+	// Invariant failures are exactly what the flight recorder exists for:
+	// record each one so a dump carries the violation next to the spans and
+	// movement records that led up to it.
+	for _, v := range violations {
+		s.cfg.Inner.Obs.EmitEvent(&obs.Event{What: "invariant-violation", Detail: v})
 	}
 	return violations
 }

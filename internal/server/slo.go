@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"octostore/internal/obs"
 	"octostore/internal/storage"
 )
 
@@ -136,7 +137,7 @@ func (c *sloController) tick() {
 			continue
 		}
 		c.checks.Add(1)
-		if quantileOf(delta, 0.99) > w.target {
+		if obs.QuantileOf(delta, 0.99) > w.target {
 			breach = true
 			c.breaches.Add(1)
 		}

@@ -207,6 +207,12 @@ type planeChannel struct {
 	read  atomic.Int64
 	write atomic.Int64
 	fair  *fairState // nil on a single-tenant plane
+
+	// Per-device activity counters for observability (DeviceStats): pure
+	// atomic adds on the Serve path, never read by scheduling decisions.
+	grants    atomic.Int64
+	queuedNS  atomic.Int64
+	saturated atomic.Int64
 }
 
 func (ch *planeChannel) horizon(dir Direction) *atomic.Int64 {
@@ -477,6 +483,13 @@ func (p *ContendedPlane) Serve(req IORequest) IOGrant {
 	if req.Class == ClassMove {
 		t.moveReqs.Add(1)
 	}
+	ch.grants.Add(1)
+	if queue > 0 {
+		ch.queuedNS.Add(queue.Nanoseconds())
+	}
+	if saturated {
+		ch.saturated.Add(1)
+	}
 	return IOGrant{Queue: queue, Base: prof.BaseLatency, Transfer: transfer, Saturated: saturated}
 }
 
@@ -669,4 +682,40 @@ func (p *ContendedPlane) Stats() PlaneStats {
 // tests and diagnostics use it, the serving path never does.
 func (p *ContendedPlane) Horizon(deviceID string, dir Direction) time.Time {
 	return sim.AtNanos(p.channel(deviceID).horizon(dir).Load())
+}
+
+// PlaneDeviceStats is a point-in-time snapshot of one device channel.
+type PlaneDeviceStats struct {
+	ID        string
+	Grants    int64 // requests granted on the channel
+	Saturated int64 // grants clamped at MaxQueue
+	// AvgQueue is the mean queueing delay across the channel's grants.
+	AvgQueue time.Duration
+	// ReadHorizonNS / WriteHorizonNS are the busy-until horizons in virtual
+	// nanoseconds since sim.Epoch; subtract the current virtual instant for
+	// the backlog.
+	ReadHorizonNS  int64
+	WriteHorizonNS int64
+}
+
+// DeviceStats snapshots every live device channel, sorted by id. Safe from
+// any goroutine; observability scrapes use it for per-device saturation.
+func (p *ContendedPlane) DeviceStats() []PlaneDeviceStats {
+	chans := *p.chans.Load()
+	out := make([]PlaneDeviceStats, 0, len(chans))
+	for id, ch := range chans {
+		s := PlaneDeviceStats{
+			ID:             id,
+			Grants:         ch.grants.Load(),
+			Saturated:      ch.saturated.Load(),
+			ReadHorizonNS:  ch.read.Load(),
+			WriteHorizonNS: ch.write.Load(),
+		}
+		if s.Grants > 0 {
+			s.AvgQueue = time.Duration(ch.queuedNS.Load() / s.Grants)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
