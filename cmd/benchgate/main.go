@@ -23,6 +23,15 @@
 //
 //	benchgate -overhead-off BENCH_off.json -overhead-on BENCH_obs.json -overhead-threshold 1.05
 //
+// A fourth gate keeps the dynamic shard rebalancer honest: given two load
+// reports from the same skewed configuration (octoload -hotdir/-shards) —
+// one with static routing and one with -rebalance — it fails unless the
+// rebalanced run sustains at least -skew-ratio times the static run's ops/s,
+// improves the per-shard imbalance ratio by at least -skew-imbalance, and
+// actually migrated (a run that "wins" without moving a subtree is vacuous).
+//
+//	benchgate -skew-off BENCH_skew_off.json -skew-on BENCH_skew_on.json -skew-ratio 1.3
+//
 // Any combination of gates may run in one invocation; each flag pair is
 // optional but at least one pair is required.
 package main
@@ -133,6 +142,14 @@ type serveReport struct {
 	TimeSeries  *struct {
 		PeakOpsPerSec float64 `json:"peak_ops_per_sec"`
 	} `json:"timeseries"`
+	// ImbalanceRatio and Rebalance appear on sharded skew runs from PR 9 on;
+	// the skew gate SKIPs loudly when a report predates them.
+	ImbalanceRatio float64 `json:"imbalance_ratio"`
+	Rebalance      *struct {
+		Completed  int64 `json:"completed"`
+		EpochFlips int64 `json:"epoch_flips"`
+		FilesMoved int64 `json:"files_moved"`
+	} `json:"rebalance"`
 	Violations []string `json:"violations"`
 }
 
@@ -308,6 +325,66 @@ func gateOverhead(offPath, onPath string, threshold float64) int {
 	return 0
 }
 
+// gateSkew compares a skewed static-routing run against the same
+// configuration with the rebalancer on. Both runs come from the same CI job
+// (same machine, same commit), so the ratio is a property of the code, not
+// of baseline drift. Three checks: the rebalanced run must win on ops/s by
+// ratioFloor, must flatten the per-shard imbalance by imbFloor, and must
+// have actually completed migrations and epoch flips.
+func gateSkew(offPath, onPath string, ratioFloor, imbFloor float64) int {
+	off, err := parseServe(offPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: skew-off:", err)
+		os.Exit(2)
+	}
+	on, err := parseServe(onPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: skew-on:", err)
+		os.Exit(2)
+	}
+	if off.OpsPerSec <= 0 || on.OpsPerSec <= 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: skew reports need nonzero ops_per_sec on both sides")
+		os.Exit(2)
+	}
+	if off.ImbalanceRatio <= 0 || on.ImbalanceRatio <= 0 {
+		// Reports from before the per-shard counters (pre-rebalancing
+		// octoload) cannot arm this gate; skip loudly rather than silently
+		// disarm — a fresh pair from this commit's octoload always carries
+		// the imbalance block on -shards > 1 runs.
+		fmt.Printf("SKIP  %-60s report lacks imbalance_ratio (pre-rebalancing octoload?); skew gate skipped\n", "serve:skew_speedup")
+		return 0
+	}
+	regressions := 0
+	if on.OpsPerSec < off.OpsPerSec*ratioFloor {
+		fmt.Printf("SLOW  %-60s %12.0f ops/s rebalanced vs %.0f static (%.2fx < %.2fx gate)\n",
+			"serve:skew_speedup", on.OpsPerSec, off.OpsPerSec, on.OpsPerSec/off.OpsPerSec, ratioFloor)
+		regressions++
+	} else {
+		fmt.Printf("OK    %-60s %12.0f ops/s rebalanced vs %.0f static (%.2fx)\n",
+			"serve:skew_speedup", on.OpsPerSec, off.OpsPerSec, on.OpsPerSec/off.OpsPerSec)
+	}
+	if on.ImbalanceRatio*imbFloor > off.ImbalanceRatio {
+		fmt.Printf("SLOW  %-60s %12.2fx rebalanced vs %.2fx static (improved %.2fx < %.2fx gate)\n",
+			"serve:skew_imbalance", on.ImbalanceRatio, off.ImbalanceRatio, off.ImbalanceRatio/on.ImbalanceRatio, imbFloor)
+		regressions++
+	} else {
+		fmt.Printf("OK    %-60s %12.2fx rebalanced vs %.2fx static (improved %.2fx)\n",
+			"serve:skew_imbalance", on.ImbalanceRatio, off.ImbalanceRatio, off.ImbalanceRatio/on.ImbalanceRatio)
+	}
+	switch {
+	case on.Rebalance == nil:
+		fmt.Printf("SKIP  %-60s skew-on report lacks a rebalance block (pre-rebalancing octoload?); vacuity check skipped\n", "serve:skew_migrations")
+	case on.Rebalance.Completed == 0 || on.Rebalance.EpochFlips == 0 || on.Rebalance.FilesMoved == 0:
+		fmt.Printf("SLOW  %-60s rebalanced run moved nothing (completed %d, flips %d, files %d) — the comparison is vacuous\n",
+			"serve:skew_migrations", on.Rebalance.Completed, on.Rebalance.EpochFlips, on.Rebalance.FilesMoved)
+		regressions++
+	default:
+		fmt.Printf("OK    %-60s %12d migrations, %d epoch flips, %d files moved\n",
+			"serve:skew_migrations", on.Rebalance.Completed, on.Rebalance.EpochFlips, on.Rebalance.FilesMoved)
+	}
+	return regressions
+}
+
 func main() {
 	var (
 		oldPath      = flag.String("old", "", "baseline go test -json bench output")
@@ -320,13 +397,18 @@ func main() {
 		overheadOff  = flag.String("overhead-off", "", "load report from an obs-disabled run (overhead gate)")
 		overheadOn   = flag.String("overhead-on", "", "load report from the same configuration with -obs-listen/-trace on (overhead gate)")
 		overheadMax  = flag.Float64("overhead-threshold", 1.05, "fail when the instrumented run's ops/s < plain / this")
+		skewOff      = flag.String("skew-off", "", "load report from a skewed static-routing run (skew gate)")
+		skewOn       = flag.String("skew-on", "", "load report from the same skewed configuration with -rebalance (skew gate)")
+		skewRatio    = flag.Float64("skew-ratio", 1.3, "fail when the rebalanced run's ops/s < static * this")
+		skewImb      = flag.Float64("skew-imbalance", 1.2, "fail when the rebalanced run improves the per-shard imbalance ratio by less than this factor")
 	)
 	flag.Parse()
 	haveBench := *oldPath != "" && *newPath != ""
 	haveServe := *serveOld != "" && *serveNew != ""
 	haveOverhead := *overheadOff != "" && *overheadOn != ""
-	if !haveBench && !haveServe && !haveOverhead {
-		fmt.Fprintln(os.Stderr, "benchgate: need -old/-new, -serve-old/-serve-new, and/or -overhead-off/-overhead-on")
+	haveSkew := *skewOff != "" && *skewOn != ""
+	if !haveBench && !haveServe && !haveOverhead && !haveSkew {
+		fmt.Fprintln(os.Stderr, "benchgate: need -old/-new, -serve-old/-serve-new, -overhead-off/-overhead-on, and/or -skew-off/-skew-on")
 		os.Exit(2)
 	}
 	// Run every configured gate before deciding the exit status, so a serve
@@ -338,6 +420,9 @@ func main() {
 	}
 	if haveOverhead {
 		serveRegressions += gateOverhead(*overheadOff, *overheadOn, *overheadMax)
+	}
+	if haveSkew {
+		serveRegressions += gateSkew(*skewOff, *skewOn, *skewRatio, *skewImb)
 	}
 	if !haveBench {
 		if serveRegressions > 0 {

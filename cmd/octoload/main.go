@@ -90,6 +90,8 @@ type config struct {
 	memProfile string
 
 	shards      int
+	hotdir      float64
+	rebalance   bool
 	quotaFrac   float64
 	moveWorkers int
 	moveQueue   int
@@ -132,6 +134,8 @@ func parseFlags() config {
 	flag.DurationVar(&c.drain, "drain", 30*time.Second, "how long to wait after the deadline for in-flight/queued ops before abandoning them")
 	flag.StringVar(&c.memProfile, "memprofile", "", "write a heap profile here at the end of the run (population still live)")
 	flag.IntVar(&c.shards, "shards", 1, "namespace shards (each with its own engine, manager, and shard loop)")
+	flag.Float64Var(&c.hotdir, "hotdir", 0, "fraction of access traffic concentrated in one hot subtree whose directories all hash to a single shard — the adversarial skew the static parent-dir routing cannot spread (0 disables)")
+	flag.BoolVar(&c.rebalance, "rebalance", false, "enable the dynamic shard rebalancer: hot-prefix detection, live subtree migration, route-table overrides (requires -shards >= 2)")
 	flag.Float64Var(&c.quotaFrac, "quota-frac", 0.5, "fraction of tier capacity granted to shard quotas up front (rest is borrowable pool)")
 	flag.IntVar(&c.moveWorkers, "move-workers", 2, "movement executor slots per destination tier")
 	flag.IntVar(&c.moveQueue, "move-queue", 64, "movement executor queue depth per tier")
@@ -228,7 +232,64 @@ func parseFlags() config {
 		fmt.Fprintln(os.Stderr, "octoload: -scenario requires -shards 1")
 		os.Exit(2)
 	}
+	if c.hotdir < 0 || c.hotdir >= 1 {
+		fmt.Fprintln(os.Stderr, "octoload: -hotdir must be in [0, 1)")
+		os.Exit(2)
+	}
+	if c.hotdir > 0 && c.arrival != "closed" {
+		// The open-loop schedule generator has no hot-subtree branch; fail
+		// loudly rather than silently measure an unskewed run.
+		fmt.Fprintln(os.Stderr, "octoload: -hotdir requires -arrival closed")
+		os.Exit(2)
+	}
+	if c.hotdir > 0 && c.scenarioN != "" {
+		fmt.Fprintln(os.Stderr, "octoload: -hotdir composes with the generated population, not -scenario")
+		os.Exit(2)
+	}
+	if c.rebalance && c.shards < 2 {
+		fmt.Fprintln(os.Stderr, "octoload: -rebalance requires -shards >= 2")
+		os.Exit(2)
+	}
 	return c
+}
+
+// hotPopulation stages the hot subtree for -hotdir: directories under /hot
+// chosen (by probing the exported routing hash) so every one of them lands
+// on the SAME shard under static routing — the layout that pins one shard
+// loop while the others idle. The dirs are individually migratable, so the
+// rebalancer can drain the hot shard one subtree at a time. It returns the
+// staged specs and the dir list: the load phase concentrates both reads and
+// creates in these dirs, because a hot subtree in a real cluster is an
+// active job's working set — it takes writes, not just reads.
+func hotPopulation(c config) ([]workload.FileSpec, []string) {
+	if c.hotdir <= 0 {
+		return nil, nil
+	}
+	const hotDirs = 8
+	perDir := c.files / (4 * hotDirs)
+	if perDir < 4 {
+		perDir = 4
+	}
+	target := -1
+	var specs []workload.FileSpec
+	var dirs []string
+	for i := 0; len(dirs) < hotDirs && i < 10000; i++ {
+		dir := fmt.Sprintf("/hot/d%03d", i)
+		if target == -1 {
+			target = server.RouteShard(dir, c.shards)
+		}
+		if server.RouteShard(dir, c.shards) != target {
+			continue
+		}
+		for f := 0; f < perDir; f++ {
+			specs = append(specs, workload.FileSpec{
+				Path: fmt.Sprintf("%s/f%04d", dir, f),
+				Size: 8 * storage.MB,
+			})
+		}
+		dirs = append(dirs, dir)
+	}
+	return specs, dirs
 }
 
 // population stages file specs from the workload generators: the profile's
@@ -291,14 +352,36 @@ type report struct {
 	// Open and TimeSeries are present only on -arrival open runs (and
 	// TimeSeries on closed runs with an explicit -window): the closed-loop
 	// default schema stays exactly as it was.
-	Open       *openBlock       `json:"open,omitempty"`
-	TimeSeries *timeSeriesBlock `json:"timeseries,omitempty"`
-	SLO        *sloReport       `json:"slo,omitempty"`
-	Plane       []planeTierReport    `json:"plane,omitempty"`
-	Serve       server.ServeStats    `json:"serve"`
-	Executor    []tierReport         `json:"executor"`
-	Quota       server.QuotaStats    `json:"quota"`
-	Violations  []string             `json:"violations"`
+	Open       *openBlock        `json:"open,omitempty"`
+	TimeSeries *timeSeriesBlock  `json:"timeseries,omitempty"`
+	SLO        *sloReport        `json:"slo,omitempty"`
+	Plane      []planeTierReport `json:"plane,omitempty"`
+	Serve      server.ServeStats `json:"serve"`
+	// Shards and ImbalanceRatio appear only on -shards > 1 runs: per-shard
+	// serving counters and max/mean of per-shard total ops — the skew signal
+	// the rebalancer exists to flatten. Rebalance appears only on -rebalance
+	// runs. benchgate treats their absence as a pre-rebalancing baseline.
+	Shards         []shardReport          `json:"shard_stats,omitempty"`
+	ImbalanceRatio float64                `json:"imbalance_ratio,omitempty"`
+	Rebalance      *server.RebalanceStats `json:"rebalance,omitempty"`
+	Executor       []tierReport           `json:"executor"`
+	Quota          server.QuotaStats      `json:"quota"`
+	Violations     []string               `json:"violations"`
+}
+
+type shardReport struct {
+	Shard     int     `json:"shard"`
+	Ops       int64   `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Accesses  int64   `json:"accesses"`
+	Creates   int64   `json:"creates"`
+	Deletes   int64   `json:"deletes"`
+}
+
+// shardOps is the per-shard serving volume the imbalance ratio is computed
+// over: every namespace op the shard loop executed.
+func shardOps(st server.ServeStats) int64 {
+	return st.Accesses + st.Creates + st.Deletes + st.Stats + st.Lists
 }
 
 type latencyBlock struct {
@@ -590,6 +673,11 @@ type system struct {
 	tenantRead func(storage.TenantID) *server.Histogram
 	slo        func() server.SLOStats
 	quota      func() server.QuotaStats
+	// shardStats and rebalance are non-nil only on the sharded path: the
+	// per-shard serving counters behind the imbalance ratio, and the
+	// rebalancer's migration counters.
+	shardStats func() []server.ServeStats
+	rebalance  func() server.RebalanceStats
 }
 
 func buildPolicies(c config, fs *dfs.FileSystem) (*core.Manager, error) {
@@ -710,7 +798,8 @@ func buildSharded(c config, clCfg cluster.Config) *system {
 		Build: func(_ int, fs *dfs.FileSystem) (*core.Manager, error) {
 			return buildPolicies(c, fs)
 		},
-		Quota: server.QuotaConfig{InitialFraction: c.quotaFrac},
+		Quota:     server.QuotaConfig{InitialFraction: c.quotaFrac},
+		Rebalance: server.RebalanceConfig{Enabled: c.rebalance},
 		Inner: server.Config{
 			TimeScale: c.timeScale,
 			Executor:  executorConfig(c),
@@ -736,6 +825,8 @@ func buildSharded(c config, clCfg cluster.Config) *system {
 		tenantRead: srv.TenantReadLatency,
 		slo:        srv.SLOStats,
 		quota:      srv.QuotaStats,
+		shardStats: srv.ShardStats,
+		rebalance:  srv.RebalanceStats,
 	}
 }
 
@@ -806,6 +897,12 @@ func main() {
 	} else {
 		files = population(c)
 	}
+	// The hot subtree rides on the generated population: its files are staged
+	// like any others, but the load phase concentrates -hotdir of the client
+	// traffic on them, and their directories all hash to one shard.
+	hotStart := len(files)
+	hotFiles, hotDirs := hotPopulation(c)
+	files = append(files, hotFiles...)
 
 	// Attach the data plane after the topology is resolved: one plane spans
 	// every shard's cluster view, so serve reads and movement contend for
@@ -955,6 +1052,13 @@ func main() {
 				tid := tenantOf(cli)
 				rng := rand.New(rand.NewSource(c.seed*1000 + int64(cli)))
 				zipf := rand.NewZipf(rng, c.zipfS, 1, uint64(len(paths)-1))
+				// The hot branch draws from its own zipf over the hot subtree;
+				// every extra rng call is gated on c.hotdir > 0 so a hotdir-less
+				// run replays the exact pre-skew op sequence.
+				var hotZipf *rand.Zipf
+				if c.hotdir > 0 {
+					hotZipf = rand.NewZipf(rng, c.zipfS, 1, uint64(len(paths)-hotStart-1))
+				}
 				var own []string
 				scratch := 0
 				for {
@@ -966,15 +1070,29 @@ func main() {
 					inflight.Add(1)
 					switch r := rng.Float64(); {
 					case r < c.readFrac:
-						if tid != storage.DefaultTenant {
-							svc.AccessAs(paths[zipf.Uint64()], tid)
+						target := -1
+						if c.hotdir > 0 && rng.Float64() < c.hotdir {
+							target = hotStart + int(hotZipf.Uint64())
 						} else {
-							svc.Access(paths[zipf.Uint64()])
+							target = int(zipf.Uint64())
+						}
+						if tid != storage.DefaultTenant {
+							svc.AccessAs(paths[target], tid)
+						} else {
+							svc.Access(paths[target])
 						}
 					case r < c.readFrac+c.statFrac:
 						svc.Stat(paths[rng.Intn(len(paths))])
 					case rng.Float64() < 0.5 || len(own) == 0:
-						path := fmt.Sprintf("/scratch/c%d/f%06d", cli, scratch)
+						var path string
+						if c.hotdir > 0 && rng.Float64() < c.hotdir {
+							// The active job writes into its own hot subtree; under
+							// static routing every one of these creates serializes
+							// on the single shard loop the subtree hashes to.
+							path = fmt.Sprintf("%s/c%d-f%06d", hotDirs[rng.Intn(len(hotDirs))], cli, scratch)
+						} else {
+							path = fmt.Sprintf("/scratch/c%d/f%06d", cli, scratch)
+						}
 						scratch++
 						var err error
 						if tid != storage.DefaultTenant {
@@ -1069,6 +1187,34 @@ func main() {
 		rep.Config["rate"] = c.rate
 		rep.Config["window"] = c.window.String()
 	}
+	if c.hotdir > 0 || c.rebalance {
+		// Skew-run keys, conditional like the open-loop ones: pre-skew
+		// reports keep their schema byte-for-byte.
+		rep.Config["hotdir"] = c.hotdir
+		rep.Config["rebalance"] = c.rebalance
+	}
+	if sys.shardStats != nil {
+		perShard := sys.shardStats()
+		var maxOps, total int64
+		for i, st := range perShard {
+			o := shardOps(st)
+			rep.Shards = append(rep.Shards, shardReport{
+				Shard: i, Ops: o, OpsPerSec: float64(o) / elapsed.Seconds(),
+				Accesses: st.Accesses, Creates: st.Creates, Deletes: st.Deletes,
+			})
+			total += o
+			if o > maxOps {
+				maxOps = o
+			}
+		}
+		if total > 0 {
+			rep.ImbalanceRatio = float64(maxOps) * float64(len(perShard)) / float64(total)
+		}
+		if c.rebalance {
+			rst := sys.rebalance()
+			rep.Rebalance = &rst
+		}
+	}
 	for _, m := range storage.AllMedia {
 		rep.Executor = append(rep.Executor, tierReport{Tier: m.String(), TierMoveStats: exStats.PerTier[m]})
 	}
@@ -1129,6 +1275,18 @@ func main() {
 			fmt.Printf("  slo        %d checks, %d breaches, %d movement defers\n",
 				rep.SLO.Checks, rep.SLO.Breaches, rep.SLO.Defers)
 		}
+	}
+	if len(rep.Shards) > 0 {
+		fmt.Printf("  shards     imbalance %.2fx (max/mean ops):", rep.ImbalanceRatio)
+		for _, sr := range rep.Shards {
+			fmt.Printf("  s%d %.0f/s", sr.Shard, sr.OpsPerSec)
+		}
+		fmt.Println()
+	}
+	if rep.Rebalance != nil {
+		r := rep.Rebalance
+		fmt.Printf("  rebalance  %d started, %d completed, %d aborted, %d flips, %d files (%dMB) moved, %d routes, spread %.2fx\n",
+			r.Started, r.Completed, r.Aborted, r.EpochFlips, r.FilesMoved, r.BytesMoved/storage.MB, r.Routes, r.Spread)
 	}
 	st := rep.Serve
 	fmt.Printf("  served     MEM %d  SSD %d  HDD %d  (miss %d, no-replica %d)\n",

@@ -128,6 +128,14 @@ type FileSystem struct {
 	// cluster at construction; nil keeps the pre-data-plane semantics
 	// exactly (no extra events, no latency, no accounting).
 	plane storage.DataPlane
+	// backlog is the plane's per-device queue-horizon view, present only
+	// when the attached plane exposes one (ContendedPlane does). Read
+	// steering prefers the least-backlogged device among same-tier remote
+	// replicas; nil plane and NopPlane lack the method, so replays without
+	// contention keep the pre-steering tie-break bit for bit.
+	backlog interface {
+		Horizon(deviceID string, dir storage.Direction) time.Time
+	}
 	// activeTenant tags plane charges issued while an entry-point call is
 	// on the stack (charges happen synchronously inside Create/ReadBlock/
 	// move starts, so a scoped set/reset around the call suffices). Zero is
@@ -187,6 +195,9 @@ func New(c *cluster.Cluster, cfg Config) (*FileSystem, error) {
 		moves:        make(map[*blockMove]bool),
 		removedNodes: make(map[int]bool),
 	}
+	fs.backlog, _ = fs.plane.(interface {
+		Horizon(deviceID string, dir storage.Direction) time.Time
+	})
 	switch cfg.Mode {
 	case ModeHDFS, ModeHDFSCache:
 		fs.placement = &hddPlacement{cluster: c, rng: fs.rng}
@@ -224,7 +235,12 @@ func (fs *FileSystem) DataPlane() storage.DataPlane { return fs.plane }
 // planes before a serving layer starts (the server caches the plane at
 // Start; swapping afterwards is unsupported); production wiring passes the
 // plane through cluster.Config instead.
-func (fs *FileSystem) SetDataPlane(p storage.DataPlane) { fs.plane = p }
+func (fs *FileSystem) SetDataPlane(p storage.DataPlane) {
+	fs.plane = p
+	fs.backlog, _ = p.(interface {
+		Horizon(deviceID string, dir storage.Direction) time.Time
+	})
+}
 
 // chargePlane accounts one transfer against the shared device channel and
 // returns the grant. Zero grant without a plane.
@@ -657,7 +673,8 @@ func (fs *FileSystem) ReadBlock(b *Block, at *cluster.Node, done func(ReadResult
 
 // pickReadReplica returns the replica that a task running on `at` would
 // read: local replicas first (highest tier), then remote (highest tier,
-// least loaded device).
+// least backlogged device — the plane's queue horizon when it exposes one,
+// the device's in-flight transfer count otherwise).
 func (fs *FileSystem) pickReadReplica(b *Block, at *cluster.Node) *Replica {
 	var bestLocal, bestRemote *Replica
 	for _, r := range b.replicas {
@@ -671,7 +688,7 @@ func (fs *FileSystem) pickReadReplica(b *Block, at *cluster.Node) *Replica {
 			continue
 		}
 		if bestRemote == nil || r.Media().Higher(bestRemote.Media()) ||
-			(r.Media() == bestRemote.Media() && r.device.Load() < bestRemote.device.Load()) {
+			(r.Media() == bestRemote.Media() && fs.lessBacklogged(r.device, bestRemote.device)) {
 			bestRemote = r
 		}
 	}
@@ -679,6 +696,22 @@ func (fs *FileSystem) pickReadReplica(b *Block, at *cluster.Node) *Replica {
 		return bestLocal
 	}
 	return bestRemote
+}
+
+// lessBacklogged orders two same-tier devices for read steering. With a
+// horizon-exposing plane attached, the device whose read channel clears
+// sooner wins — skew-aware steering away from queues the contended plane
+// has already built up. Equal horizons (and every plane-less run) fall back
+// to the in-flight transfer count, the pre-steering tie-break.
+func (fs *FileSystem) lessBacklogged(a, b *storage.Device) bool {
+	if fs.backlog != nil {
+		ah := fs.backlog.Horizon(a.ID(), storage.Read)
+		bh := fs.backlog.Horizon(b.ID(), storage.Read)
+		if !ah.Equal(bh) {
+			return ah.Before(bh)
+		}
+	}
+	return a.Load() < b.Load()
 }
 
 // Delete removes a file and releases all of its replicas.

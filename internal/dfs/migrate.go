@@ -1,0 +1,269 @@
+package dfs
+
+import (
+	"fmt"
+	"time"
+
+	"octostore/internal/cluster"
+	"octostore/internal/storage"
+)
+
+// This file is the shard-migration primitive pair: DetachFile lifts a file
+// out of one FileSystem as a portable record (releasing its replicas and
+// capacity), AttachFile recreates it in another with the same per-block
+// tier layout. The serving layer's rebalancer uses the pair to move a
+// subtree between shard engines; each side runs on its own shard loop, so
+// both calls observe the usual single-writer discipline. Neither side
+// counts as a client create or delete in Stats — migration relocates
+// metadata, it does not change the logical namespace — but both fire the
+// regular listener notifications (FileDeleted / FileCreated) so candidate
+// indexes, trackers, and serving handles stay coherent on both engines.
+
+// BlockLayout records where one block's replicas lived at detach time.
+type BlockLayout struct {
+	Size  int64
+	Media []storage.Media // one entry per replica
+	Cache []bool          // per replica: HDFS cache-replica flag
+}
+
+// FileRecord is a detached file's portable description: everything
+// AttachFile needs to rebuild the file with identical size, age, and
+// per-tier residency on another FileSystem.
+type FileRecord struct {
+	Path        string
+	Size        int64
+	Created     time.Time
+	Replication int32
+	Blocks      []BlockLayout
+}
+
+// Bytes sums the replica bytes the record pins across all tiers.
+func (rec *FileRecord) Bytes() int64 {
+	var total int64
+	for _, bl := range rec.Blocks {
+		total += bl.Size * int64(len(bl.Media))
+	}
+	return total
+}
+
+// tierNeeds reports, per tier, the bytes one replica chain occupies and the
+// widest per-block replica count — the (perNode, nodes) shape a quota grow
+// needs to guarantee the attach can place every replica.
+func (rec *FileRecord) tierNeeds() (chainBytes [3]int64, maxReplicas [3]int) {
+	for _, bl := range rec.Blocks {
+		var perBlock [3]int
+		for _, m := range bl.Media {
+			perBlock[m]++
+		}
+		for t := range perBlock {
+			if perBlock[t] > 0 {
+				chainBytes[t] += bl.Size
+			}
+			if perBlock[t] > maxReplicas[t] {
+				maxReplicas[t] = perBlock[t]
+			}
+		}
+	}
+	return chainBytes, maxReplicas
+}
+
+// TierNeeds is the exported form of the capacity shape (see tierNeeds).
+func (rec *FileRecord) TierNeeds() (chainBytes [3]int64, maxReplicas [3]int) {
+	return rec.tierNeeds()
+}
+
+// SnapshotFile builds the portable record of a file's layout without
+// touching the file — the read half of a migration copy. Files mid-create
+// or with replicas in transition return ErrFileIncomplete / ErrBusy (the
+// layout is about to change under the snapshot); the caller retries on a
+// later sweep.
+func (fs *FileSystem) SnapshotFile(path string) (FileRecord, error) {
+	f, err := fs.ns.GetFile(path)
+	if err != nil {
+		return FileRecord{}, err
+	}
+	if fs.isCreating(f.id) {
+		return FileRecord{}, fmt.Errorf("%w: %q", ErrFileIncomplete, path)
+	}
+	if fs.inTransition(f) {
+		return FileRecord{}, fmt.Errorf("%w: %q", ErrBusy, path)
+	}
+	rec := FileRecord{
+		Path:        f.path,
+		Size:        f.size,
+		Created:     f.created,
+		Replication: f.replication,
+		Blocks:      make([]BlockLayout, 0, len(f.blocks)),
+	}
+	for _, b := range f.blocks {
+		bl := BlockLayout{Size: b.size}
+		for _, r := range b.replicas {
+			bl.Media = append(bl.Media, r.Media())
+			bl.Cache = append(bl.Cache, r.isCache)
+		}
+		rec.Blocks = append(rec.Blocks, bl)
+	}
+	return rec, nil
+}
+
+// DetachFile removes a file from this file system and returns the portable
+// record of its layout. Replicas are released (device capacity freed,
+// liveBytes reduced) and FileDeleted fires so indexes drop the entry, but
+// unlike Delete the detach does not count in Stats.FilesDeleted — the file
+// is moving, not dying. Files mid-create or with replicas in transition
+// return ErrFileIncomplete / ErrBusy, like Delete; the caller retries on a
+// later sweep. The bytes leaving the shard are charged as ClassMove reads
+// against the source devices (one read per block), so migration draws real
+// bandwidth on a contended plane and nothing without one.
+func (fs *FileSystem) DetachFile(path string) (FileRecord, error) {
+	rec, err := fs.SnapshotFile(path)
+	if err != nil {
+		return FileRecord{}, err
+	}
+	f, err := fs.ns.GetFile(path)
+	if err != nil {
+		return FileRecord{}, err
+	}
+	if _, err := fs.ns.removeFile(path); err != nil {
+		return FileRecord{}, err
+	}
+	// Release replicas without counting client deletions: same teardown as
+	// releaseAllReplicas minus the ReplicasDeleted bump.
+	for _, b := range f.blocks {
+		if len(b.replicas) > 0 {
+			fs.chargePlane(b.replicas[0].device, storage.Read, storage.ClassMove, b.size)
+		}
+		for _, r := range b.replicas {
+			if r.state != ReplicaDeleting {
+				r.state = ReplicaDeleting
+				r.device.Release(b.size)
+				fs.liveBytes -= b.size
+			}
+		}
+		b.replicas = nil
+	}
+	f.tierBlocks = [3]int32{}
+	f.deleted = true
+	fs.untrackFile(f)
+	for _, l := range fs.listeners {
+		l.FileDeleted(f)
+	}
+	return rec, nil
+}
+
+// attachSlot is one planned replica placement.
+type attachSlot struct {
+	node *cluster.Node
+	dev  *storage.Device
+}
+
+// planAttach chooses a device for every replica in the record, preferring
+// distinct nodes per block, without mutating anything. The rotation starts
+// at a position derived from the next file id — deterministic, and unlike a
+// placement-rng draw it leaves the file system's rng stream untouched, so
+// subsequent client creates place identically whether or not a migration
+// happened.
+func (fs *FileSystem) planAttach(rec FileRecord) ([][]attachSlot, error) {
+	nodes := fs.cluster.Nodes()
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("%w: no nodes", ErrNoCapacity)
+	}
+	planned := make(map[*storage.Device]int64)
+	plan := make([][]attachSlot, len(rec.Blocks))
+	start := int(fs.nextFileID) % len(nodes)
+	for bi, bl := range rec.Blocks {
+		used := make(map[*cluster.Node]bool, len(bl.Media))
+		for _, m := range bl.Media {
+			var slot attachSlot
+			// First pass insists on a fresh node for the block; second pass
+			// accepts any node with room (mirrors placement's fallback when
+			// the cluster is narrower than the replication factor).
+			for pass := 0; pass < 2 && slot.dev == nil; pass++ {
+				for off := 0; off < len(nodes); off++ {
+					n := nodes[(start+bi+off)%len(nodes)]
+					if pass == 0 && used[n] {
+						continue
+					}
+					for _, d := range n.Devices(m) {
+						if d.Free()-planned[d] >= bl.Size {
+							slot = attachSlot{node: n, dev: d}
+							break
+						}
+					}
+					if slot.dev != nil {
+						break
+					}
+				}
+			}
+			if slot.dev == nil {
+				return nil, fmt.Errorf("%w: %d bytes on %s tier for %q", ErrNoCapacity, bl.Size, m, rec.Path)
+			}
+			planned[slot.dev] += bl.Size
+			used[slot.node] = true
+			plan[bi] = append(plan[bi], slot)
+		}
+	}
+	return plan, nil
+}
+
+// AttachFile recreates a detached file on this file system: the recorded
+// number of replicas per tier for every block, device capacity reserved,
+// FileCreated and TierDataAdded fired so the policy stack adopts it. The
+// call either succeeds completely or fails with no side effects
+// (ErrNoCapacity when a tier lacks room, ErrExists when the path is taken —
+// a client recreated it mid-migration). The arriving bytes are charged as
+// ClassMove writes against the chosen devices.
+func (fs *FileSystem) AttachFile(rec FileRecord) error {
+	if fs.ns.Exists(rec.Path) {
+		return fmt.Errorf("%w: %q", ErrExists, rec.Path)
+	}
+	plan, err := fs.planAttach(rec)
+	if err != nil {
+		return err
+	}
+	f := fs.fileArena.alloc()
+	f.id = fs.nextFileID
+	f.fs = fs
+	f.path = rec.Path
+	f.size = rec.Size
+	f.created = rec.Created
+	f.replication = rec.Replication
+	fs.nextFileID++
+	if err := fs.ns.insertFile(rec.Path, f); err != nil {
+		return err
+	}
+	fs.trackFile(f)
+	f.initBlocks(len(rec.Blocks))
+	// Residency flips during the rebuild are suppressed exactly like the
+	// create path: FileCreated carries the full starting residency.
+	fs.setCreating(f.id)
+	for bi, bl := range rec.Blocks {
+		b := fs.blockArena.alloc()
+		b.id = fs.nextBlockID
+		b.file = f
+		b.size = bl.Size
+		b.initReplicas()
+		f.blocks = append(f.blocks, b)
+		fs.nextBlockID++
+		for ri, slot := range plan[bi] {
+			if err := slot.dev.Reserve(bl.Size); err != nil {
+				// planAttach checked free space; single-threaded, so this is
+				// a genuine bug, same contract as writeBlock.
+				panic(fmt.Sprintf("dfs: attach reservation failed after planning: %v", err))
+			}
+			r := fs.replicaArena.alloc()
+			r.block, r.node, r.device, r.state = b, slot.node, slot.dev, ReplicaValid
+			r.isCache = bl.Cache[ri]
+			b.replicas = append(b.replicas, r)
+			fs.liveBytes += bl.Size
+			b.noteReadable(r)
+			fs.chargePlane(slot.dev, storage.Write, storage.ClassMove, bl.Size)
+		}
+	}
+	fs.clearCreating(f.id)
+	for _, l := range fs.listeners {
+		l.FileCreated(f)
+	}
+	fs.notifyTiers(f)
+	return nil
+}

@@ -458,19 +458,31 @@ func (ns *Namespace) rewritePaths(e *entry) {
 
 // Walk visits every file in the namespace in sorted path order.
 func (ns *Namespace) Walk(fn func(f *File)) {
-	var walk func(e *entry)
-	walk = func(e *entry) {
-		di, fi := 0, 0
-		for di < len(e.subdirs) || fi < len(e.files) {
-			if fi >= len(e.files) ||
-				(di < len(e.subdirs) && e.subdirs[di].name < fileBase(e.files[fi])) {
-				walk(e.subdirs[di])
-				di++
-			} else {
-				fn(e.files[fi])
-				fi++
-			}
+	walkEntry(ns.root, fn)
+}
+
+// WalkUnder visits every file in the subtree rooted at dir in sorted path
+// order. A dir that does not resolve to a directory (missing, or a file) is
+// an empty subtree — the shard rebalancer sweeps prefixes that may not have
+// materialized on every shard.
+func (ns *Namespace) WalkUnder(dir string, fn func(f *File)) {
+	e, f, err := ns.lookup(dir)
+	if err != nil || f != nil {
+		return
+	}
+	walkEntry(e, fn)
+}
+
+func walkEntry(e *entry, fn func(f *File)) {
+	di, fi := 0, 0
+	for di < len(e.subdirs) || fi < len(e.files) {
+		if fi >= len(e.files) ||
+			(di < len(e.subdirs) && e.subdirs[di].name < fileBase(e.files[fi])) {
+			walkEntry(e.subdirs[di], fn)
+			di++
+		} else {
+			fn(e.files[fi])
+			fi++
 		}
 	}
-	walk(ns.root)
 }

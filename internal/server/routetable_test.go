@@ -1,0 +1,62 @@
+package server
+
+import "testing"
+
+func TestRouteTableCovers(t *testing.T) {
+	cases := []struct {
+		prefix, dir string
+		want        bool
+	}{
+		{"/hot", "/hot", true},
+		{"/hot", "/hot/d1", true},
+		{"/hot", "/hot/d1/deep", true},
+		{"/hot", "/hotel", false},
+		{"/hot", "/", false},
+		{"/", "/anything", true},
+		{"/", "/", true},
+		{"/hot/d1", "/hot", false},
+	}
+	for _, c := range cases {
+		if got := covers(c.prefix, c.dir); got != c.want {
+			t.Errorf("covers(%q, %q) = %v, want %v", c.prefix, c.dir, got, c.want)
+		}
+	}
+}
+
+func TestRouteTableLongestPrefixWins(t *testing.T) {
+	var rt routeTable
+	if rt.lookup("/hot/d1") != nil {
+		t.Fatal("empty table matched")
+	}
+	rt.install([]routeEntry{
+		{prefix: "/hot", dst: 1, state: routeCommitted},
+		{prefix: "/hot/d1", dst: 2, state: routeMigrating},
+	})
+	if e := rt.lookup("/hot/d0"); e == nil || e.dst != 1 {
+		t.Fatalf("/hot/d0 -> %+v, want dst 1", e)
+	}
+	if e := rt.lookup("/hot/d1/deep"); e == nil || e.dst != 2 {
+		t.Fatalf("/hot/d1/deep -> %+v, want dst 2 (longest prefix)", e)
+	}
+	if e := rt.lookup("/cold"); e != nil {
+		t.Fatalf("/cold matched %+v", e)
+	}
+}
+
+func TestRouteTableUpsertReplacesByPrefix(t *testing.T) {
+	var rt routeTable
+	rt.upsert(routeEntry{prefix: "/hot", dst: 1, state: routeMigrating})
+	rt.upsert(routeEntry{prefix: "/hot", dst: 1, state: routeCommitted})
+	entries := rt.entries()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(entries))
+	}
+	if entries[0].state != routeCommitted {
+		t.Fatalf("state = %v, want committed", entries[0].state)
+	}
+	// An old snapshot captured before the flip keeps its view (COW).
+	rt.upsert(routeEntry{prefix: "/other", dst: 3, state: routeMigrating})
+	if len(rt.entries()) != 2 {
+		t.Fatal("second prefix did not install")
+	}
+}

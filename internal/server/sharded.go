@@ -71,10 +71,14 @@ type ShardedConfig struct {
 	// Inner is the per-shard serving configuration (stripe count, ring,
 	// pacing, executor).
 	Inner Config
+	// Rebalance tunes the dynamic shard rebalancer (default off: static
+	// parent-dir-hash routing with no tracking cost).
+	Rebalance RebalanceConfig
 }
 
 // shard is one partition: a private simulation stack plus its quota agent.
 type shard struct {
+	idx       int
 	engine    *sim.Engine
 	cluster   *cluster.Cluster
 	fs        *dfs.FileSystem
@@ -91,6 +95,13 @@ type ShardedServer struct {
 	cfg    ShardedConfig
 	shards []*shard
 	ledger *cluster.TierLedger
+	// routes is the rebalancer's COW prefix→shard override table, consulted
+	// on every routing decision before the static hash. Nil snapshot (the
+	// static-routing steady state) costs one atomic load.
+	routes routeTable
+	// reb is the dynamic rebalancer (nil unless cfg.Rebalance.Enabled with
+	// more than one shard).
+	reb *rebalancer
 	// nodePooled records, per node id, the slice of that node's physical
 	// capacity that went into the ledger's free pool instead of a shard
 	// grant, so node loss can take the unclaimed share back out of
@@ -190,6 +201,7 @@ func NewSharded(cfg ShardedConfig) (*ShardedServer, error) {
 			quota.EnsureSpread(tier, bytes, 1)
 		}
 		s.shards = append(s.shards, &shard{
+			idx:     i,
 			engine:  engine,
 			cluster: cl,
 			fs:      fs,
@@ -197,6 +209,9 @@ func NewSharded(cfg ShardedConfig) (*ShardedServer, error) {
 			srv:     New(fs, mgr, innerCfg),
 			quota:   quota,
 		})
+	}
+	if cfg.Rebalance.Enabled && cfg.Shards > 1 {
+		s.reb = newRebalancer(s, cfg.Rebalance)
 	}
 	s.registerObs()
 	return s, nil
@@ -244,6 +259,17 @@ func (s *ShardedServer) registerObs() {
 		r.CounterFunc("octo_quota_borrowed_bytes_total", l, func() float64 { return float64(sh.quota.stats().BorrowedBytes) })
 		r.CounterFunc("octo_quota_returned_bytes_total", l, func() float64 { return float64(sh.quota.stats().ReturnedBytes) })
 	}
+	if s.reb != nil {
+		reb := s.reb
+		r.CounterFunc("octo_rebalance_migrations_started_total", nil, func() float64 { return float64(reb.started.Load()) })
+		r.CounterFunc("octo_rebalance_migrations_completed_total", nil, func() float64 { return float64(reb.completed.Load()) })
+		r.CounterFunc("octo_rebalance_migrations_aborted_total", nil, func() float64 { return float64(reb.aborted.Load()) })
+		r.CounterFunc("octo_rebalance_epoch_flips_total", nil, func() float64 { return float64(reb.flips.Load()) })
+		r.CounterFunc("octo_rebalance_files_moved_total", nil, func() float64 { return float64(reb.filesMoved.Load()) })
+		r.CounterFunc("octo_rebalance_bytes_moved_total", nil, func() float64 { return float64(reb.bytesMoved.Load()) })
+		r.Gauge("octo_rebalance_shard_spread", nil, func() float64 { return reb.snapshot().Spread })
+		r.Gauge("octo_rebalance_routes", nil, func() float64 { return float64(len(s.routes.entries())) })
+	}
 }
 
 // NumShards returns the shard count.
@@ -276,6 +302,9 @@ func (s *ShardedServer) Start() {
 			})
 		}
 	}
+	if s.reb != nil {
+		s.reb.start(s.cfg.Inner.TimeScale)
+	}
 }
 
 // Close quiesces and stops every shard. Client goroutines must have stopped
@@ -285,6 +314,11 @@ func (s *ShardedServer) Close() {
 		return
 	}
 	s.running = false
+	if s.reb != nil {
+		// The rebalancer Execs on shard loops mid-round; stop it before the
+		// loops go away.
+		s.reb.halt()
+	}
 	for _, sh := range s.shards {
 		sh.srv.Close()
 		if sh.reconcile != nil {
@@ -305,22 +339,69 @@ func canonicalPath(path string) (string, error) {
 	return dfs.CleanPath(path)
 }
 
+// RouteShard reports which shard index a directory hashes to under static
+// routing with the given shard count — exported so load generators can
+// construct colliding subtrees deliberately.
+func RouteShard(dir string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(fnv32(dir) % uint32(shards))
+}
+
+// routeDir resolves a directory to its primary shard plus the fallback
+// shard reads consult during a migration epoch. The route table overrides
+// the hash for whole subtrees: while an entry is migrating, the primary is
+// the destination and the fallback is the static hash owner (files not yet
+// moved still live there); once committed the fallback is gone. Without an
+// override — including always when the rebalancer is off — this is exactly
+// the static parent-dir hash.
+func (s *ShardedServer) routeDir(dir string) (primary, fallback *shard) {
+	if len(s.shards) == 1 {
+		return s.shards[0], nil
+	}
+	if e := s.routes.lookup(dir); e != nil {
+		primary = s.shards[e.dst]
+		if e.state == routeMigrating {
+			if owner := s.shards[fnv32(dir)%uint32(len(s.shards))]; owner != primary {
+				fallback = owner
+			}
+		}
+		return primary, fallback
+	}
+	return s.shards[fnv32(dir)%uint32(len(s.shards))], nil
+}
+
 // shardOf routes a canonical path by its parent directory, the same key the
-// inner namespace stripes by.
+// inner namespace stripes by. Writes go to the primary only: new files land
+// on the migration destination.
 func (s *ShardedServer) shardOf(path string) *shard {
 	if len(s.shards) == 1 {
 		return s.shards[0]
 	}
 	dir, _ := parentOf(path)
-	return s.shards[fnv32(dir)%uint32(len(s.shards))]
+	primary, _ := s.routeDir(dir)
+	return primary
+}
+
+// routeFor is shardOf for reads: it also returns the double-read fallback
+// and feeds the rebalancer's load tracker.
+func (s *ShardedServer) routeFor(path string) (primary, fallback *shard) {
+	if len(s.shards) == 1 {
+		return s.shards[0], nil
+	}
+	dir, _ := parentOf(path)
+	primary, fallback = s.routeDir(dir)
+	if s.reb != nil {
+		s.reb.tracker.note(dir, primary.idx)
+	}
+	return primary, fallback
 }
 
 // shardOfDir routes a directory path (for listings).
 func (s *ShardedServer) shardOfDir(dir string) *shard {
-	if len(s.shards) == 1 {
-		return s.shards[0]
-	}
-	return s.shards[fnv32(dir)%uint32(len(s.shards))]
+	primary, _ := s.routeDir(dir)
+	return primary
 }
 
 // --- Client API ---
@@ -342,7 +423,13 @@ func (s *ShardedServer) CreateAs(path string, size int64, tenant storage.TenantI
 	if err != nil {
 		return err
 	}
-	sh := s.shardOf(clean)
+	sh, fallback := s.routeFor(clean)
+	// During a migration epoch an unmoved file still lives on the hash
+	// owner; creating "over" it on the destination must fail the same way a
+	// single shard would.
+	if fallback != nil && fallback.srv.Exists(clean) {
+		return fmt.Errorf("server: %w: %q", dfs.ErrExists, clean)
+	}
 	err = sh.srv.CreateAs(clean, size, tenant)
 	if err != nil && errors.Is(err, dfs.ErrNoCapacity) {
 		borrowed := false
@@ -364,7 +451,13 @@ func (s *ShardedServer) CreateAt(path string, size int64, at time.Time) <-chan e
 		res <- err
 		return res
 	}
-	return s.shardOf(clean).srv.CreateAt(clean, size, at)
+	sh, fallback := s.routeFor(clean)
+	if fallback != nil && fallback.srv.Exists(clean) {
+		res := make(chan error, 1)
+		res <- fmt.Errorf("server: %w: %q", dfs.ErrExists, clean)
+		return res
+	}
+	return sh.srv.CreateAt(clean, size, at)
 }
 
 // CreateAtAs is CreateAt with a tenant identity. Like CreateAt it skips the
@@ -376,16 +469,34 @@ func (s *ShardedServer) CreateAtAs(path string, size int64, at time.Time, tenant
 		res <- err
 		return res
 	}
-	return s.shardOf(clean).srv.CreateAtAs(clean, size, at, tenant)
+	sh, fallback := s.routeFor(clean)
+	if fallback != nil && fallback.srv.Exists(clean) {
+		res := make(chan error, 1)
+		res <- fmt.Errorf("server: %w: %q", dfs.ErrExists, clean)
+		return res
+	}
+	return sh.srv.CreateAtAs(clean, size, at, tenant)
 }
 
-// Delete removes a file, blocking for the outcome.
+// Delete removes a file, blocking for the outcome. During a migration epoch
+// the file can live on the destination, the hash owner, or (mid-copy)
+// briefly both, so the delete lands on both sides: removing whichever
+// copies exist is what makes a racing migration honor the delete instead of
+// resurrecting the file.
 func (s *ShardedServer) Delete(path string) error {
 	clean, err := canonicalPath(path)
 	if err != nil {
 		return err
 	}
-	return s.shardOf(clean).srv.Delete(clean)
+	primary, fallback := s.routeFor(clean)
+	err = primary.srv.Delete(clean)
+	if fallback != nil {
+		ferr := fallback.srv.Delete(clean)
+		if errors.Is(err, dfs.ErrNotFound) {
+			return ferr
+		}
+	}
+	return err
 }
 
 // DeleteAt submits a deletion stamped with an explicit virtual time.
@@ -401,13 +512,19 @@ func (s *ShardedServer) DeleteAt(path string, at time.Time) <-chan error {
 
 // Access records a client access on the owning shard and returns the
 // serving tier. The hot path stays shard-local: route hash, stripe lookup,
-// ring push.
+// ring push. During a migration epoch the read double-reads — destination
+// first, hash owner on a miss — so clients never block on a move.
 func (s *ShardedServer) Access(path string) (AccessResult, error) {
 	clean, err := canonicalPath(path)
 	if err != nil {
 		return AccessResult{}, err
 	}
-	return s.shardOf(clean).srv.Access(clean)
+	primary, fallback := s.routeFor(clean)
+	res, err := primary.srv.Access(clean)
+	if fallback != nil && errors.Is(err, dfs.ErrNotFound) {
+		return fallback.srv.Access(clean)
+	}
+	return res, err
 }
 
 // AccessAt records an access at an explicit virtual time (replay mode).
@@ -416,7 +533,12 @@ func (s *ShardedServer) AccessAt(path string, at time.Time) (AccessResult, error
 	if err != nil {
 		return AccessResult{}, err
 	}
-	return s.shardOf(clean).srv.AccessAt(clean, at)
+	primary, fallback := s.routeFor(clean)
+	res, err := primary.srv.AccessAt(clean, at)
+	if fallback != nil && errors.Is(err, dfs.ErrNotFound) {
+		return fallback.srv.AccessAt(clean, at)
+	}
+	return res, err
 }
 
 // AccessAs records a tenant's access on the owning shard.
@@ -425,7 +547,12 @@ func (s *ShardedServer) AccessAs(path string, tenant storage.TenantID) (AccessRe
 	if err != nil {
 		return AccessResult{}, err
 	}
-	return s.shardOf(clean).srv.AccessAs(clean, tenant)
+	primary, fallback := s.routeFor(clean)
+	res, err := primary.srv.AccessAs(clean, tenant)
+	if fallback != nil && errors.Is(err, dfs.ErrNotFound) {
+		return fallback.srv.AccessAs(clean, tenant)
+	}
+	return res, err
 }
 
 // AccessAtAs records a tenant's access at an explicit virtual time.
@@ -434,7 +561,12 @@ func (s *ShardedServer) AccessAtAs(path string, at time.Time, tenant storage.Ten
 	if err != nil {
 		return AccessResult{}, err
 	}
-	return s.shardOf(clean).srv.AccessAtAs(clean, at, tenant)
+	primary, fallback := s.routeFor(clean)
+	res, err := primary.srv.AccessAtAs(clean, at, tenant)
+	if fallback != nil && errors.Is(err, dfs.ErrNotFound) {
+		return fallback.srv.AccessAtAs(clean, at, tenant)
+	}
+	return res, err
 }
 
 // Stat returns the metadata snapshot of a served file.
@@ -443,7 +575,12 @@ func (s *ShardedServer) Stat(path string) (FileInfo, error) {
 	if err != nil {
 		return FileInfo{}, err
 	}
-	return s.shardOf(clean).srv.Stat(clean)
+	primary, fallback := s.routeFor(clean)
+	info, err := primary.srv.Stat(clean)
+	if fallback != nil && errors.Is(err, dfs.ErrNotFound) {
+		return fallback.srv.Stat(clean)
+	}
+	return info, err
 }
 
 // Exists reports whether a served file exists.
@@ -452,22 +589,75 @@ func (s *ShardedServer) Exists(path string) bool {
 	if err != nil {
 		return false
 	}
-	return s.shardOf(clean).srv.Exists(clean)
+	primary, fallback := s.routeFor(clean)
+	if primary.srv.Exists(clean) {
+		return true
+	}
+	return fallback != nil && fallback.srv.Exists(clean)
 }
 
-// List returns the sorted file names directly under dir (single-shard:
-// every child of a directory routes to the same shard).
+// List returns the sorted file names directly under dir. Under static
+// routing every child of a directory routes to the same shard; during a
+// migration epoch the subtree is split between destination and hash owner,
+// so the two sorted listings merge (deduplicated — a name can briefly
+// appear on both sides around a recreate).
 func (s *ShardedServer) List(dir string) []string {
 	clean, err := canonicalPath(dir)
 	if err != nil {
 		return nil
 	}
-	return s.shardOfDir(clean).srv.List(clean)
+	primary, fallback := s.routeDir(clean)
+	names := primary.srv.List(clean)
+	if fallback == nil {
+		return names
+	}
+	other := fallback.srv.List(clean)
+	if len(other) == 0 {
+		return names
+	}
+	merged := make([]string, 0, len(names)+len(other))
+	i, j := 0, 0
+	for i < len(names) && j < len(other) {
+		switch {
+		case names[i] == other[j]:
+			merged = append(merged, names[i])
+			i++
+			j++
+		case names[i] < other[j]:
+			merged = append(merged, names[i])
+			i++
+		default:
+			merged = append(merged, other[j])
+			j++
+		}
+	}
+	merged = append(merged, names[i:]...)
+	return append(merged, other[j:]...)
 }
 
 // Flush fences every shard: all published access events drained, in-flight
-// creates committed, movement executors idle.
+// creates committed, movement executors idle. Open migration epochs get a
+// straggler drain — files that were mid-create or in transition during the
+// live sweeps can move now that the system is quiescing — then the shards
+// fence again to absorb the moves.
 func (s *ShardedServer) Flush() {
+	for _, sh := range s.shards {
+		sh.srv.Flush()
+	}
+	if s.reb == nil || !s.running {
+		return
+	}
+	open := false
+	for _, e := range s.routes.entries() {
+		if e.state == routeMigrating {
+			open = true
+			break
+		}
+	}
+	if !open {
+		return
+	}
+	s.reb.drain()
 	for _, sh := range s.shards {
 		sh.srv.Flush()
 	}
@@ -637,6 +827,33 @@ func (s *ShardedServer) Stats() ServeStats {
 		out.add(sh.srv.Stats())
 	}
 	return out
+}
+
+// ShardStats returns each shard's serving counters individually, in shard
+// order — the per-shard view behind the imbalance ratio.
+func (s *ShardedServer) ShardStats() []ServeStats {
+	out := make([]ServeStats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.srv.Stats()
+	}
+	return out
+}
+
+// RebalanceStats snapshots the rebalancer's counters (zero value when the
+// rebalancer is off).
+func (s *ShardedServer) RebalanceStats() RebalanceStats {
+	if s.reb == nil {
+		return RebalanceStats{}
+	}
+	return s.reb.snapshot()
+}
+
+// RebalanceTick runs one detection round synchronously — the replay-mode
+// and test entry point (live mode runs the same round on a wall ticker).
+func (s *ShardedServer) RebalanceTick() {
+	if s.reb != nil {
+		s.reb.tick()
+	}
 }
 
 // ExecutorStats sums the movement-executor counters across shards; the
