@@ -30,8 +30,12 @@ import (
 // sweep could not move (mid-create, replica in transition, destination
 // briefly out of capacity) stay readable through the fallback path and are
 // retried on later sweeps or the Flush-time straggler drain. The route
-// therefore only ever moves forward — migrating → committed — which keeps
-// the epoch protocol a one-way door and the failure model trivial.
+// only ever moves forward — migrating → committed — which keeps the epoch
+// protocol a one-way door and the failure model trivial. Committed entries
+// are not permanent, though: once a subtree goes cold the entry drains —
+// committed → draining → removed, the same forward-only double-read epoch
+// run in reverse — so the bounded route table recycles its slots instead of
+// saturating after MaxPrefixes lifetime migrations (see maintainRoutes).
 
 // RebalanceConfig tunes hot-shard detection and migration.
 type RebalanceConfig struct {
@@ -55,6 +59,13 @@ type RebalanceConfig struct {
 	// source shards before leaving the remainder to a later round
 	// (default 4).
 	MaxSweeps int
+	// RehomeColdTicks is how many consecutive detection rounds a committed
+	// subtree must log zero routed ops before its files fold back to static
+	// routing and the route entry is garbage-collected — without it the
+	// table fills after MaxPrefixes lifetime migrations and the rebalancer
+	// permanently stops reacting to new hotspots (default 8; negative
+	// disables fold-back).
+	RehomeColdTicks int
 }
 
 func (c *RebalanceConfig) applyDefaults() {
@@ -73,6 +84,9 @@ func (c *RebalanceConfig) applyDefaults() {
 	if c.MaxSweeps <= 0 {
 		c.MaxSweeps = 4
 	}
+	if c.RehomeColdTicks == 0 {
+		c.RehomeColdTicks = 8
+	}
 }
 
 // RebalanceStats is the rebalancer's counter snapshot.
@@ -83,6 +97,8 @@ type RebalanceStats struct {
 	EpochFlips int64   `json:"epoch_flips"`
 	FilesMoved int64   `json:"files_moved"`
 	BytesMoved int64   `json:"bytes_moved"`
+	Superseded int64   `json:"superseded"` // stale source copies dropped after a client recreate on dst (no bytes copied)
+	Rehomed    int64   `json:"rehomed"`    // cold committed routes folded back to static routing
 	Spread     float64 `json:"spread"` // last observed max/mean shard-load ratio
 	Routes     int     `json:"routes"` // current route-table entries
 }
@@ -146,7 +162,16 @@ type rebalancer struct {
 	flips      atomic.Int64
 	filesMoved atomic.Int64
 	bytesMoved atomic.Int64
+	superseded atomic.Int64
+	rehomed    atomic.Int64
 	spreadBits atomic.Uint64
+
+	// coldTicks counts, per committed route prefix, consecutive detection
+	// rounds with zero routed ops under the subtree; drainClean counts, per
+	// draining prefix, consecutive rounds whose fold-back walk found nothing
+	// left to move (the removal grace). Both guarded by mu.
+	coldTicks  map[string]int
+	drainClean map[string]int
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -155,10 +180,12 @@ type rebalancer struct {
 func newRebalancer(s *ShardedServer, cfg RebalanceConfig) *rebalancer {
 	cfg.applyDefaults()
 	return &rebalancer{
-		s:       s,
-		cfg:     cfg,
-		tracker: newLoadTracker(len(s.shards)),
-		stop:    make(chan struct{}),
+		s:          s,
+		cfg:        cfg,
+		tracker:    newLoadTracker(len(s.shards)),
+		coldTicks:  make(map[string]int),
+		drainClean: make(map[string]int),
+		stop:       make(chan struct{}),
 	}
 }
 
@@ -216,6 +243,8 @@ func (r *rebalancer) snapshot() RebalanceStats {
 		EpochFlips: r.flips.Load(),
 		FilesMoved: r.filesMoved.Load(),
 		BytesMoved: r.bytesMoved.Load(),
+		Superseded: r.superseded.Load(),
+		Rehomed:    r.rehomed.Load(),
 		Spread:     math.Float64frombits(r.spreadBits.Load()),
 		Routes:     len(r.s.routes.entries()),
 	}
@@ -246,17 +275,32 @@ func (r *rebalancer) tick() {
 			max, hot = ops[i], i
 		}
 	}
+	entries := r.s.routes.entries()
 	// Per-dir windows reset on the same cadence so dir counts and shard
-	// counts describe the same window.
+	// counts describe the same window. The same sweep sums the window's ops
+	// under each committed route, feeding the cold-subtree fold-back in
+	// maintainRoutes.
 	type dirLoad struct {
 		dir string
 		ops int64
 	}
 	var dirs []dirLoad
+	opsUnder := make(map[string]int64, len(entries))
 	r.tracker.dirs.Range(func(k, v any) bool {
 		ds := v.(*dirStat)
-		if c := ds.ops.Swap(0); c > 0 && int(ds.shard.Load()) == hot {
-			dirs = append(dirs, dirLoad{dir: k.(string), ops: c})
+		c := ds.ops.Swap(0)
+		if c == 0 {
+			return true
+		}
+		dir := k.(string)
+		for i := range entries {
+			if entries[i].state == routeCommitted && covers(entries[i].prefix, dir) {
+				opsUnder[entries[i].prefix] += c
+				break // entries never nest, so at most one covers dir
+			}
+		}
+		if int(ds.shard.Load()) == hot {
+			dirs = append(dirs, dirLoad{dir: dir, ops: c})
 		}
 		return true
 	})
@@ -268,12 +312,12 @@ func (r *rebalancer) tick() {
 	spread := float64(max) / mean
 	r.spreadBits.Store(math.Float64bits(spread))
 
+	r.maintainRoutes(entries, opsUnder)
+
 	if spread < r.cfg.HotRatio || max < r.cfg.MinOps {
 		return
 	}
 	sort.Slice(dirs, func(i, j int) bool { return dirs[i].ops > dirs[j].ops })
-
-	entries := r.s.routes.entries()
 	loads := append([]int64(nil), ops...)
 	type plannedMove struct {
 		prefix string
@@ -327,6 +371,129 @@ func (r *rebalancer) tick() {
 	for _, p := range plans {
 		r.migratePrefix(p.prefix, p.dst, spread)
 	}
+}
+
+// rehomesPerTick bounds how many cold committed entries one detection round
+// starts folding back; continuing an already-draining entry is always free.
+const rehomesPerTick = 1
+
+// maintainRoutes garbage-collects the route table so it never fills up for
+// good: draining entries continue their fold-back sweeps, and — under
+// route-table budget pressure — committed entries whose subtree logged zero
+// routed ops for RehomeColdTicks consecutive rounds start folding back to
+// static routing, freeing MaxPrefixes slots (and lookup-scan entries) for
+// future hotspots instead of permanently spending one per lifetime
+// migration. The pressure gate matters: with plenty of slots free a
+// committed override costs almost nothing, and folding subtrees back on
+// every idle spell would thrash files between shards — every extra flip is
+// another epoch transition for live traffic to race. Runs under r.mu as
+// part of tick.
+func (r *rebalancer) maintainRoutes(entries []routeEntry, opsUnder map[string]int64) {
+	if r.cfg.RehomeColdTicks < 0 {
+		return
+	}
+	for _, e := range entries {
+		if e.state == routeDraining {
+			r.drainEntryHome(e.prefix, e.dst, r.cfg.MaxSweeps)
+		}
+	}
+	if len(entries) < r.cfg.MaxPrefixes/2 {
+		return
+	}
+	started := 0
+	for _, e := range entries {
+		if e.state != routeCommitted {
+			continue
+		}
+		if opsUnder[e.prefix] > 0 {
+			delete(r.coldTicks, e.prefix)
+			continue
+		}
+		r.coldTicks[e.prefix]++
+		if started < rehomesPerTick && r.coldTicks[e.prefix] >= r.cfg.RehomeColdTicks {
+			r.rehomePrefix(e.prefix, e.dst)
+			started++
+		}
+	}
+}
+
+// rehomePrefix folds a cold committed subtree back to static routing: the
+// entry flips to routeDraining — writes route by the per-dir hash again
+// while reads keep a fallback to the old destination — and the
+// destination's files under the prefix sweep back to their hash owners.
+func (r *rebalancer) rehomePrefix(prefix string, dst int) {
+	delete(r.coldTicks, prefix)
+	r.s.routes.upsert(routeEntry{prefix: prefix, dst: dst, state: routeDraining})
+	r.s.cfg.Inner.Obs.EmitEvent(&obs.Event{
+		What:   "shard-migration",
+		Detail: fmt.Sprintf("rehome prefix=%s dst=%d", prefix, dst),
+	})
+	r.drainEntryHome(prefix, dst, r.cfg.MaxSweeps)
+}
+
+// drainEntryHome makes up to `rounds` passes moving the old destination's
+// files under a draining prefix back to the shard their parent dir hashes
+// to — sweepEntry in reverse, reusing the same per-file copy-then-detach
+// move (reads stay correct throughout: the per-dir hash owner is primary,
+// dst is the fallback). Files whose dir hashes to dst stay put. Once dst
+// stays clean for RehomeColdTicks consecutive rounds the entry is removed;
+// a stalled pass leaves it draining for a later round. Returns true when
+// the entry was removed.
+func (r *rebalancer) drainEntryHome(prefix string, dst int, rounds int) bool {
+	src := r.s.shards[dst]
+	n := uint32(len(r.s.shards))
+	for pass := 0; pass < rounds; pass++ {
+		var paths []string
+		r.exec(src, func(fs *dfs.FileSystem) {
+			fs.Namespace().WalkUnder(prefix, func(f *dfs.File) {
+				paths = append(paths, f.Path())
+			})
+		})
+		var work, remaining, moved int64
+		for _, p := range paths {
+			dir, _ := parentOf(p)
+			owner := int(fnv32(dir) % n)
+			if owner == dst {
+				continue
+			}
+			work++
+			switch r.migrateFile(src, r.s.shards[owner], p) {
+			case migrateMoved:
+				moved++
+			case migrateSkipped:
+				remaining++
+			case migrateGone:
+			}
+		}
+		if work == 0 {
+			// Clean walk: dst holds nothing the static hash would not place
+			// there anyway. The entry is removed only after RehomeColdTicks
+			// consecutive clean rounds (one per detection tick): a create
+			// routed against a pre-draining snapshot can still land on dst,
+			// and the grace lets a later round sweep it home instead of the
+			// eager removal stranding it where static routing never looks.
+			r.drainClean[prefix]++
+			if r.drainClean[prefix] < max(r.cfg.RehomeColdTicks, 1) {
+				return false
+			}
+			delete(r.drainClean, prefix)
+			r.s.routes.remove(prefix)
+			r.rehomed.Add(1)
+			r.s.cfg.Inner.Obs.EmitEvent(&obs.Event{
+				What:   "shard-migration",
+				Detail: fmt.Sprintf("rehomed prefix=%s dst=%d", prefix, dst),
+			})
+			return true
+		}
+		r.drainClean[prefix] = 0
+		if remaining == 0 {
+			continue // everything seen this pass moved; re-walk for stragglers
+		}
+		if moved == 0 {
+			return false // stalled; the draining entry keeps reads correct
+		}
+	}
+	return false
 }
 
 // migratePrefix installs a migrating route for the subtree and sweeps every
@@ -427,8 +594,9 @@ func (r *rebalancer) migrateFile(src, dst *shard, path string) migrateOutcome {
 		return migrateSkipped // busy / mid-create: next sweep
 	}
 	aerr := r.attachOn(dst, rec)
+	landed := aerr == nil
 	switch {
-	case aerr == nil:
+	case landed:
 		// Copy landed; commit below.
 	case errors.Is(aerr, dfs.ErrExists):
 		// A client recreated the path on the destination; the newer file
@@ -441,14 +609,22 @@ func (r *rebalancer) migrateFile(src, dst *shard, path string) migrateOutcome {
 	var derr error
 	r.exec(src, func(fs *dfs.FileSystem) { _, derr = fs.DetachFile(path) })
 	if derr == nil {
-		r.filesMoved.Add(1)
-		r.bytesMoved.Add(rec.Bytes())
+		if landed {
+			r.filesMoved.Add(1)
+			r.bytesMoved.Add(rec.Bytes())
+		} else {
+			// ErrExists: no bytes were copied — the stale source copy was
+			// merely dropped in favor of the client's recreate. Counting it
+			// as a move would inflate the moved-files/bytes counters the
+			// benchgate vacuity check reads.
+			r.superseded.Add(1)
+		}
 		return migrateMoved
 	}
 	if errors.Is(derr, dfs.ErrNotFound) {
 		// Deleted mid-move. If we attached a copy a moment ago, take it back
 		// out (a racing client delete may already have).
-		if aerr == nil {
+		if landed {
 			r.exec(dst, func(fs *dfs.FileSystem) { _, _ = fs.DetachFile(path) })
 		}
 		return migrateGone
@@ -490,16 +666,19 @@ func (r *rebalancer) attachOn(sh *shard, rec dfs.FileRecord) error {
 	return aerr
 }
 
-// drain finishes every open migration: bounded re-sweeps of each migrating
-// entry until it flips. Called from Flush so a fenced system has no
-// half-moved subtrees (short of files that genuinely cannot move, which
-// keep their fallback reads).
+// drain finishes every open epoch — bounded re-sweeps of each migrating
+// entry until it flips, and of each draining entry until it is removed.
+// Called from Flush so a fenced system has no half-moved subtrees (short of
+// files that genuinely cannot move, which keep their fallback reads).
 func (r *rebalancer) drain() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, e := range r.s.routes.entries() {
-		if e.state == routeMigrating {
+		switch e.state {
+		case routeMigrating:
 			r.sweepEntry(e.prefix, e.dst, r.cfg.MaxSweeps)
+		case routeDraining:
+			r.drainEntryHome(e.prefix, e.dst, r.cfg.MaxSweeps)
 		}
 	}
 }

@@ -25,6 +25,11 @@ const (
 	// routeCommitted: the flip happened; every source shard swept empty.
 	// dst is authoritative and the fallback read is gone.
 	routeCommitted
+	// routeDraining: a committed entry is being folded back to static
+	// routing (the subtree went cold and the table slot is wanted for
+	// future hotspots). Writes route by the per-dir hash again; reads fall
+	// back to dst until its copies drain home, then the entry is removed.
+	routeDraining
 )
 
 // routeEntry overrides routing for one subtree.
@@ -109,5 +114,18 @@ func (rt *routeTable) upsert(e routeEntry) {
 		}
 	}
 	next = append(next, e)
+	rt.install(next)
+}
+
+// remove installs a snapshot without the entry matching prefix (no-op when
+// absent).
+func (rt *routeTable) remove(prefix string) {
+	cur := rt.entries()
+	next := make([]routeEntry, 0, len(cur))
+	for _, old := range cur {
+		if old.prefix != prefix {
+			next = append(next, old)
+		}
+	}
 	rt.install(next)
 }

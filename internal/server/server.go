@@ -585,6 +585,20 @@ func (s *Server) Delete(path string) error {
 	return <-s.DeleteAt(path, s.clock())
 }
 
+// detachAt removes a file at the stamped virtual time via the migration-
+// teardown path: DetachFile releases the replicas and unindexes the handle
+// without counting a client deletion. The sharded delete path uses it to
+// clear the secondary copy during a migration epoch after the primary
+// delete already counted the client's one logical deletion.
+func (s *Server) detachAt(path string, at time.Time) <-chan error {
+	res := make(chan error, 1)
+	s.cmds <- command{at: at, run: func() {
+		_, err := s.fs.DetachFile(path)
+		res <- err
+	}}
+	return res
+}
+
 // resolve looks a path up in the striped namespace. Paths are indexed in
 // canonical form, so a miss retries once through CleanPath — every
 // metadata entry point shares this, keeping non-canonical spellings

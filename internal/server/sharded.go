@@ -267,6 +267,8 @@ func (s *ShardedServer) registerObs() {
 		r.CounterFunc("octo_rebalance_epoch_flips_total", nil, func() float64 { return float64(reb.flips.Load()) })
 		r.CounterFunc("octo_rebalance_files_moved_total", nil, func() float64 { return float64(reb.filesMoved.Load()) })
 		r.CounterFunc("octo_rebalance_bytes_moved_total", nil, func() float64 { return float64(reb.bytesMoved.Load()) })
+		r.CounterFunc("octo_rebalance_files_superseded_total", nil, func() float64 { return float64(reb.superseded.Load()) })
+		r.CounterFunc("octo_rebalance_rehomes_total", nil, func() float64 { return float64(reb.rehomed.Load()) })
 		r.Gauge("octo_rebalance_shard_spread", nil, func() float64 { return reb.snapshot().Spread })
 		r.Gauge("octo_rebalance_routes", nil, func() float64 { return float64(len(s.routes.entries())) })
 	}
@@ -313,12 +315,14 @@ func (s *ShardedServer) Close() {
 	if !s.running {
 		return
 	}
-	s.running = false
 	if s.reb != nil {
-		// The rebalancer Execs on shard loops mid-round; stop it before the
-		// loops go away.
+		// Halt the rebalancer first: a round mid-migration Execs on the
+		// shard loops (so they must still be up), and rebalancer.exec reads
+		// s.running — the flip below must not race a live round into taking
+		// the direct-access path while the loops are still open.
 		s.reb.halt()
 	}
+	s.running = false
 	for _, sh := range s.shards {
 		sh.srv.Close()
 		if sh.reconcile != nil {
@@ -353,7 +357,10 @@ func RouteShard(dir string, shards int) int {
 // shard reads consult during a migration epoch. The route table overrides
 // the hash for whole subtrees: while an entry is migrating, the primary is
 // the destination and the fallback is the static hash owner (files not yet
-// moved still live there); once committed the fallback is gone. Without an
+// moved still live there); once committed the fallback is gone. A draining
+// entry is the reverse epoch — the subtree is folding back to static
+// routing, so the per-dir hash owner is primary again and the old
+// destination is the fallback until its copies drain home. Without an
 // override — including always when the rebalancer is off — this is exactly
 // the static parent-dir hash.
 func (s *ShardedServer) routeDir(dir string) (primary, fallback *shard) {
@@ -361,11 +368,20 @@ func (s *ShardedServer) routeDir(dir string) (primary, fallback *shard) {
 		return s.shards[0], nil
 	}
 	if e := s.routes.lookup(dir); e != nil {
-		primary = s.shards[e.dst]
-		if e.state == routeMigrating {
-			if owner := s.shards[fnv32(dir)%uint32(len(s.shards))]; owner != primary {
+		owner := s.shards[fnv32(dir)%uint32(len(s.shards))]
+		switch e.state {
+		case routeMigrating:
+			primary = s.shards[e.dst]
+			if owner != primary {
 				fallback = owner
 			}
+		case routeDraining:
+			primary = owner
+			if old := s.shards[e.dst]; old != primary {
+				fallback = old
+			}
+		default: // routeCommitted
+			primary = s.shards[e.dst]
 		}
 		return primary, fallback
 	}
@@ -479,10 +495,14 @@ func (s *ShardedServer) CreateAtAs(path string, size int64, at time.Time, tenant
 }
 
 // Delete removes a file, blocking for the outcome. During a migration epoch
-// the file can live on the destination, the hash owner, or (mid-copy)
-// briefly both, so the delete lands on both sides: removing whichever
-// copies exist is what makes a racing migration honor the delete instead of
-// resurrecting the file.
+// the file can live on the primary, the fallback side, or (mid-copy)
+// briefly both, so the delete covers both sides: when the primary delete
+// succeeds any lingering fallback copy is dropped through the migration-
+// teardown path (no second client-deletion stats bump — one logical file,
+// one counted delete); when the primary never had the file the delete falls
+// through to the fallback, which then counts the one real deletion. That is
+// what makes a racing migration honor the delete instead of resurrecting
+// the file.
 func (s *ShardedServer) Delete(path string) error {
 	clean, err := canonicalPath(path)
 	if err != nil {
@@ -490,16 +510,26 @@ func (s *ShardedServer) Delete(path string) error {
 	}
 	primary, fallback := s.routeFor(clean)
 	err = primary.srv.Delete(clean)
-	if fallback != nil {
-		ferr := fallback.srv.Delete(clean)
-		if errors.Is(err, dfs.ErrNotFound) {
-			return ferr
-		}
+	if fallback == nil {
+		return err
+	}
+	if err == nil {
+		<-fallback.srv.detachAt(clean, fallback.srv.clock())
+		return nil
+	}
+	if errors.Is(err, dfs.ErrNotFound) {
+		return fallback.srv.Delete(clean)
 	}
 	return err
 }
 
-// DeleteAt submits a deletion stamped with an explicit virtual time.
+// DeleteAt submits a deletion stamped with an explicit virtual time. It
+// honors a migration epoch exactly like Delete — primary first, then the
+// fallback side is cleared (or, when the primary never had the file,
+// deleted) before the result resolves. The two halves are sequenced by a
+// combiner goroutine rather than inside either core loop: a fallback op
+// enqueued on one shard loop must never block on another loop's result, or
+// two opposite-direction deletes could deadlock the loops on each other.
 func (s *ShardedServer) DeleteAt(path string, at time.Time) <-chan error {
 	clean, err := canonicalPath(path)
 	if err != nil {
@@ -507,7 +537,25 @@ func (s *ShardedServer) DeleteAt(path string, at time.Time) <-chan error {
 		res <- err
 		return res
 	}
-	return s.shardOf(clean).srv.DeleteAt(clean, at)
+	primary, fallback := s.routeFor(clean)
+	pres := primary.srv.DeleteAt(clean, at)
+	if fallback == nil {
+		return pres
+	}
+	res := make(chan error, 1)
+	go func() {
+		perr := <-pres
+		switch {
+		case perr == nil:
+			<-fallback.srv.detachAt(clean, at)
+			res <- nil
+		case errors.Is(perr, dfs.ErrNotFound):
+			res <- <-fallback.srv.DeleteAt(clean, at)
+		default:
+			res <- perr
+		}
+	}()
+	return res
 }
 
 // Access records a client access on the owning shard and returns the
@@ -649,7 +697,7 @@ func (s *ShardedServer) Flush() {
 	}
 	open := false
 	for _, e := range s.routes.entries() {
-		if e.state == routeMigrating {
+		if e.state == routeMigrating || e.state == routeDraining {
 			open = true
 			break
 		}
