@@ -385,6 +385,68 @@ func gateSkew(offPath, onPath string, ratioFloor, imbFloor float64) int {
 	return regressions
 }
 
+// backendCalibration is the subset of cmd/octoload's BENCH_backend.json the
+// backend gate checks: enough to prove the smoke run moved real bytes.
+type backendCalibration struct {
+	Backend string `json:"backend"`
+	Tiers   []struct {
+		Tier  string `json:"tier"`
+		Write struct {
+			Count  int64   `json:"count"`
+			Bytes  int64   `json:"bytes"`
+			Errors int64   `json:"errors"`
+			MeanUS float64 `json:"mean_us"`
+		} `json:"write"`
+		Read struct {
+			Count  int64   `json:"count"`
+			MeanUS float64 `json:"mean_us"`
+		} `json:"read"`
+	} `json:"tiers"`
+}
+
+// gateBackend is a vacuity gate over the real-backend calibration report:
+// it fails when the smoke run claims success but the backend did no
+// physical work (no writes on some tier, zero bytes, zero wall time) —
+// the failure mode where the backend silently detached and the "real" run
+// measured the simulator. Reports without a real-backend block (sim runs,
+// pre-backend octoload) SKIP loudly.
+func gateBackend(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: backend report:", err)
+		os.Exit(2)
+	}
+	var cal backendCalibration
+	if err := json.Unmarshal(data, &cal); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: backend report:", err)
+		os.Exit(2)
+	}
+	if cal.Backend != "real" || len(cal.Tiers) == 0 {
+		fmt.Printf("SKIP  %-60s report has no real-backend block (sim run or pre-backend octoload?); backend gate skipped\n", "backend:real_io")
+		return 0
+	}
+	regressions := 0
+	var reads int64
+	for _, t := range cal.Tiers {
+		if t.Write.Count == 0 || t.Write.Bytes == 0 || t.Write.MeanUS <= 0 {
+			fmt.Printf("SLOW  %-60s tier %s wrote %d ops / %d bytes (real backend did no physical writes)\n",
+				"backend:real_io", t.Tier, t.Write.Count, t.Write.Bytes)
+			regressions++
+			continue
+		}
+		fmt.Printf("OK    %-60s tier %s: %d writes (%dMB, mean %.0fµs), %d reads, %d write errors\n",
+			"backend:real_io", t.Tier, t.Write.Count, t.Write.Bytes/1e6, t.Write.MeanUS, t.Read.Count, t.Write.Errors)
+		reads += t.Read.Count
+	}
+	if reads == 0 {
+		// Writes happened but not a single replica was read back: the serve
+		// path's physical reads are detached.
+		fmt.Printf("SLOW  %-60s no tier recorded a physical read (serve path detached from backend)\n", "backend:real_io")
+		regressions++
+	}
+	return regressions
+}
+
 func main() {
 	var (
 		oldPath      = flag.String("old", "", "baseline go test -json bench output")
@@ -401,14 +463,16 @@ func main() {
 		skewOn       = flag.String("skew-on", "", "load report from the same skewed configuration with -rebalance (skew gate)")
 		skewRatio    = flag.Float64("skew-ratio", 1.3, "fail when the rebalanced run's ops/s < static * this")
 		skewImb      = flag.Float64("skew-imbalance", 1.2, "fail when the rebalanced run improves the per-shard imbalance ratio by less than this factor")
+		backendRep   = flag.String("backend-report", "", "BENCH_backend.json calibration report from a -backend real run (vacuity gate: the smoke must have moved real bytes)")
 	)
 	flag.Parse()
 	haveBench := *oldPath != "" && *newPath != ""
 	haveServe := *serveOld != "" && *serveNew != ""
 	haveOverhead := *overheadOff != "" && *overheadOn != ""
 	haveSkew := *skewOff != "" && *skewOn != ""
-	if !haveBench && !haveServe && !haveOverhead && !haveSkew {
-		fmt.Fprintln(os.Stderr, "benchgate: need -old/-new, -serve-old/-serve-new, -overhead-off/-overhead-on, and/or -skew-off/-skew-on")
+	haveBackend := *backendRep != ""
+	if !haveBench && !haveServe && !haveOverhead && !haveSkew && !haveBackend {
+		fmt.Fprintln(os.Stderr, "benchgate: need -old/-new, -serve-old/-serve-new, -overhead-off/-overhead-on, -skew-off/-skew-on, and/or -backend-report")
 		os.Exit(2)
 	}
 	// Run every configured gate before deciding the exit status, so a serve
@@ -423,6 +487,9 @@ func main() {
 	}
 	if haveSkew {
 		serveRegressions += gateSkew(*skewOff, *skewOn, *skewRatio, *skewImb)
+	}
+	if haveBackend {
+		serveRegressions += gateBackend(*backendRep)
 	}
 	if !haveBench {
 		if serveRegressions > 0 {

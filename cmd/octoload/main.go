@@ -42,6 +42,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sync"
@@ -49,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"octostore/internal/backend"
 	"octostore/internal/cluster"
 	"octostore/internal/core"
 	"octostore/internal/dfs"
@@ -106,6 +108,15 @@ type config struct {
 	obsListen string
 	tracePath string
 	hub       *obs.Hub // set in main when either obs flag is on
+
+	backendN    string
+	backendRoot string
+	backendOut  string
+	backendSync bool
+	// mkBackend is set in main on -backend real: a per-shard factory over
+	// the opened Local instances (block ids are per-FileSystem, so shards
+	// must not share a directory tree).
+	mkBackend func(shard int) backend.Backend
 }
 
 func parseFlags() config {
@@ -150,6 +161,10 @@ func parseFlags() config {
 	flag.DurationVar(&c.readSLO, "read-slo", 0, "tenant 1's read p99 target (tier-real virtual latency); breaches defer background movement; requires -tenants >= 2")
 	flag.StringVar(&c.obsListen, "obs-listen", "", "serve /metrics (Prometheus text), /metrics.json, /flight, and /debug/pprof on this address for the duration of the run (e.g. :9100 or 127.0.0.1:0; empty disables)")
 	flag.StringVar(&c.tracePath, "trace", "", "write sampled per-op spans, movement provenance, and events as JSONL to this file (empty disables)")
+	flag.StringVar(&c.backendN, "backend", "sim", "storage backend: sim (virtual-clock only, the default semantics) or real (every replica is a file on disk; block copies, reads, and deletes do real I/O alongside the simulated control plane)")
+	flag.StringVar(&c.backendRoot, "backend-root", "", "tier directory root for -backend real (default: a temp dir, removed at exit; an explicit root is kept)")
+	flag.StringVar(&c.backendOut, "backend-out", "BENCH_backend.json", "calibration report path for -backend real: measured per-tier wall latencies and MB/s next to the simulator's media profiles (empty disables)")
+	flag.BoolVar(&c.backendSync, "backend-sync", false, "fsync every real-backend write (durability-realistic latencies; much slower)")
 	flag.Parse()
 	c.muteFrac = 1 - c.readFrac - c.statFrac
 	if c.muteFrac < 0 {
@@ -248,6 +263,10 @@ func parseFlags() config {
 	}
 	if c.rebalance && c.shards < 2 {
 		fmt.Fprintln(os.Stderr, "octoload: -rebalance requires -shards >= 2")
+		os.Exit(2)
+	}
+	if c.backendN != "sim" && c.backendN != "real" {
+		fmt.Fprintln(os.Stderr, "octoload: -backend must be sim or real")
 		os.Exit(2)
 	}
 	return c
@@ -724,6 +743,9 @@ func buildSingle(c config, clCfg cluster.Config, sc *scenario.Scenario) (*system
 	if err != nil {
 		fatal(err)
 	}
+	if c.mkBackend != nil {
+		fs.SetBackend(c.mkBackend(0))
+	}
 	mgr, err := buildPolicies(c, fs)
 	if err != nil {
 		fatal(err)
@@ -800,6 +822,7 @@ func buildSharded(c config, clCfg cluster.Config) *system {
 		},
 		Quota:     server.QuotaConfig{InitialFraction: c.quotaFrac},
 		Rebalance: server.RebalanceConfig{Enabled: c.rebalance},
+		Backend:   c.mkBackend,
 		Inner: server.Config{
 			TimeScale: c.timeScale,
 			Executor:  executorConfig(c),
@@ -928,6 +951,58 @@ func main() {
 				}
 			})
 		}
+	}
+
+	// Physical backend: one Local per shard under a shared root (block ids
+	// are per-FileSystem, so shards must not share a directory tree). Opened
+	// before the servers so the build paths can attach them. The memory tier
+	// lands on tmpfs when the platform has one, so its measured latencies
+	// are memory-speed rather than disk-speed.
+	var locals []*backend.Local
+	var backendRoot string
+	cleanupBackend := func() {}
+	if c.backendN == "real" {
+		backendRoot = c.backendRoot
+		var scratch []string // auto-created dirs, removed at exit
+		if backendRoot == "" {
+			dir, err := os.MkdirTemp("", "octoload-backend-")
+			if err != nil {
+				fatal(err)
+			}
+			backendRoot = dir
+			scratch = append(scratch, dir)
+		}
+		memRoot := ""
+		if fi, err := os.Stat("/dev/shm"); err == nil && fi.IsDir() {
+			if dir, err := os.MkdirTemp("/dev/shm", "octoload-mem-"); err == nil {
+				memRoot = dir
+				scratch = append(scratch, dir)
+			}
+		}
+		cleanupBackend = func() {
+			for _, d := range scratch {
+				os.RemoveAll(d)
+			}
+		}
+		locals = make([]*backend.Local, c.shards)
+		for i := range locals {
+			lcfg := backend.LocalConfig{
+				Root:       filepath.Join(backendRoot, fmt.Sprintf("shard%d", i)),
+				SyncWrites: c.backendSync,
+			}
+			if memRoot != "" {
+				lcfg.TierDirs[storage.Memory] = filepath.Join(memRoot, fmt.Sprintf("shard%d", i))
+			}
+			l, err := backend.OpenLocal(lcfg)
+			if err != nil {
+				cleanupBackend()
+				fatal(err)
+			}
+			locals[i] = l
+		}
+		c.mkBackend = func(shard int) backend.Backend { return locals[shard] }
+		fmt.Printf("octoload: real backend under %s (mem tier: %s)\n",
+			backendRoot, locals[0].TierDir(storage.Memory))
 	}
 
 	var sys *system
@@ -1193,6 +1268,12 @@ func main() {
 		rep.Config["hotdir"] = c.hotdir
 		rep.Config["rebalance"] = c.rebalance
 	}
+	if c.backendN == "real" {
+		// Backend keys only appear on real-backend runs: sim reports keep
+		// their schema byte-for-byte.
+		rep.Config["backend"] = c.backendN
+		rep.Config["backend_sync"] = c.backendSync
+	}
 	if sys.shardStats != nil {
 		perShard := sys.shardStats()
 		var maxOps, total int64
@@ -1333,6 +1414,33 @@ func main() {
 		}
 		fmt.Printf("  report written to %s\n", c.out)
 	}
+	if c.backendN == "real" {
+		// Calibration report: measured wall latencies and throughput per
+		// (tier, op), side by side with the simulator's media profiles, so
+		// the two are directly diffable.
+		all := make([]backend.Stats, len(locals))
+		for i, l := range locals {
+			all[i] = l.Stats()
+		}
+		cal := backend.Calibrate("real", backendRoot, c.backendSync, backend.MergeStats(all...))
+		for _, tc := range cal.Tiers {
+			fmt.Printf("  backend %s  write %d ops %dMB mean %.0fµs (%.0f MB/s)  read %d ops mean %.0fµs (%.0f MB/s)  errors %d\n",
+				tc.Tier, tc.Write.Count, tc.Write.Bytes/storage.MB, tc.Write.MeanUS, tc.Write.MBps,
+				tc.Read.Count, tc.Read.MeanUS, tc.Read.MBps,
+				tc.Write.Errors+tc.Read.Errors+tc.Delete.Errors)
+		}
+		if c.backendOut != "" {
+			data, err := json.MarshalIndent(cal, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(c.backendOut, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  calibration written to %s\n", c.backendOut)
+		}
+	}
+	cleanupBackend()
 	if c.memProfile != "" {
 		// The KeepAlives below hold the served world live across the
 		// profile write: without them the GC (liveness-based, not

@@ -1,0 +1,179 @@
+// Package backend is the physical half of the data plane: where the
+// simulator's storage.DataPlane decides *when* a transfer completes in
+// virtual time, a Backend decides *what happens to the bytes*. The dfs
+// layer calls a Backend synchronously at every block-replica state change
+// (create, read, move, copy, delete, migrate), so a physical backend
+// mirrors the control plane's replica map onto real storage while the
+// virtual clock keeps driving all policy timing and event ordering.
+//
+// Two implementations ship: Sim (a no-op — the bytes exist only as
+// accounting, exactly the pre-backend behaviour) and Local (one real
+// directory per tier, real file I/O, measured wall-clock service times).
+// Faulty wraps any Backend with per-tier fault injection for testing the
+// control plane's error paths without real media failures.
+//
+// Contract for implementations: calls must be synchronous, must not
+// schedule simulation events, and must not draw from any shared random
+// stream — policy decisions have to be bit-for-bit identical whichever
+// backend is attached. Errors returned from Write/Read are surfaced to the
+// caller (dfs rolls the operation back and the movement executor counts
+// the failure and retries on a later sweep); Delete errors are counted in
+// Stats but not propagated, since replica teardown must not fail halfway.
+package backend
+
+import (
+	"time"
+
+	"octostore/internal/storage"
+)
+
+// Op labels the three physical operations a backend performs.
+type Op int
+
+const (
+	// OpWrite materializes one block replica's bytes on a tier device.
+	OpWrite Op = iota
+	// OpRead streams one block replica's bytes back.
+	OpRead
+	// OpDelete drops one block replica's bytes.
+	OpDelete
+	numOps
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpDelete:
+		return "delete"
+	default:
+		return "op?"
+	}
+}
+
+// Ops enumerates the operations, for stats iteration.
+var Ops = [numOps]Op{OpWrite, OpRead, OpDelete}
+
+// Request identifies one block replica and the context of the operation on
+// it. (DeviceID, BlockID) is the replica's physical identity — a block has
+// at most one replica per device — and Media locates the tier. Class and
+// Tenant carry the control plane's I/O labeling for tracing; they do not
+// change what the backend does.
+type Request struct {
+	Media    storage.Media
+	Class    storage.IOClass
+	Tenant   storage.TenantID
+	DeviceID string
+	BlockID  int64
+	Bytes    int64
+}
+
+// Backend mirrors block-replica state changes onto physical storage.
+// Implementations must be safe for concurrent use: writes, moves, and
+// deletes arrive from core loops (one per shard), reads additionally from
+// client goroutines.
+type Backend interface {
+	// Physical reports whether the backend performs real I/O. The serving
+	// layer only routes client reads (and their measured wall-clock
+	// latencies) through physical backends; Sim returns false so attaching
+	// it changes nothing.
+	Physical() bool
+	// Write materializes the replica's bytes, returning the measured wall
+	// time of the operation.
+	Write(req Request) (time.Duration, error)
+	// Read streams the replica's bytes, returning the measured wall time.
+	Read(req Request) (time.Duration, error)
+	// Delete drops the replica's bytes. Errors are recorded in Stats; the
+	// returned error is informational (callers tearing replicas down do not
+	// roll back on it).
+	Delete(req Request) (time.Duration, error)
+	// Stats snapshots the per-tier, per-op counters.
+	Stats() Stats
+}
+
+// OpStats aggregates one (tier, op) cell: completed operations, bytes
+// touched, errors, and the wall-time distribution envelope.
+type OpStats struct {
+	Count  int64
+	Bytes  int64
+	Errors int64
+	WallNS int64 // total wall time across Count operations
+	MinNS  int64 // 0 when Count == 0
+	MaxNS  int64
+}
+
+// merge folds o2 into o.
+func (o *OpStats) merge(o2 OpStats) {
+	o.Count += o2.Count
+	o.Bytes += o2.Bytes
+	o.Errors += o2.Errors
+	o.WallNS += o2.WallNS
+	if o2.Count > 0 && (o.MinNS == 0 || (o2.MinNS > 0 && o2.MinNS < o.MinNS)) {
+		o.MinNS = o2.MinNS
+	}
+	if o2.MaxNS > o.MaxNS {
+		o.MaxNS = o2.MaxNS
+	}
+}
+
+// TierStats is one tier's operation counters.
+type TierStats struct {
+	Write  OpStats
+	Read   OpStats
+	Delete OpStats
+}
+
+// Op returns the cell for one operation.
+func (t *TierStats) Op(op Op) *OpStats {
+	switch op {
+	case OpWrite:
+		return &t.Write
+	case OpRead:
+		return &t.Read
+	default:
+		return &t.Delete
+	}
+}
+
+// Stats is a point-in-time snapshot of a backend's counters.
+type Stats struct {
+	PerTier [3]TierStats // indexed by storage.Media
+}
+
+// MergeStats folds any number of snapshots (e.g. one per shard backend)
+// into one.
+func MergeStats(all ...Stats) Stats {
+	var out Stats
+	for _, s := range all {
+		for t := range out.PerTier {
+			for _, op := range Ops {
+				out.PerTier[t].Op(op).merge(*s.PerTier[t].Op(op))
+			}
+		}
+	}
+	return out
+}
+
+// Sim is the simulator backend: block bytes exist only as device-capacity
+// accounting and virtual-clock transfers, exactly the behaviour before the
+// backend seam existed. Every method is a no-op, so a nil Backend and an
+// attached Sim are bit-for-bit interchangeable.
+type Sim struct{}
+
+// Physical implements Backend.
+func (Sim) Physical() bool { return false }
+
+// Write implements Backend.
+func (Sim) Write(Request) (time.Duration, error) { return 0, nil }
+
+// Read implements Backend.
+func (Sim) Read(Request) (time.Duration, error) { return 0, nil }
+
+// Delete implements Backend.
+func (Sim) Delete(Request) (time.Duration, error) { return 0, nil }
+
+// Stats implements Backend.
+func (Sim) Stats() Stats { return Stats{} }

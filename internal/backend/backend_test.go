@@ -1,0 +1,227 @@
+package backend
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"octostore/internal/storage"
+)
+
+func testLocal(t *testing.T) *Local {
+	t.Helper()
+	l, err := OpenLocal(LocalConfig{Root: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func req(m storage.Media, dev string, id, size int64) Request {
+	return Request{Media: m, Class: storage.ClassMove, DeviceID: dev, BlockID: id, Bytes: size}
+}
+
+func TestLocalWriteReadDeleteRoundtrip(t *testing.T) {
+	l := testLocal(t)
+	r := req(storage.SSD, "worker-0/ssd-0", 42, 3*storage.MB)
+	if _, err := l.Write(r); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(l.TierDir(storage.SSD), "worker-0/ssd-0", "42.blk")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 3*storage.MB {
+		t.Fatalf("replica file is %d bytes, want %d", fi.Size(), 3*storage.MB)
+	}
+	if _, err := l.Read(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Delete(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("replica file survives delete: %v", err)
+	}
+
+	s := l.Stats().PerTier[storage.SSD]
+	if s.Write.Count != 1 || s.Write.Bytes != 3*storage.MB || s.Write.Errors != 0 {
+		t.Fatalf("write stats = %+v", s.Write)
+	}
+	if s.Read.Count != 1 || s.Read.Bytes != 3*storage.MB {
+		t.Fatalf("read stats = %+v", s.Read)
+	}
+	if s.Delete.Count != 1 {
+		t.Fatalf("delete stats = %+v", s.Delete)
+	}
+	if s.Write.WallNS <= 0 || s.Write.MinNS <= 0 || s.Write.MaxNS < s.Write.MinNS {
+		t.Fatalf("write wall-time envelope not measured: %+v", s.Write)
+	}
+}
+
+func TestLocalReadSizeMismatchIsError(t *testing.T) {
+	l := testLocal(t)
+	r := req(storage.HDD, "worker-1/hdd-0", 7, storage.MB)
+	if _, err := l.Write(r); err != nil {
+		t.Fatal(err)
+	}
+	// The control plane believes the block is bigger than the file: the
+	// read must fail rather than silently serve short.
+	r.Bytes = 2 * storage.MB
+	if _, err := l.Read(r); err == nil {
+		t.Fatal("short replica read succeeded")
+	}
+	if e := l.Stats().PerTier[storage.HDD].Read.Errors; e != 1 {
+		t.Fatalf("read errors = %d, want 1", e)
+	}
+}
+
+func TestLocalMissingReplicaErrorsAreCounted(t *testing.T) {
+	l := testLocal(t)
+	r := req(storage.Memory, "worker-0/mem-0", 1, storage.MB)
+	if _, err := l.Read(r); err == nil {
+		t.Fatal("read of nonexistent replica succeeded")
+	}
+	if _, err := l.Delete(r); err == nil {
+		t.Fatal("delete of nonexistent replica succeeded")
+	}
+	s := l.Stats().PerTier[storage.Memory]
+	if s.Read.Errors != 1 || s.Delete.Errors != 1 {
+		t.Fatalf("error counts = read %d delete %d, want 1/1", s.Read.Errors, s.Delete.Errors)
+	}
+	if s.Read.Count != 0 || s.Delete.Count != 0 {
+		t.Fatalf("failed ops counted as successes: %+v", s)
+	}
+}
+
+func TestLocalDiskUsageTracksLiveReplicas(t *testing.T) {
+	l := testLocal(t)
+	a := req(storage.Memory, "worker-0/mem-0", 1, 2*storage.MB)
+	b := req(storage.SSD, "worker-1/ssd-0", 2, 5*storage.MB)
+	for _, r := range []Request{a, b} {
+		if _, err := l.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used, err := l.DiskUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used[storage.Memory] != 2*storage.MB || used[storage.SSD] != 5*storage.MB || used[storage.HDD] != 0 {
+		t.Fatalf("disk usage = %v", used)
+	}
+	if _, err := l.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	used, err = l.DiskUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used[storage.Memory] != 0 {
+		t.Fatalf("memory tier usage after delete = %d", used[storage.Memory])
+	}
+}
+
+func TestSimBackendIsFreeAndInvisible(t *testing.T) {
+	var s Sim
+	if s.Physical() {
+		t.Fatal("Sim claims to be physical")
+	}
+	r := req(storage.Memory, "worker-0/mem-0", 1, storage.MB)
+	if d, err := s.Write(r); err != nil || d != 0 {
+		t.Fatalf("Sim write = (%v, %v)", d, err)
+	}
+	if d, err := s.Read(r); err != nil || d != 0 {
+		t.Fatalf("Sim read = (%v, %v)", d, err)
+	}
+	if d, err := s.Delete(r); err != nil || d != 0 {
+		t.Fatalf("Sim delete = (%v, %v)", d, err)
+	}
+	if got := s.Stats(); got != (Stats{}) {
+		t.Fatalf("Sim stats = %+v", got)
+	}
+}
+
+func TestFaultyFailNextAndEvery(t *testing.T) {
+	f := NewFaulty(Sim{})
+	r := req(storage.SSD, "worker-0/ssd-0", 9, storage.MB)
+
+	f.FailNext(storage.SSD, OpWrite, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write(r); !errors.Is(err, ErrInjected) {
+			t.Fatalf("armed write %d error = %v", i, err)
+		}
+	}
+	if _, err := f.Write(r); err != nil {
+		t.Fatalf("disarmed write error = %v", err)
+	}
+	if got := f.Injected(storage.SSD, OpWrite); got != 2 {
+		t.Fatalf("injected = %d, want 2", got)
+	}
+	// Other tiers and ops stay untouched.
+	if _, err := f.Read(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(req(storage.Memory, "worker-0/mem-0", 9, storage.MB)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic rate: every 3rd read fails.
+	f.FailEvery(storage.SSD, OpRead, 3)
+	var failed int
+	for i := 0; i < 9; i++ {
+		if _, err := f.Read(r); err != nil {
+			failed++
+		}
+	}
+	if failed != 3 {
+		t.Fatalf("FailEvery(3) failed %d of 9 reads, want 3", failed)
+	}
+	if got := f.Stats().PerTier[storage.SSD].Read.Errors; got != 3 {
+		t.Fatalf("stats fold injected read errors = %d, want 3", got)
+	}
+}
+
+func TestCalibrateReportsMeasuredAndModeled(t *testing.T) {
+	l := testLocal(t)
+	r := req(storage.Memory, "worker-0/mem-0", 3, 4*storage.MB)
+	if _, err := l.Write(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Read(r); err != nil {
+		t.Fatal(err)
+	}
+	cal := Calibrate("real", l.TierDir(storage.Memory), false, l.Stats())
+	if cal.Backend != "real" || len(cal.Tiers) != 3 {
+		t.Fatalf("calibration shape: backend=%q tiers=%d", cal.Backend, len(cal.Tiers))
+	}
+	mem := cal.Tiers[storage.Memory]
+	if mem.Tier != "MEM" {
+		t.Fatalf("tier label = %q", mem.Tier)
+	}
+	if mem.Write.Count != 1 || mem.Write.MeanUS <= 0 || mem.Write.MBps <= 0 {
+		t.Fatalf("measured write block = %+v", mem.Write)
+	}
+	if mem.SimProfile.ReadMBps != 4000 || mem.SimProfile.BaseLatencyUS != 50 {
+		t.Fatalf("sim profile = %+v", mem.SimProfile)
+	}
+}
+
+func TestMergeStatsAcrossShards(t *testing.T) {
+	a, b := testLocal(t), testLocal(t)
+	if _, err := a.Write(req(storage.SSD, "worker-0/ssd-0", 1, storage.MB)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write(req(storage.SSD, "worker-0/ssd-0", 1, 2*storage.MB)); err != nil {
+		t.Fatal(err)
+	}
+	m := MergeStats(a.Stats(), b.Stats()).PerTier[storage.SSD].Write
+	if m.Count != 2 || m.Bytes != 3*storage.MB {
+		t.Fatalf("merged write stats = %+v", m)
+	}
+	if m.MinNS <= 0 || m.MaxNS < m.MinNS {
+		t.Fatalf("merged envelope = min %d max %d", m.MinNS, m.MaxNS)
+	}
+}

@@ -1,0 +1,115 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"octostore/internal/storage"
+)
+
+// ErrInjected marks a failure produced by a Faulty wrapper rather than the
+// underlying storage.
+var ErrInjected = errors.New("backend: injected fault")
+
+// Faulty wraps any Backend with per-tier, per-op fault injection: fail the
+// next N operations outright, or fail every Nth operation (a deterministic
+// error rate — no random stream, so runs stay reproducible). With no
+// faults armed it is a transparent pass-through, which makes Faulty{Inner:
+// Sim{}} the cheapest way to drive the control plane's error paths in
+// tests.
+type Faulty struct {
+	Inner Backend
+
+	mu       sync.Mutex
+	failNext [3][numOps]int
+	every    [3][numOps]int // fail each time seen%every == 0; 0 disables
+	seen     [3][numOps]int
+	injected [3][numOps]int64
+}
+
+// NewFaulty wraps inner with all faults disarmed.
+func NewFaulty(inner Backend) *Faulty { return &Faulty{Inner: inner} }
+
+// FailNext arms n immediate failures for (tier, op).
+func (f *Faulty) FailNext(m storage.Media, op Op, n int) {
+	f.mu.Lock()
+	f.failNext[m][op] = n
+	f.mu.Unlock()
+}
+
+// FailEvery makes every nth (tier, op) operation fail; n <= 0 disables.
+func (f *Faulty) FailEvery(m storage.Media, op Op, n int) {
+	f.mu.Lock()
+	f.every[m][op] = n
+	f.seen[m][op] = 0
+	f.mu.Unlock()
+}
+
+// Injected returns how many (tier, op) failures were injected.
+func (f *Faulty) Injected(m storage.Media, op Op) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected[m][op]
+}
+
+// inject decides whether this call fails.
+func (f *Faulty) inject(m storage.Media, op Op) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext[m][op] > 0 {
+		f.failNext[m][op]--
+		f.injected[m][op]++
+		return true
+	}
+	if n := f.every[m][op]; n > 0 {
+		f.seen[m][op]++
+		if f.seen[m][op]%n == 0 {
+			f.injected[m][op]++
+			return true
+		}
+	}
+	return false
+}
+
+// Physical implements Backend.
+func (f *Faulty) Physical() bool { return f.Inner.Physical() }
+
+// Write implements Backend.
+func (f *Faulty) Write(req Request) (time.Duration, error) {
+	if f.inject(req.Media, OpWrite) {
+		return 0, fmt.Errorf("%w: write %s block %d", ErrInjected, req.Media, req.BlockID)
+	}
+	return f.Inner.Write(req)
+}
+
+// Read implements Backend.
+func (f *Faulty) Read(req Request) (time.Duration, error) {
+	if f.inject(req.Media, OpRead) {
+		return 0, fmt.Errorf("%w: read %s block %d", ErrInjected, req.Media, req.BlockID)
+	}
+	return f.Inner.Read(req)
+}
+
+// Delete implements Backend.
+func (f *Faulty) Delete(req Request) (time.Duration, error) {
+	if f.inject(req.Media, OpDelete) {
+		return 0, fmt.Errorf("%w: delete %s block %d", ErrInjected, req.Media, req.BlockID)
+	}
+	return f.Inner.Delete(req)
+}
+
+// Stats implements Backend: the inner backend's counters with the injected
+// failures folded into the error counts.
+func (f *Faulty) Stats() Stats {
+	s := f.Inner.Stats()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, m := range storage.AllMedia {
+		for _, op := range Ops {
+			s.PerTier[m].Op(op).Errors += f.injected[m][op]
+		}
+	}
+	return s
+}

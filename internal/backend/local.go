@@ -1,0 +1,289 @@
+package backend
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octostore/internal/storage"
+)
+
+// Local is the real-file backend: each tier maps to a directory (point the
+// memory tier at a tmpfs mount to make it byte-honest), each block replica
+// to one file `<tierdir>/<deviceID>/<blockID>.blk`, and every operation is
+// real I/O measured in wall-clock time. Capacity and admission stay with
+// the control plane's virtual devices; the only errors Local produces are
+// the real ones — ENOSPC, permission failures, a replica file missing.
+//
+// Block contents are a synthetic pattern (the control plane never stores
+// client payloads), so a "copy" decomposes into a read of the source
+// replica and a write of the destination — the same I/O a real copy costs.
+type Local struct {
+	dirs [3]string
+	sync bool
+
+	cells [3][numOps]opCell
+	// madeDirs caches device directories already created, so the write path
+	// does one sync.Map load instead of a MkdirAll syscall per block.
+	madeDirs sync.Map
+}
+
+// LocalConfig configures a Local backend.
+type LocalConfig struct {
+	// Root is the base directory; tier subdirectories mem/, ssd/, hdd/ are
+	// created under it for tiers without an explicit TierDirs entry.
+	Root string
+	// TierDirs, per storage.Media, overrides the tier's directory (e.g.
+	// "/dev/shm/octostore" for the memory tier).
+	TierDirs [3]string
+	// SyncWrites fsyncs every written replica, measuring the media instead
+	// of the page cache. Off by default: tiering decisions need relative
+	// tier speeds, and a CI tmpdir has no distinct media anyway.
+	SyncWrites bool
+}
+
+// opCell is one (tier, op) stats cell, updated lock-free.
+type opCell struct {
+	count  atomic.Int64
+	bytes  atomic.Int64
+	errs   atomic.Int64
+	wallNS atomic.Int64
+	minNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+func (c *opCell) observe(bytes int64, wall time.Duration, err error) {
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	ns := wall.Nanoseconds()
+	if ns <= 0 {
+		ns = 1 // clock granularity floor; a zero would read as "no sample"
+	}
+	c.count.Add(1)
+	c.bytes.Add(bytes)
+	c.wallNS.Add(ns)
+	for {
+		old := c.minNS.Load()
+		if old != 0 && old <= ns {
+			break
+		}
+		if c.minNS.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	for {
+		old := c.maxNS.Load()
+		if old >= ns {
+			break
+		}
+		if c.maxNS.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+func (c *opCell) snapshot() OpStats {
+	return OpStats{
+		Count:  c.count.Load(),
+		Bytes:  c.bytes.Load(),
+		Errors: c.errs.Load(),
+		WallNS: c.wallNS.Load(),
+		MinNS:  c.minNS.Load(),
+		MaxNS:  c.maxNS.Load(),
+	}
+}
+
+// pattern is the synthetic block payload, written repeatedly. A non-zero
+// byte spread defeats any file-system zero-detection shortcuts.
+var pattern = func() []byte {
+	buf := make([]byte, 256*1024)
+	x := uint32(0x9e3779b9)
+	for i := range buf {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		buf[i] = byte(x)
+	}
+	return buf
+}()
+
+// OpenLocal creates the tier directories and returns the backend.
+func OpenLocal(cfg LocalConfig) (*Local, error) {
+	l := &Local{sync: cfg.SyncWrites}
+	names := [3]string{"mem", "ssd", "hdd"}
+	for _, m := range storage.AllMedia {
+		dir := cfg.TierDirs[m]
+		if dir == "" {
+			if cfg.Root == "" {
+				return nil, fmt.Errorf("backend: no directory for %s tier (set Root or TierDirs)", m)
+			}
+			dir = filepath.Join(cfg.Root, names[m])
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("backend: %s tier dir: %w", m, err)
+		}
+		l.dirs[m] = dir
+	}
+	return l, nil
+}
+
+// TierDir returns the directory backing one tier.
+func (l *Local) TierDir(m storage.Media) string { return l.dirs[m] }
+
+// replicaPath maps a request to its on-disk file. Device ids contain a
+// node/device path separator, giving each device its own subtree.
+func (l *Local) replicaPath(req Request) string {
+	return filepath.Join(l.dirs[req.Media], req.DeviceID, fmt.Sprintf("%d.blk", req.BlockID))
+}
+
+func (l *Local) deviceDir(req Request) (string, error) {
+	dir := filepath.Join(l.dirs[req.Media], req.DeviceID)
+	if _, ok := l.madeDirs.Load(dir); ok {
+		return dir, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	l.madeDirs.Store(dir, struct{}{})
+	return dir, nil
+}
+
+// Physical implements Backend.
+func (l *Local) Physical() bool { return true }
+
+// Write implements Backend: create (or truncate) the replica file and fill
+// it with req.Bytes of pattern data.
+func (l *Local) Write(req Request) (time.Duration, error) {
+	start := time.Now()
+	err := l.doWrite(req)
+	wall := time.Since(start)
+	l.cells[req.Media][OpWrite].observe(req.Bytes, wall, err)
+	if err != nil {
+		return wall, fmt.Errorf("backend: write %s: %w", l.replicaPath(req), err)
+	}
+	return wall, nil
+}
+
+func (l *Local) doWrite(req Request) error {
+	if _, err := l.deviceDir(req); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(l.replicaPath(req), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	remaining := req.Bytes
+	for remaining > 0 {
+		chunk := int64(len(pattern))
+		if chunk > remaining {
+			chunk = remaining
+		}
+		if _, err := f.Write(pattern[:chunk]); err != nil {
+			f.Close()
+			os.Remove(f.Name()) // no half-written replicas on ENOSPC
+			return err
+		}
+		remaining -= chunk
+	}
+	if l.sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// Read implements Backend: stream the replica file and verify its length.
+func (l *Local) Read(req Request) (time.Duration, error) {
+	start := time.Now()
+	err := l.doRead(req)
+	wall := time.Since(start)
+	l.cells[req.Media][OpRead].observe(req.Bytes, wall, err)
+	if err != nil {
+		return wall, fmt.Errorf("backend: read %s: %w", l.replicaPath(req), err)
+	}
+	return wall, nil
+}
+
+// readBufs recycles read buffers across client goroutines.
+var readBufs = sync.Pool{New: func() any { b := make([]byte, 256*1024); return &b }}
+
+func (l *Local) doRead(req Request) error {
+	f, err := os.Open(l.replicaPath(req))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bufp := readBufs.Get().(*[]byte)
+	defer readBufs.Put(bufp)
+	var total int64
+	for {
+		n, err := f.Read(*bufp)
+		total += int64(n)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if total != req.Bytes {
+		return fmt.Errorf("replica holds %d bytes, control plane expects %d", total, req.Bytes)
+	}
+	return nil
+}
+
+// Delete implements Backend: remove the replica file. A missing file is an
+// error (the control plane believed a replica existed here), counted in
+// Stats; callers tearing replicas down do not roll back on it.
+func (l *Local) Delete(req Request) (time.Duration, error) {
+	start := time.Now()
+	err := os.Remove(l.replicaPath(req))
+	wall := time.Since(start)
+	l.cells[req.Media][OpDelete].observe(req.Bytes, wall, err)
+	if err != nil {
+		return wall, fmt.Errorf("backend: delete: %w", err)
+	}
+	return wall, nil
+}
+
+// Stats implements Backend.
+func (l *Local) Stats() Stats {
+	var s Stats
+	for _, m := range storage.AllMedia {
+		for _, op := range Ops {
+			*s.PerTier[m].Op(op) = l.cells[m][op].snapshot()
+		}
+	}
+	return s
+}
+
+// DiskUsage walks the tier directories and returns the live replica bytes
+// per tier — the physical ground truth the differential tests reconcile
+// against the control plane's capacity accounting.
+func (l *Local) DiskUsage() ([3]int64, error) {
+	var used [3]int64
+	for _, m := range storage.AllMedia {
+		err := filepath.Walk(l.dirs[m], func(_ string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if !info.IsDir() {
+				used[m] += info.Size()
+			}
+			return nil
+		})
+		if err != nil {
+			return used, err
+		}
+	}
+	return used, nil
+}

@@ -1,0 +1,86 @@
+package backend
+
+import (
+	"octostore/internal/storage"
+)
+
+// This file builds the calibration report (BENCH_backend.json): the
+// measured wall-clock service times of a physical backend, laid side by
+// side with the simulator's per-tier service profiles so the two can be
+// diffed — the ground truth loop the simulator's TierProfile numbers are
+// calibrated against.
+
+// OpCalibration summarizes one (tier, op) cell of measured operations.
+type OpCalibration struct {
+	Count  int64 `json:"count"`
+	Bytes  int64 `json:"bytes"`
+	Errors int64 `json:"errors,omitempty"`
+	// Wall-time envelope of the completed operations.
+	MeanUS float64 `json:"mean_us,omitempty"`
+	MinUS  float64 `json:"min_us,omitempty"`
+	MaxUS  float64 `json:"max_us,omitempty"`
+	// MBps is the measured throughput (bytes over wall time).
+	MBps float64 `json:"mbps,omitempty"`
+}
+
+func opCalibration(s OpStats) OpCalibration {
+	c := OpCalibration{Count: s.Count, Bytes: s.Bytes, Errors: s.Errors}
+	if s.Count > 0 && s.WallNS > 0 {
+		c.MeanUS = float64(s.WallNS) / float64(s.Count) / 1e3
+		c.MinUS = float64(s.MinNS) / 1e3
+		c.MaxUS = float64(s.MaxNS) / 1e3
+		c.MBps = float64(s.Bytes) / 1e6 / (float64(s.WallNS) / 1e9)
+	}
+	return c
+}
+
+// SimProfile is the simulator's service model for a tier, restated in the
+// report's units for diffing against the measured columns.
+type SimProfile struct {
+	BaseLatencyUS float64 `json:"base_latency_us"`
+	ReadMBps      float64 `json:"read_mbps"`
+	WriteMBps     float64 `json:"write_mbps"`
+}
+
+// TierCalibration is one tier's measured-vs-modeled block.
+type TierCalibration struct {
+	Tier   string        `json:"tier"`
+	Write  OpCalibration `json:"write"`
+	Read   OpCalibration `json:"read"`
+	Delete OpCalibration `json:"delete"`
+	// SimProfile is the virtual plane's model for this tier
+	// (storage.DefaultTierProfiles), for diffing measured against modeled.
+	SimProfile SimProfile `json:"sim_profile"`
+}
+
+// Calibration is the BENCH_backend.json document.
+type Calibration struct {
+	Backend    string            `json:"backend"`
+	Root       string            `json:"root,omitempty"`
+	SyncWrites bool              `json:"sync_writes,omitempty"`
+	Tiers      []TierCalibration `json:"tiers"`
+}
+
+// Calibrate builds the report from a stats snapshot (merge per-shard
+// snapshots with MergeStats first). name is the backend label ("real"),
+// root the physical location the run used.
+func Calibrate(name, root string, syncWrites bool, s Stats) Calibration {
+	profiles := storage.DefaultTierProfiles()
+	cal := Calibration{Backend: name, Root: root, SyncWrites: syncWrites}
+	for _, m := range storage.AllMedia {
+		t := s.PerTier[m]
+		p := profiles[m]
+		cal.Tiers = append(cal.Tiers, TierCalibration{
+			Tier:   m.String(),
+			Write:  opCalibration(t.Write),
+			Read:   opCalibration(t.Read),
+			Delete: opCalibration(t.Delete),
+			SimProfile: SimProfile{
+				BaseLatencyUS: float64(p.BaseLatency.Nanoseconds()) / 1e3,
+				ReadMBps:      p.ReadBW / 1e6,
+				WriteMBps:     p.WriteBW / 1e6,
+			},
+		})
+	}
+	return cal
+}

@@ -75,6 +75,11 @@ func (fs *FileSystem) FailNode(n *cluster.Node) (removed [3]int64) {
 				media := r.Media()
 				if r.state != ReplicaDeleting {
 					fs.liveBytes -= b.size
+					// Drop the physical bytes too. A Local backend outlives
+					// the node abstraction (its files key on device ids), so
+					// the failed node's replica files must not linger as
+					// orphans.
+					fs.backendDelete(r.device, storage.ClassMove, b.id, b.size)
 				}
 				// Deleting also tells any pending write-completion callback
 				// (initial create, cache fill, copy) not to mark the

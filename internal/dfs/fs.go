@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"octostore/internal/backend"
 	"octostore/internal/cluster"
 	"octostore/internal/sim"
 	"octostore/internal/storage"
@@ -136,6 +137,15 @@ type FileSystem struct {
 	backlog interface {
 		Horizon(deviceID string, dir storage.Direction) time.Time
 	}
+	// bkend, when non-nil, mirrors every block-replica state change onto a
+	// physical store (see internal/backend). The virtual clock keeps driving
+	// all control-plane timing either way: backend calls are synchronous,
+	// schedule no events, and draw no randomness, so policy decisions are
+	// identical whichever backend is attached (nil and backend.Sim are
+	// interchangeable). Write/Read errors abort the surrounding operation
+	// through its existing rollback path; teardown deletes never fail the
+	// caller.
+	bkend backend.Backend
 	// activeTenant tags plane charges issued while an entry-point call is
 	// on the stack (charges happen synchronously inside Create/ReadBlock/
 	// move starts, so a scoped set/reset around the call suffices). Zero is
@@ -206,7 +216,7 @@ func New(c *cluster.Cluster, cfg Config) (*FileSystem, error) {
 		if cfg.Weights != nil {
 			w = *cfg.Weights
 		}
-		fs.placement = &octopusPlacement{cluster: c, rng: fs.rng, weights: w}
+		fs.placement = &octopusPlacement{cluster: c, rng: fs.rng, weights: w, backlog: fs.backlog}
 	case ModePinnedHDD:
 		fs.placement = &pinnedPlacement{cluster: c, rng: fs.rng, media: storage.HDD}
 	default:
@@ -239,6 +249,57 @@ func (fs *FileSystem) SetDataPlane(p storage.DataPlane) {
 	fs.plane = p
 	fs.backlog, _ = p.(interface {
 		Horizon(deviceID string, dir storage.Direction) time.Time
+	})
+	if op, ok := fs.placement.(*octopusPlacement); ok {
+		op.backlog = fs.backlog
+	}
+}
+
+// Backend returns the attached physical backend (nil when none).
+func (fs *FileSystem) Backend() backend.Backend { return fs.bkend }
+
+// SetBackend attaches (or, with nil, detaches) a physical data backend.
+// Must happen before any files exist: the backend mirrors replica state
+// from the first write on, so attaching it mid-life would leave earlier
+// replicas without physical bytes. Call it right after New, before the
+// serving layer starts (the server caches the backend at Start, like the
+// plane).
+func (fs *FileSystem) SetBackend(b backend.Backend) { fs.bkend = b }
+
+// backendWrite mirrors a new replica's bytes onto the physical backend.
+// The error aborts the surrounding operation; the caller rolls back.
+func (fs *FileSystem) backendWrite(dev *storage.Device, class storage.IOClass, blockID, bytes int64) error {
+	if fs.bkend == nil {
+		return nil
+	}
+	_, err := fs.bkend.Write(backend.Request{
+		Media: dev.Media(), Class: class, Tenant: fs.activeTenant,
+		DeviceID: dev.ID(), BlockID: blockID, Bytes: bytes,
+	})
+	return err
+}
+
+// backendRead streams a replica's bytes from the physical backend.
+func (fs *FileSystem) backendRead(dev *storage.Device, class storage.IOClass, blockID, bytes int64) error {
+	if fs.bkend == nil {
+		return nil
+	}
+	_, err := fs.bkend.Read(backend.Request{
+		Media: dev.Media(), Class: class, Tenant: fs.activeTenant,
+		DeviceID: dev.ID(), BlockID: blockID, Bytes: bytes,
+	})
+	return err
+}
+
+// backendDelete drops a replica's physical bytes. Teardown must not fail
+// halfway, so errors are only counted in the backend's stats.
+func (fs *FileSystem) backendDelete(dev *storage.Device, class storage.IOClass, blockID, bytes int64) {
+	if fs.bkend == nil {
+		return
+	}
+	fs.bkend.Delete(backend.Request{
+		Media: dev.Media(), Class: class, Tenant: fs.activeTenant,
+		DeviceID: dev.ID(), BlockID: blockID, Bytes: bytes,
 	})
 }
 
@@ -534,6 +595,21 @@ func (fs *FileSystem) writeBlock(b *Block, onDone func()) error {
 			panic(fmt.Sprintf("dfs: reservation failed after placement: %v", err))
 		}
 	}
+	// Materialize the physical bytes before committing replica records: a
+	// real backend failure (ENOSPC, injected fault) then unwinds to a plain
+	// placement error — reservations released, files written so far removed
+	// — and the create aborts through its existing failure path.
+	for i, t := range targets {
+		if err := fs.backendWrite(t.Device, storage.ClassServe, b.id, b.size); err != nil {
+			for _, u := range targets {
+				u.Device.Release(b.size)
+			}
+			for _, u := range targets[:i] {
+				fs.backendDelete(u.Device, storage.ClassServe, b.id, b.size)
+			}
+			return err
+		}
+	}
 	replicas := make([]*Replica, 0, len(targets))
 	for _, t := range targets {
 		r := fs.replicaArena.alloc()
@@ -612,6 +688,11 @@ func (fs *FileSystem) cacheFile(f *File) {
 		if err := target.Reserve(b.size); err != nil {
 			continue
 		}
+		if err := fs.backendWrite(target, storage.ClassMove, b.id, b.size); err != nil {
+			// Cache fills are best effort: skip the block, like a full tier.
+			target.Release(b.size)
+			continue
+		}
 		b := b
 		r := fs.replicaArena.alloc()
 		r.block, r.node, r.device, r.state, r.isCache = b, node, target, ReplicaCreating, true
@@ -667,6 +748,10 @@ func (fs *FileSystem) ReadBlock(b *Block, at *cluster.Node, done func(ReadResult
 	if res.Remote {
 		fs.stats.RemoteReads++
 	}
+	// Stream the physical bytes synchronously (errors are counted in the
+	// backend's stats; the virtual read still completes — serving decisions
+	// must not depend on the backend).
+	_ = fs.backendRead(r.device, storage.ClassServe, b.id, b.size)
 	barrier := fs.finishAfter(1, fs.clientFloor(b.size), func() { finish(res, nil) })
 	fs.startTransfer(r.device, storage.Read, storage.ClassServe, b.size, barrier)
 }
@@ -745,6 +830,7 @@ func (fs *FileSystem) releaseAllReplicas(f *File) {
 			if r.state != ReplicaDeleting {
 				r.state = ReplicaDeleting
 				r.device.Release(b.size)
+				fs.backendDelete(r.device, storage.ClassServe, b.id, b.size)
 				fs.liveBytes -= b.size
 				fs.stats.ReplicasDeleted++
 			}

@@ -137,6 +137,7 @@ func (fs *FileSystem) DetachFile(path string) (FileRecord, error) {
 			if r.state != ReplicaDeleting {
 				r.state = ReplicaDeleting
 				r.device.Release(b.size)
+				fs.backendDelete(r.device, storage.ClassMove, b.id, b.size)
 				fs.liveBytes -= b.size
 			}
 		}
@@ -220,6 +221,36 @@ func (fs *FileSystem) AttachFile(rec FileRecord) error {
 	plan, err := fs.planAttach(rec)
 	if err != nil {
 		return err
+	}
+	// Materialize the physical replicas before any metadata mutates. The
+	// mutation loop below assigns block ids sequentially from nextBlockID,
+	// so block bi's file is keyed by nextBlockID+bi; an error here unwinds
+	// to a plain attach failure — files removed, no ids consumed, nothing
+	// reserved — and the migration retries on a later sweep. (Migration
+	// ships no payload between shards: the destination regenerates the
+	// synthetic block bytes, the physical analogue of the copy-then-detach
+	// protocol's destination write.)
+	if fs.bkend != nil {
+		type writtenFile struct {
+			dev      *storage.Device
+			id, size int64
+		}
+		var written []writtenFile
+		unwind := func() {
+			for _, w := range written {
+				fs.backendDelete(w.dev, storage.ClassMove, w.id, w.size)
+			}
+		}
+		for bi, bl := range rec.Blocks {
+			id := fs.nextBlockID + int64(bi)
+			for _, slot := range plan[bi] {
+				if err := fs.backendWrite(slot.dev, storage.ClassMove, id, bl.Size); err != nil {
+					unwind()
+					return fmt.Errorf("dfs: attach copy: %w", err)
+				}
+				written = append(written, writtenFile{slot.dev, id, bl.Size})
+			}
+		}
 	}
 	f := fs.fileArena.alloc()
 	f.id = fs.nextFileID

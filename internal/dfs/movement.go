@@ -63,6 +63,25 @@ func (fs *FileSystem) MoveFileReplicas(f *File, from, to storage.Media, done fun
 		}
 		moves = append(moves, &blockMove{block: b, src: src, dstDev: dev, dstNod: node})
 	}
+	// Perform the physical copies up front (read the source replica, write
+	// the destination), while the whole plan can still unwind: a real I/O
+	// failure — transient copy error, destination ENOSPC — surfaces here as
+	// a synchronous error, which the movement executor counts as a failed
+	// move and the policy retries on a later sweep. The virtual transfer
+	// legs below still model the time the copy takes.
+	for i, m := range moves {
+		err := fs.backendRead(m.src.device, storage.ClassMove, m.block.id, m.block.size)
+		if err == nil {
+			err = fs.backendWrite(m.dstDev, storage.ClassMove, m.block.id, m.block.size)
+		}
+		if err != nil {
+			rollback()
+			for _, done := range moves[:i] {
+				fs.backendDelete(done.dstDev, storage.ClassMove, done.block.id, done.block.size)
+			}
+			return fmt.Errorf("dfs: move copy: %w", err)
+		}
+	}
 	upgrade := to.Higher(from)
 	barrier := fs.finishAfter(len(moves), fs.engine.Now(), func() {
 		for _, l := range fs.listeners {
@@ -108,19 +127,27 @@ func (fs *FileSystem) transferBlock(m *blockMove, onDone func()) {
 		case !m.block.hasReplica(m.src):
 			// The source replica vanished mid-transfer (its node left the
 			// cluster): there is nothing to commit. Free the destination
-			// reservation unless that node is gone too.
+			// reservation unless that node is gone too, and drop the
+			// destination bytes written at plan time either way (a failed
+			// node's devices leave accounting wholesale, but the physical
+			// file is not tracked by any replica record).
 			if !m.dstGone {
 				m.dstDev.Release(size)
 				fs.pendingMoveBytes -= size
 			}
+			fs.backendDelete(m.dstDev, storage.ClassMove, m.block.id, size)
 		case m.dstGone:
 			// The destination node vanished: the replica stays at the
 			// source; its reservation accounting was settled at removal.
+			// The destination bytes are orphaned — drop them.
 			m.src.state = ReplicaValid
+			fs.backendDelete(m.dstDev, storage.ClassMove, m.block.id, size)
 		default:
-			// Commit: the replica now lives on the destination device.
+			// Commit: the replica now lives on the destination device; the
+			// source bytes go (the destination copy was written at plan).
 			srcMedia := m.src.Media()
 			m.src.device.Release(size)
+			fs.backendDelete(m.src.device, storage.ClassMove, m.block.id, size)
 			fs.pendingMoveBytes -= size
 			m.block.noteUnreadable(m.src, srcMedia)
 			m.src.device = m.dstDev
@@ -206,6 +233,20 @@ func (fs *FileSystem) CopyFileReplicas(f *File, to storage.Media, done func(erro
 		}
 		plans = append(plans, &copyPlan{block: b, src: src, dstDev: dev, dstNod: node})
 	}
+	// Physical copy up front, same unwind contract as MoveFileReplicas.
+	for i, p := range plans {
+		err := fs.backendRead(p.src.device, storage.ClassMove, p.block.id, p.block.size)
+		if err == nil {
+			err = fs.backendWrite(p.dstDev, storage.ClassMove, p.block.id, p.block.size)
+		}
+		if err != nil {
+			rollback()
+			for _, done := range plans[:i] {
+				fs.backendDelete(done.dstDev, storage.ClassMove, done.block.id, done.block.size)
+			}
+			return fmt.Errorf("dfs: replica copy: %w", err)
+		}
+	}
 	if len(plans) == 0 {
 		fs.engine.Schedule(0, func() {
 			if done != nil {
@@ -275,6 +316,7 @@ func (fs *FileSystem) DeleteFileReplicas(f *File, from storage.Media) error {
 		media := r.Media()
 		r.state = ReplicaDeleting
 		r.device.Release(r.block.size)
+		fs.backendDelete(r.device, storage.ClassMove, r.block.id, r.block.size)
 		fs.liveBytes -= r.block.size
 		r.block.noteUnreadable(r, media)
 		r.block.removeReplica(r)

@@ -5,10 +5,18 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"octostore/internal/cluster"
 	"octostore/internal/storage"
 )
+
+// writeHorizons is the data plane's per-device queue-horizon view (the
+// same shape as FileSystem.backlog). A contended plane exposes it; nil
+// plane and NopPlane do not, keeping plane-less placement bit for bit.
+type writeHorizons interface {
+	Horizon(deviceID string, dir storage.Direction) time.Time
+}
 
 // ErrNoCapacity is returned when a block cannot be placed because no
 // candidate device has room.
@@ -81,6 +89,11 @@ type octopusPlacement struct {
 	rng     *rand.Rand
 	weights PlacementWeights
 	scratch []Target // reused PlaceBlock result buffer
+	// backlog, when a horizon-exposing plane is attached, feeds the write
+	// backlog each candidate device has already queued into the score, so
+	// new replicas steer away from saturated devices (the write-side twin
+	// of pickReadReplica's read steering). Nil skips the term entirely.
+	backlog writeHorizons
 }
 
 // PlacementWeights are the relative objective weights of the OctopusFS
@@ -92,11 +105,17 @@ type PlacementWeights struct {
 	DataBal    float64
 	LoadBal    float64
 	Diversity  float64
+	// Backlog penalizes devices whose write channel the data plane reports
+	// as queued up: the penalty approaches Backlog as the device's pending
+	// write horizon grows past a second. Only in effect when a
+	// horizon-exposing plane is attached; otherwise the term is skipped, so
+	// plane-less placement is unchanged at any weight.
+	Backlog float64
 }
 
 // DefaultPlacementWeights returns the weights used across the evaluation.
 func DefaultPlacementWeights() PlacementWeights {
-	return PlacementWeights{Throughput: 1.0, DataBal: 0.6, LoadBal: 0.3, Diversity: 2.0}
+	return PlacementWeights{Throughput: 1.0, DataBal: 0.6, LoadBal: 0.3, Diversity: 2.0, Backlog: 1.0}
 }
 
 func (p *octopusPlacement) Name() string { return "octopus-multiobjective" }
@@ -118,6 +137,10 @@ func (p *octopusPlacement) PlaceBlock(size int64, replication int) ([]Target, er
 	var usedMedia [3]int // indexed by storage.Media
 	targets := p.scratch[:0]
 	start := p.rng.Intn(len(nodes))
+	var now time.Time
+	if p.backlog != nil {
+		now = p.cluster.Engine().Now()
+	}
 	for len(targets) < replication {
 		var best Target
 		bestScore := math.Inf(-1)
@@ -135,6 +158,16 @@ func (p *octopusPlacement) PlaceBlock(size int64, replication int) ([]Target, er
 				score += p.weights.DataBal * (1 - d.Utilization())
 				score += p.weights.LoadBal / float64(1+d.Load())
 				score -= p.weights.Diversity * float64(usedMedia[media])
+				if p.backlog != nil {
+					// Saturation-aware placement: devices whose write channel
+					// the plane has already booked out score down, bounded so
+					// a deep queue defers to the diversity/throughput terms
+					// rather than overriding them outright.
+					if wait := p.backlog.Horizon(d.ID(), storage.Write).Sub(now); wait > 0 {
+						ws := wait.Seconds()
+						score -= p.weights.Backlog * ws / (ws + 1)
+					}
+				}
 				if score > bestScore {
 					bestScore = score
 					best = Target{Node: n, Device: d}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"octostore/internal/backend"
+	"octostore/internal/core"
+	"octostore/internal/storage"
+)
+
+// TestInjectedCopyFailureShedsMoveThenRetries drives the executor against a
+// fault-injecting backend: the injected physical copy failure must surface
+// through the executor's failed path, leave the ledger and reservations
+// exactly as before the move, and a later sweep's re-enqueue of the same
+// file (faults disarmed) must succeed — the control plane treats a backend
+// I/O error like any other transient movement failure.
+func TestInjectedCopyFailureShedsMoveThenRetries(t *testing.T) {
+	engine, fs, files := executorFixture(t, 2, 64*storage.MB)
+	faulty := backend.NewFaulty(backend.Sim{})
+	fs.SetBackend(faulty)
+	ex := NewMovementExecutor(fs, ExecutorConfig{WorkersPerTier: 2, QueueDepth: 8})
+
+	ssdBefore, _ := fs.Cluster().TierUsage(storage.SSD)
+	hddBefore, _ := fs.Cluster().TierUsage(storage.HDD)
+
+	faulty.FailNext(storage.SSD, backend.OpWrite, 1)
+	var got error
+	ex.Enqueue(core.MoveRequest{File: files[0], From: storage.HDD, To: storage.SSD,
+		Done: func(err error) { got = err }})
+	engine.Run()
+
+	if !errors.Is(got, backend.ErrInjected) {
+		t.Fatalf("move outcome = %v, want injected backend fault", got)
+	}
+	if st := ex.Stats().PerTier[storage.SSD]; st.Failed != 1 || st.Completed != 0 {
+		t.Fatalf("executor stats after injected failure = %+v", st)
+	}
+	if files[0].HasReplicaOn(storage.SSD) {
+		t.Fatal("failed move left an SSD replica behind")
+	}
+	// Ledger accounting must be untouched: the aborted copy released every
+	// reservation it took.
+	if ssd, _ := fs.Cluster().TierUsage(storage.SSD); ssd != ssdBefore {
+		t.Fatalf("SSD usage leaked: %d -> %d", ssdBefore, ssd)
+	}
+	if hdd, _ := fs.Cluster().TierUsage(storage.HDD); hdd != hddBefore {
+		t.Fatalf("HDD usage changed on failed move: %d -> %d", hddBefore, hdd)
+	}
+	if err := fs.CheckAccounting(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if n := faulty.Injected(storage.SSD, backend.OpWrite); n != 1 {
+		t.Fatalf("injected count = %d, want 1", n)
+	}
+
+	// A later sweep retries the same move with the transient fault gone.
+	got = errors.New("not called")
+	ex.Enqueue(core.MoveRequest{File: files[0], From: storage.HDD, To: storage.SSD,
+		Done: func(err error) { got = err }})
+	engine.Run()
+	if got != nil {
+		t.Fatalf("retry outcome = %v, want success", got)
+	}
+	if !files[0].HasReplicaOn(storage.SSD) {
+		t.Fatal("retried move did not place an SSD replica")
+	}
+	if st := ex.Stats().PerTier[storage.SSD]; st.Completed != 1 || st.Failed != 1 {
+		t.Fatalf("executor stats after retry = %+v", st)
+	}
+	if err := fs.CheckAccounting(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectedReadFailureAbortsCopy exercises the source side of the copy:
+// a failed physical read of the source replica must abort the replication
+// with clean accounting, same as a destination write failure.
+func TestInjectedReadFailureAbortsCopy(t *testing.T) {
+	engine, fs, files := executorFixture(t, 1, 64*storage.MB)
+	faulty := backend.NewFaulty(backend.Sim{})
+	fs.SetBackend(faulty)
+	ex := NewMovementExecutor(fs, ExecutorConfig{WorkersPerTier: 1, QueueDepth: 4})
+
+	faulty.FailNext(storage.HDD, backend.OpRead, 1)
+	var got error
+	ex.Enqueue(core.MoveRequest{File: files[0], From: storage.HDD, To: storage.Memory,
+		Done: func(err error) { got = err }})
+	engine.Run()
+	if !errors.Is(got, backend.ErrInjected) {
+		t.Fatalf("move outcome = %v, want injected backend fault", got)
+	}
+	if mem, _ := fs.Cluster().TierUsage(storage.Memory); mem != 0 {
+		t.Fatalf("memory usage leaked on aborted copy: %d", mem)
+	}
+	if err := fs.CheckAccounting(); err != nil {
+		t.Fatal(err)
+	}
+}

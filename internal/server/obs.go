@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"octostore/internal/backend"
 	"octostore/internal/obs"
 	"octostore/internal/storage"
 )
@@ -126,6 +127,30 @@ func (s *Server) registerObs() {
 	if s.slo != nil {
 		ctr("octo_slo_checks_total", &s.slo.checks)
 		ctr("octo_slo_breaches_total", &s.slo.breaches)
+	}
+
+	// Physical-backend op/error counters, one family cell per (tier, op):
+	// scrapes snapshot the backend's atomics through the same pull-based
+	// closure pattern as everything else.
+	if s.backend != nil {
+		for _, m := range storage.AllMedia {
+			for _, op := range backend.Ops {
+				m, op := m, op
+				l := lbl("tier", m.String(), "op", op.String())
+				r.CounterFunc("octo_backend_ops_total", l, func() float64 {
+					t := s.backend.Stats().PerTier[m]
+					return float64(t.Op(op).Count)
+				})
+				r.CounterFunc("octo_backend_bytes_total", l, func() float64 {
+					t := s.backend.Stats().PerTier[m]
+					return float64(t.Op(op).Bytes)
+				})
+				r.CounterFunc("octo_backend_errors_total", l, func() float64 {
+					t := s.backend.Stats().PerTier[m]
+					return float64(t.Op(op).Errors)
+				})
+			}
+		}
 	}
 
 	s.exec.registerObs(r, lbl)

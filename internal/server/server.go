@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"octostore/internal/backend"
 	"octostore/internal/core"
 	"octostore/internal/dfs"
 	"octostore/internal/obs"
@@ -150,6 +151,12 @@ type Server struct {
 	// read path charges tier-real service times without touching the
 	// core-loop-owned fs. Nil disables latency modeling (free reads).
 	plane storage.DataPlane
+	// backend is the file system's physical backend, cached at Start like
+	// the plane but only when it performs real I/O: the client read path
+	// then streams real bytes per access and the measured wall-clock
+	// latencies feed the read histograms. Nil (or an attached backend.Sim)
+	// keeps the access path untouched.
+	backend backend.Backend
 
 	// Core-loop-owned state.
 	byID            map[dfs.FileID]*handle
@@ -271,6 +278,9 @@ func (s *Server) Start() {
 	}
 	s.started = true
 	s.plane = s.fs.DataPlane()
+	if b := s.fs.Backend(); b != nil && b.Physical() {
+		s.backend = b
+	}
 	for _, f := range s.fs.LiveFiles() {
 		if s.fs.Complete(f) {
 			s.indexFile(f)
@@ -415,7 +425,10 @@ func (s *Server) drainRing() {
 // indexFile publishes a completed file to the striped namespace. Core loop
 // only.
 func (s *Server) indexFile(f *dfs.File) {
-	h := &handle{id: f.ID(), path: f.Path(), size: f.Size(), file: f}
+	h := &handle{id: f.ID(), path: f.Path(), size: f.Size(), file: f, blk0: -1}
+	if blocks := f.Blocks(); len(blocks) > 0 {
+		h.blk0, h.blk0Size = blocks[0].ID(), blocks[0].Size()
+	}
 	for _, m := range storage.AllMedia {
 		if f.HasReplicaOn(m) {
 			h.setDevice(m, tierDevice(f, m))
@@ -430,11 +443,12 @@ func (s *Server) indexFile(f *dfs.File) {
 // device; the membership hook runs it after node churn (see New). O(files),
 // and churn is rare. Core loop only.
 func (s *Server) refreshDevices() {
-	// Guard on the server's cached plane (the one AccessAt charges), not
-	// the fs's live one: pre-Start churn may skip the walk (Start re-indexes
-	// every handle anyway), and swapping planes after Start is unsupported.
-	if s.plane == nil {
-		return // pointers are only read for plane charging
+	// Guard on the server's cached plane/backend (the ones AccessAt uses),
+	// not the fs's live ones: pre-Start churn may skip the walk (Start
+	// re-indexes every handle anyway), and swapping either after Start is
+	// unsupported.
+	if s.plane == nil && s.backend == nil {
+		return // pointers are only read for plane charging and real reads
 	}
 	for _, h := range s.byID {
 		for _, m := range storage.AllMedia {
@@ -673,15 +687,40 @@ func (s *Server) AccessAtAs(path string, at time.Time, tenant storage.TenantID) 
 				At:       at,
 			})
 			res.Latency = g.Latency()
-			s.readLat[tier].Observe(res.Latency)
-			if slot, ok := s.tenantSlot[tenant]; ok {
-				s.tenantLat[slot].Observe(res.Latency)
+			// With a physical backend attached the histograms record the
+			// measured wall-clock read below instead of the virtual grant
+			// (the grant still books the channel for contention accounting).
+			if s.backend == nil {
+				s.readLat[tier].Observe(res.Latency)
+				if slot, ok := s.tenantSlot[tenant]; ok {
+					s.tenantLat[slot].Observe(res.Latency)
+				}
 			}
 			if sp != nil {
 				sp.QueueNS = g.Queue.Nanoseconds()
 				sp.BaseNS = g.Base.Nanoseconds()
 				sp.TransferNS = g.Transfer.Nanoseconds()
 				sp.Saturated = g.Saturated
+			}
+		}
+	}
+	// Physical read: stream the representative block's real bytes from the
+	// serving tier on the client goroutine, and feed the measured wall time
+	// into the read histograms — the latencies are real, not modeled. A
+	// failed read (e.g. the replica moved between the residency load and
+	// the open) is counted in the backend's stats and served virtually.
+	if s.backend != nil && h.blk0 >= 0 {
+		if dev := h.device(tier); dev != nil {
+			d, err := s.backend.Read(backend.Request{
+				Media: tier, Class: storage.ClassServe, Tenant: tenant,
+				DeviceID: dev.ID(), BlockID: h.blk0, Bytes: h.blk0Size,
+			})
+			if err == nil {
+				res.Latency = d
+				s.readLat[tier].Observe(d)
+				if slot, ok := s.tenantSlot[tenant]; ok {
+					s.tenantLat[slot].Observe(d)
+				}
 			}
 		}
 	}

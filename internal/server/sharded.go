@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"octostore/internal/backend"
 	"octostore/internal/cluster"
 	"octostore/internal/core"
 	"octostore/internal/dfs"
@@ -66,6 +67,11 @@ type ShardedConfig struct {
 	DFS dfs.Config
 	// Build constructs each shard's manager (nil everywhere when omitted).
 	Build ShardBuilder
+	// Backend, when non-nil, supplies each shard's physical data backend,
+	// attached to the shard's file system before its server is built. One
+	// instance per shard is required (return distinct roots): block ids are
+	// per-FileSystem, so a shared physical namespace would collide.
+	Backend func(shard int) backend.Backend
 	// Quota tunes the sharded capacity accounting.
 	Quota QuotaConfig
 	// Inner is the per-shard serving configuration (stripe count, ring,
@@ -174,6 +180,9 @@ func NewSharded(cfg ShardedConfig) (*ShardedServer, error) {
 		fs, err := dfs.New(cl, fsCfg)
 		if err != nil {
 			return nil, fmt.Errorf("server: shard %d fs: %w", i, err)
+		}
+		if cfg.Backend != nil {
+			fs.SetBackend(cfg.Backend(i))
 		}
 		var mgr *core.Manager
 		if cfg.Build != nil {

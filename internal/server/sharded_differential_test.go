@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"octostore/internal/backend"
 	"octostore/internal/cluster"
 	"octostore/internal/core"
 	"octostore/internal/dfs"
@@ -125,6 +126,13 @@ func shardedOracle(t *testing.T, ops []diffOp) *dfs.FileSystem {
 // quotas. plane (optional) is attached to every shard's cluster view.
 func newShardedReplayServer(t *testing.T, shards int, plane storage.DataPlane) *server.ShardedServer {
 	t.Helper()
+	return newShardedReplayServerBackend(t, shards, plane, nil)
+}
+
+// newShardedReplayServerBackend is the same fixture with a per-shard storage
+// backend attached (nil mkBackend = the default virtual-only path).
+func newShardedReplayServerBackend(t *testing.T, shards int, plane storage.DataPlane, mkBackend func(int) backend.Backend) *server.ShardedServer {
+	t.Helper()
 	huge := int64(1) << 60
 	inf := math.Inf(1)
 	clCfg := shardedDiffCluster()
@@ -151,6 +159,7 @@ func newShardedReplayServer(t *testing.T, shards int, plane storage.DataPlane) *
 			BorrowChunk:       16 * storage.MB,
 			ReconcileInterval: 10 * time.Second,
 		},
+		Backend: mkBackend,
 		Inner: server.Config{ // replay mode: TimeScale 0
 			Executor: server.ExecutorConfig{
 				WorkersPerTier:  64,
@@ -172,7 +181,12 @@ func newShardedReplayServer(t *testing.T, shards int, plane storage.DataPlane) *
 // caller can inspect and then close it.
 func runShardedReplay(t *testing.T, ops []diffOp, shards int, plane storage.DataPlane) *server.ShardedServer {
 	t.Helper()
-	srv := newShardedReplayServer(t, shards, plane)
+	return runShardedReplayBackend(t, ops, shards, plane, nil)
+}
+
+func runShardedReplayBackend(t *testing.T, ops []diffOp, shards int, plane storage.DataPlane, mkBackend func(int) backend.Backend) *server.ShardedServer {
+	t.Helper()
+	srv := newShardedReplayServerBackend(t, shards, plane, mkBackend)
 	base := sim.Epoch
 	for _, o := range ops {
 		at := base.Add(o.at)

@@ -18,6 +18,12 @@ type handle struct {
 	path string
 	size int64
 	file *dfs.File // core-loop-owned
+	// blk0/blk0Size identify the file's first block (-1/0 for empty files):
+	// the representative replica the physical-backend read path streams.
+	// Block identity is immutable for the handle's life (only the replica's
+	// device moves), so clients read these without synchronization.
+	blk0     int64
+	blk0Size int64
 	// res is a bitmask of tiers holding a full all-or-nothing replica set
 	// (bit i = storage.Media(i)), published by the core loop on every
 	// residency flip so the client read path picks its serving tier without
